@@ -1,0 +1,68 @@
+"""Ablation benches for the fixed design choices (DESIGN.md)."""
+
+import pytest
+
+from repro.perf.ablations import (
+    ablate_block_size,
+    ablate_combined_mac,
+    ablate_psu_depth,
+)
+
+
+def test_combined_mac_ablation(benchmark, save_report):
+    rows = benchmark(ablate_combined_mac)
+    by = {r.packed: r for r in rows}
+    save_report(
+        "ablation_combined_mac",
+        "\n".join(
+            f"packed={r.packed}: peak {r.peak_ops / 1e9:.1f} GOPS, "
+            f"Y BRAMs {r.y_buffer_brams:.0f}, PE FFs {r.pe_ff:.0f}"
+            for r in rows
+        ),
+    )
+    # Packing doubles peak throughput for +16 BRAM18 and +512 FF.
+    assert by[True].peak_ops == 2 * by[False].peak_ops
+    assert by[True].y_buffer_brams - by[False].y_buffer_brams == 16
+    assert by[True].pe_ff - by[False].pe_ff == 512
+
+
+def test_block_size_ablation(benchmark, save_report):
+    rows = benchmark(ablate_block_size)
+    save_report(
+        "ablation_block_size",
+        "\n".join(
+            f"{r.block}x{r.block}: SQNR {r.sqnr_db:.2f} dB, fill eff "
+            f"{r.fill_efficiency:.4f}, exp overhead "
+            f"{r.exponent_overhead_bits_per_value:.3f} b/val, "
+            f"DSP {r.array_resources.dsp:.0f}"
+            for r in rows
+        ),
+    )
+    by = {r.block: r for r in rows}
+    # Smaller blocks quantize better (finer outlier containment)...
+    assert by[4].sqnr_db > by[8].sqnr_db > by[16].sqnr_db
+    # ...but pay more exponent overhead; 8x8 sits at 1/8 bit per value.
+    assert by[4].exponent_overhead_bits_per_value == 0.5
+    assert by[8].exponent_overhead_bits_per_value == 0.125
+    # Fill efficiency stays high at the PSU-limited stream for all sizes.
+    assert all(r.fill_efficiency > 0.9 for r in rows)
+
+
+def test_psu_depth_ablation(benchmark, save_report):
+    rows = benchmark(ablate_psu_depth)
+    save_report(
+        "ablation_psu_depth",
+        "\n".join(
+            f"depth {r.depth}: N_X <= {r.max_n_x}, Eqn-9 eff "
+            f"{r.eqn9_efficiency:.4f}, {r.psu_brams_per_column:.2f} "
+            "BRAM18/col"
+            for r in rows
+        ),
+    )
+    by = {r.depth: r for r in rows}
+    # The paper's 512 word choice: 97.15% of peak for one BRAM per column.
+    assert by[512].eqn9_efficiency == pytest.approx(0.9715, abs=1e-3)
+    assert by[512].psu_brams_per_column == 1.0
+    # Doubling depth buys only ~1.4 points of efficiency.
+    gain = by[1024].eqn9_efficiency - by[512].eqn9_efficiency
+    assert gain < 0.02

@@ -1,0 +1,55 @@
+"""Accuracy bench: mixed-precision deployment without retraining.
+
+Trains a compact Transformer once (pedantic single round — training inside
+a timing loop would be meaningless) and evaluates the arithmetic regimes.
+"""
+
+import pytest
+
+from repro.eval.accuracy import ExperimentConfig, run_task
+
+QUICK = ExperimentConfig(
+    task="majority", n_samples=900, seq_len=12, dim=32, depth=2, epochs=8,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_task(QUICK)
+
+
+def test_accuracy_experiment(benchmark, experiment, save_report):
+    fp32_acc, regimes = experiment
+    by = {r.backend: r for r in regimes}
+
+    def evaluate_mixed_regime():
+        from repro.models.backend import get_backend
+        return get_backend("bfp8-mixed")
+
+    benchmark(evaluate_mixed_regime)
+    lines = [f"fp32 test accuracy: {fp32_acc:.4f}"]
+    for r in regimes:
+        lines.append(
+            f"{r.backend:12s} acc={r.accuracy:.4f} agree={r.agreement:.4f} "
+            f"rmse={r.logit_rmse:.4f}"
+        )
+    save_report("accuracy_regimes", "\n".join(lines))
+
+    # The deployment claim: bfp8-mixed tracks fp32.
+    assert by["bfp8-mixed"].agreement >= 0.97
+    assert by["bfp8-mixed"].accuracy >= fp32_acc - 0.02
+
+
+def test_regime_inference_cost(benchmark):
+    """Time one bfp8-mixed forward pass (untrained weights; cost-only)."""
+    from repro.models.backend import get_backend
+    from repro.models.data import TASKS
+    from repro.models.vit import SequenceClassifier
+
+    data = TASKS[QUICK.task](n=128, seq_len=QUICK.seq_len, seed=QUICK.seed)
+    m = SequenceClassifier(vocab=data.vocab, seq_len=QUICK.seq_len,
+                           dim=QUICK.dim, depth=QUICK.depth, n_heads=4,
+                           seed=QUICK.seed + 1)
+    out = benchmark(lambda: m.forward(data.tokens[:64], get_backend("bfp8-mixed")))
+    assert out.shape == (64, 2)

@@ -1,0 +1,46 @@
+"""Compiler/system bench: full DeiT-Small schedule and multi-unit dispatch."""
+
+import pytest
+
+from repro.hw.system import MultiUnitSystem
+from repro.models.configs import DEIT_SMALL
+from repro.runtime.scheduler import compile_vit
+
+
+def test_compile_deit_small(benchmark, save_report):
+    model = benchmark(compile_vit, DEIT_SMALL)
+    lines = [
+        f"stages: {len(model.stages)}",
+        f"latency (15 units): {model.latency_seconds() * 1e3:.3f} ms",
+        f"fp32 latency share: {model.fp32_latency_share():.3f}",
+    ]
+    for r in model.workload_split():
+        lines.append(
+            f"  {r['name']:20s} ops={r['ops'] / 1e6:9.1f}M "
+            f"({r['ops_pct']:6.2f}%) lat={r['latency_s'] * 1e3:8.3f}ms "
+            f"({r['latency_pct']:6.2f}%)"
+        )
+    save_report("compiled_deit_small", "\n".join(lines))
+    # The compiled schedule preserves the Table IV headline.
+    split = {r["name"]: r for r in model.workload_split()}
+    assert split["bfp8 matmul"]["ops_pct"] > 90.0
+    assert model.fp32_latency_share() > 0.5
+
+
+def test_unit_scaling(benchmark):
+    model = compile_vit(DEIT_SMALL)
+    lat = benchmark(model.latency_cycles, 15)
+    assert model.latency_cycles(1) > lat > model.latency_cycles(60)
+
+
+def test_system_dispatch_throughput(benchmark):
+    sys = MultiUnitSystem()
+    jobs = [sys.bfp_stream_job(f"j{i}", 64) for i in range(150)]
+    report = benchmark(sys.schedule, jobs)
+    assert report.utilization() > 0.95
+    # Aggregate throughput approaches 15x the single-unit measured rate.
+    from repro.perf.latency import measured_bfp_throughput_ops
+
+    assert report.throughput_ops("bfp8") == pytest.approx(
+        15 * measured_bfp_throughput_ops(64), rel=0.05
+    )

@@ -1,0 +1,48 @@
+"""Decoder/LLM bench: the accuracy-collapse experiment and kernel costs."""
+
+import numpy as np
+import pytest
+
+from repro.eval.decoder import DecoderConfig, run_decoder_study
+from repro.models.backend import get_backend
+from repro.models.data import additive_lm_sequences
+from repro.models.decoder import TinyLM
+
+QUICK = DecoderConfig(n_samples=600, epochs=10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_decoder_study(QUICK)
+
+
+def test_decoder_regime_study(benchmark, study, save_report):
+    lm, losses, rows, gen_match = study
+    benchmark(lambda: get_backend("bfp8-mixed"))
+    by = {r["backend"]: r["next_token_accuracy"] for r in rows}
+    lines = [f"training loss: {losses[0]:.3f} -> {losses[-1]:.3f}"]
+    for r in rows:
+        lines.append(f"{r['backend']:12s} next-token acc = "
+                     f"{r['next_token_accuracy']:.4f}")
+    lines.append(f"generation identical under bfp8-mixed: {gen_match}")
+    save_report("decoder_llm_regimes", "\n".join(lines))
+
+    # The paper's motivating claim, on the LLM workload family:
+    assert by["bfp8-mixed"] >= by["fp32"] - 0.03
+    assert by["int8-all"] < by["bfp8-mixed"] - 0.1
+    assert gen_match
+
+
+def test_decoder_forward_cost(benchmark):
+    data = additive_lm_sequences(n=64, seq_len=12, vocab=8, seed=0)
+    lm = TinyLM(vocab=8, seq_len=12, dim=32, depth=2, n_heads=4, seed=1)
+    be = get_backend("bfp8-mixed")
+    out = benchmark(lambda: lm.forward(data.tokens[:32], be))
+    assert out.shape == (32, 12, 8)
+
+
+def test_greedy_generation_cost(benchmark):
+    lm = TinyLM(vocab=8, seq_len=12, dim=32, depth=2, n_heads=4, seed=1)
+    prompt = np.array([1, 2, 3, 5])
+    gen = benchmark(lm.generate, prompt, 8)
+    assert len(gen) == 12

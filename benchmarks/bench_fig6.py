@@ -1,0 +1,20 @@
+"""Fig. 6 bench: the four PE-array design points, normalized to int8."""
+
+import pytest
+
+from repro.eval import fig6
+from repro.perf.resources import fig6_designs
+
+
+def test_fig6_report(benchmark, save_report):
+    out = benchmark(fig6.run)
+    save_report("fig6_design_comparison", out)
+
+
+def test_fig6_ratios_reproduce_paper(benchmark):
+    designs = benchmark(fig6_designs)
+    base, ours, indiv = designs["int8"], designs["ours"], designs["indiv"]
+    assert designs["bfp8"].ff / base.ff == pytest.approx(1.19, abs=0.01)
+    assert 100 * (1 - ours.dsp / indiv.dsp) == pytest.approx(20.0, abs=0.1)
+    assert 100 * (1 - ours.ff / indiv.ff) == pytest.approx(61.2, abs=0.1)
+    assert 100 * (1 - ours.lut / indiv.lut) == pytest.approx(43.6, abs=0.1)

@@ -1,0 +1,52 @@
+"""Fig. 7 bench: measured vs theoretical throughput.
+
+The benchmark times the *actual register-accurate simulator* on the paper's
+workload sweep (this is the reproduction's "hardware measurement") and
+verifies the emergent cycle counts against Eqns 9/10, then renders the full
+Fig. 7 series with the memory model applied.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import fig7
+from repro.formats import fp32bits
+from repro.hw.systolic import SystolicArray
+from repro.perf.latency import (
+    measured_bfp_throughput_ops,
+    measured_fp32_throughput_flops,
+)
+from repro.perf.throughput import bfp_throughput_ops, fp32_throughput_flops
+
+
+@pytest.mark.parametrize("n_x", [8, 16, 32, 64])
+def test_bfp8_stream_cycle_sim(benchmark, n_x):
+    rng = np.random.default_rng(n_x)
+    arr = SystolicArray()
+    arr.load_y_pair(rng.integers(-127, 128, (8, 8)),
+                    rng.integers(-127, 128, (8, 8)))
+    x = rng.integers(-127, 128, (n_x, 8, 8))
+    res = benchmark(arr.run_bfp8_stream, x)
+    assert res.cycles == 8 * n_x + 15  # Eqn 9, emergent
+
+
+@pytest.mark.parametrize("length", [16, 32, 64, 128])
+def test_fp32_stream_cycle_sim(benchmark, length):
+    rng = np.random.default_rng(length)
+    x = rng.normal(size=(4, length)).astype(np.float32)
+    y = rng.normal(size=(4, length)).astype(np.float32)
+    sx, ex, mx = fp32bits.decompose(x)
+    sy, ey, my = fp32bits.decompose(y)
+    arr = SystolicArray()
+    res = benchmark(arr.run_fp32_mul_stream, mx, my, sx, sy, ex, ey)
+    assert res.cycles == length + 8  # Eqn 10, emergent
+
+
+def test_fig7_series_shapes(benchmark, save_report):
+    out = benchmark(fig7.run, verify_cycles=False)
+    save_report("fig7_throughput", out)
+    # The paper's qualitative findings:
+    for n_x in (8, 16, 32):
+        assert measured_bfp_throughput_ops(n_x) < measured_bfp_throughput_ops(64)
+    assert measured_bfp_throughput_ops(64) / bfp_throughput_ops(64) > 0.7
+    assert measured_fp32_throughput_flops(128) / fp32_throughput_flops(128) < 0.6

@@ -1,0 +1,37 @@
+"""Half-precision vector-unit bench (paper Section V extension)."""
+
+import numpy as np
+import pytest
+
+from repro.arith.fp_sliced_half import sliced_multiply_half
+from repro.eval import halfprec
+from repro.formats.halfprec import BF16, FP16
+from repro.perf.throughput import fp32_peak_flops, half_peak_flops
+
+
+def test_halfprec_report(benchmark, save_report):
+    out = benchmark(halfprec.run)
+    save_report("halfprec_vector_unit", out)
+
+
+@pytest.mark.parametrize("fmt", [BF16, FP16], ids=["bf16", "fp16"])
+def test_half_multiply_kernel(benchmark, fmt):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=50_000).astype(np.float32)
+    y = rng.normal(size=50_000).astype(np.float32)
+    out = benchmark(sliced_multiply_half, x, y, fmt)
+    assert out.shape == x.shape
+
+
+def test_throughput_doubling(benchmark):
+    peak = benchmark(half_peak_flops, "bf16")
+    assert peak == pytest.approx(2 * fp32_peak_flops())
+
+
+def test_accuracy_ordering(benchmark):
+    rows = benchmark(halfprec.nonlinear_accuracy)
+    by = {r["precision"]: r for r in rows}
+    # fp32 most accurate; fp16 beats bf16 on mantissa-limited error.
+    assert by["fp32"]["softmax_max_err"] < by["fp16"]["softmax_max_err"]
+    assert by["fp16"]["softmax_max_err"] < by["bf16"]["softmax_max_err"]
+    assert by["bf16"]["softmax_max_err"] < 0.01  # still softmax-usable

@@ -1,0 +1,50 @@
+"""Kernel microbenchmarks: the hot paths of the emulation itself.
+
+These do not reproduce a paper artifact; they track the performance of the
+reproduction's own vectorized kernels (quantization, bfp matmul emulation,
+sliced fp32 multiply, align-add) so regressions are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.bfp_matmul import bfp_matmul_emulate
+from repro.arith.fp_align_add import aligned_add
+from repro.arith.fp_sliced import sliced_multiply
+from repro.formats.bfp8 import quantize_tiles
+from repro.formats.blocking import BfpMatrix
+
+RNG = np.random.default_rng(0)
+
+
+def test_quantize_tiles_throughput(benchmark):
+    tiles = RNG.normal(size=(64, 64, 8, 8))
+    man, exp = benchmark(quantize_tiles, tiles)
+    assert man.shape == tiles.shape
+
+
+def test_bfp_matrix_from_dense(benchmark):
+    x = RNG.normal(size=(512, 512))
+    bm = benchmark(BfpMatrix.from_dense, x)
+    assert bm.block_grid == (64, 64)
+
+
+def test_bfp_matmul_emulate_256(benchmark):
+    a = RNG.normal(size=(256, 256))
+    b = RNG.normal(size=(256, 256))
+    out = benchmark(bfp_matmul_emulate, a, b)
+    assert out.shape == (256, 256)
+
+
+def test_sliced_multiply_vectorized(benchmark):
+    x = RNG.normal(size=100_000).astype(np.float32)
+    y = RNG.normal(size=100_000).astype(np.float32)
+    out = benchmark(sliced_multiply, x, y)
+    assert out.shape == x.shape
+
+
+def test_aligned_add_vectorized(benchmark):
+    x = RNG.normal(size=100_000).astype(np.float32)
+    y = RNG.normal(size=100_000).astype(np.float32)
+    out = benchmark(aligned_add, x, y)
+    assert out.shape == x.shape

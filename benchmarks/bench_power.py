@@ -1,0 +1,57 @@
+"""Power-model bench: energy comparisons across the design points.
+
+The paper's evaluation mentions energy consumption without publishing
+numbers; these benches record the calibrated model's comparisons, which
+must at least preserve the resource-model ordering.
+"""
+
+import pytest
+
+from repro.perf.power import PowerModel
+from repro.perf.resources import (
+    design_bfp8_only,
+    design_individual,
+    design_int8,
+    design_multimode,
+)
+from repro.perf.throughput import bfp_throughput_ops
+
+
+def test_power_comparison(benchmark, save_report):
+    pm = PowerModel()
+
+    def build():
+        rows = []
+        for name, design in (
+            ("int8", design_int8()),
+            ("bfp8", design_bfp8_only()),
+            ("ours", design_multimode()),
+            ("indiv", design_individual()),
+        ):
+            rep = pm.bfp8_mode_power(design, utilization=0.97)
+            rows.append((name, rep.dynamic_w, rep.total_w))
+        return rows
+
+    rows = benchmark(build)
+    lines = ["design  dynamic_W  total_W"]
+    for name, dyn, tot in rows:
+        lines.append(f"{name:6s} {dyn:9.4f} {tot:8.4f}")
+    save_report("power_design_points", "\n".join(lines))
+    by = {r[0]: r[1] for r in rows}
+    assert by["int8"] < by["bfp8"] <= by["ours"] < by["indiv"]
+
+
+def test_energy_per_op(benchmark):
+    pm = PowerModel()
+    rep = pm.bfp8_mode_power(design_multimode(), utilization=0.97)
+    epo = benchmark(rep.energy_per_op_pj, bfp_throughput_ops(64))
+    assert 1.0 < epo < 200.0
+
+
+def test_fp32_mode_gating_saves_power(benchmark):
+    pm = PowerModel()
+    r = design_multimode()
+    fp = benchmark(pm.fp32_mode_power, r, 0.9)
+    assert fp.dynamic_w == pytest.approx(
+        pm.bfp8_mode_power(r, 0.9).dynamic_w / 2
+    )

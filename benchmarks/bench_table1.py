@@ -1,0 +1,9 @@
+"""Table I bench: derive and render the shared-basic-operations matrix."""
+
+from repro.eval import table1
+
+
+def test_table1_report(benchmark, save_report):
+    out = benchmark(table1.run)
+    assert "Matches the paper's Table I: True" in out
+    save_report("table1_shared_operations", out)

@@ -1,0 +1,25 @@
+"""Table II bench: the per-component resource model of one processing unit."""
+
+import pytest
+
+from repro.eval import table2
+from repro.perf.resources import processing_unit_total, table2_breakdown
+
+
+def test_table2_report(benchmark, save_report):
+    out = benchmark(table2.run)
+    assert "7348" in out
+    save_report("table2_hardware_utilization", out)
+
+
+def test_table2_totals_reproduce_paper(benchmark):
+    total = benchmark(processing_unit_total)
+    assert total.lut == pytest.approx(7348)
+    assert total.ff == pytest.approx(10329)
+    assert total.bram == pytest.approx(57.5)
+    assert total.dsp == 72
+
+
+def test_table2_breakdown_cost(benchmark):
+    rows = benchmark(table2_breakdown)
+    assert len(rows) == 8

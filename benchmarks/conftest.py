@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers: every bench writes its reproduced table/figure
+to ``results/`` so the artifacts of the reproduction are inspectable."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    def _save(name: str, content: str) -> None:
+        (results_dir / f"{name}.txt").write_text(content + "\n")
+
+    return _save

@@ -1,0 +1,35 @@
+"""Accuracy study: deploy a trained Transformer without retraining.
+
+Trains small Transformers on synthetic tasks (fp32), then serves them under
+five arithmetic regimes — fp32, bfp8-mixed (the paper's), bfp8-all,
+int8-linear, int8-all — and reports accuracy, agreement with fp32 and
+logit RMSE.  ``--quick`` shrinks the configuration for a fast smoke run.
+
+Run:  python examples/accuracy_study.py [--quick]
+"""
+
+import argparse
+
+from repro.eval.accuracy import ExperimentConfig, run
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small model / few epochs (fast, less accurate)")
+    args = parser.parse_args()
+    if args.quick:
+        configs = [
+            ExperimentConfig(task="majority", n_samples=800, dim=32, depth=2,
+                             epochs=8),
+        ]
+    else:
+        configs = [
+            ExperimentConfig(task="majority"),
+            ExperimentConfig(task="matching-pairs", n_samples=2400, epochs=30),
+        ]
+    print(run(configs))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Design-space exploration with the resource and throughput models.
+
+Sweeps the array geometry and the stream lengths to show the trade-offs the
+paper discusses: resource cost of the multi-mode capability across array
+sizes, and how stream length moves both modes toward their theoretical
+ceilings (and how memory behaviour caps the fp32 mode).
+
+Run:  python examples/design_space.py
+"""
+
+from repro.perf.latency import (
+    measured_bfp_throughput_ops,
+    measured_fp32_throughput_flops,
+)
+from repro.perf.memory import MemoryModel
+from repro.perf.resources import (
+    design_bfp8_only,
+    design_individual,
+    design_int8,
+    design_multimode,
+)
+from repro.perf.throughput import ClockConfig, bfp_throughput_ops
+
+
+def sweep_array_sizes() -> None:
+    print("array geometry sweep (design resources, DSPs include per-column ACC):")
+    print(f"  {'size':>6} {'int8 LUT':>9} {'bfp8 LUT':>9} {'ours LUT':>9} "
+          f"{'indiv LUT':>9} {'ours FF':>8} {'DSP ours/indiv':>15}")
+    for size in (4, 8, 16):
+        i8 = design_int8(size, size)
+        b8 = design_bfp8_only(size, size)
+        mm = design_multimode(size, size)
+        iv = design_individual(size, size, lanes=size // 2)
+        print(f"  {size}x{size:<3} {i8.lut:9.0f} {b8.lut:9.0f} {mm.lut:9.0f} "
+              f"{iv.lut:9.0f} {mm.ff:8.0f} {mm.dsp:7.0f}/{iv.dsp:<7.0f}")
+
+
+def sweep_stream_lengths() -> None:
+    print("\nbfp8 stream-length sweep (one unit, GOPS):")
+    print(f"  {'N_X':>4} {'Eqn 9':>8} {'measured':>9} {'ratio':>6}")
+    for n_x in (4, 8, 16, 32, 64):
+        theo = bfp_throughput_ops(n_x) / 1e9
+        meas = measured_bfp_throughput_ops(n_x) / 1e9
+        print(f"  {n_x:>4} {theo:8.1f} {meas:9.1f} {meas / theo:6.2f}")
+
+
+def sweep_memory_models() -> None:
+    print("\nfp32 burst-length sensitivity (L = 128, one unit, GFLOPS):")
+    print(f"  {'burst':>6} {'measured':>9}")
+    for burst in (1, 4, 16, 64):
+        mem = MemoryModel(fp32_burst_beats=burst)
+        meas = measured_fp32_throughput_flops(128, mem) / 1e9
+        print(f"  {burst:>6} {meas:9.2f}")
+    print("  (theoretical Eqn-10 value: "
+          f"{2.259:.2f} -- the paper's planned compiler-level burst "
+          "optimization is exactly this knob)")
+
+
+def sweep_frequency() -> None:
+    print("\nclock sweep (system bfp8 at N_X = 64, 15 units, TOPS):")
+    for mhz in (200, 300, 400):
+        cfg = ClockConfig(freq_hz=mhz * 1e6)
+        tops = 15 * bfp_throughput_ops(64, cfg) / 1e12
+        print(f"  {mhz} MHz: {tops:.3f} TOPS theoretical")
+
+
+def show_roofline() -> None:
+    from repro.perf.roofline import machine_balance, roofline_series
+    from repro.perf.throughput import bfp_peak_ops, fp32_peak_flops
+
+    print("\nroofline (one unit; ridge = peak / stream bandwidth):")
+    print(f"  ridge: bfp8 {machine_balance(bfp_peak_ops()):.2f} ops/B, "
+          f"fp32 {machine_balance(fp32_peak_flops()):.2f} FLOPs/B")
+    for p in roofline_series():
+        bound = "memory" if p.memory_bound else "compute"
+        print(f"  {p.name:12s} {p.intensity_ops_per_byte:6.2f} ops/B -> "
+              f"{p.attainable_ops / 1e9:6.2f} G attainable ({bound}-bound)")
+
+
+def show_device_fit() -> None:
+    from repro.perf.device import device_report
+
+    print("\ndevice capacity (why the paper stops at 15 units):")
+    for line in device_report().splitlines():
+        print(f"  {line}")
+
+
+def main() -> None:
+    sweep_array_sizes()
+    sweep_stream_lengths()
+    sweep_memory_models()
+    sweep_frequency()
+    show_roofline()
+    show_device_fit()
+
+
+if __name__ == "__main__":
+    main()

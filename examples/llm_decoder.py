@@ -1,0 +1,43 @@
+"""LLM-style decoder on the mixed-precision accelerator.
+
+Trains a tiny LLaMA-family causal decoder (RMSNorm + SwiGLU — both compiled
+to vector programs on the fp32 personality, no hardware change from the
+DeiT configuration) on a deterministic additive grammar, then serves it
+under every arithmetic regime and generates text greedily under the
+paper's bfp8-mixed regime.
+
+Run:  python examples/llm_decoder.py
+"""
+
+import numpy as np
+
+from repro.eval.decoder import DecoderConfig, run, run_decoder_study
+from repro.models.backend import get_backend
+from repro.runtime.vector_ops import build_rmsnorm, build_swiglu
+
+
+def main() -> None:
+    print(run(DecoderConfig()))
+
+    # The programmability story: RMSNorm and SwiGLU as instruction streams.
+    print("\nvector programs for the decoder's non-linearities:")
+    for name, prog in (("rmsnorm", build_rmsnorm()), ("swiglu", build_swiglu())):
+        c = prog.static_op_count()
+        print(f"  {name:8s}: {len(prog.instrs)} instructions "
+              f"({c.fpu_mul} mul + {c.fpu_add} add on the FPU, "
+              f"{c.host} host ops per element)")
+
+    # A longer generation run under the deployed regime.
+    lm, _, _, _ = run_decoder_study(DecoderConfig(epochs=15))
+    prompt = np.array([3, 5, 0, 5])
+    gen = lm.generate(prompt, 8, get_backend("bfp8-mixed"))
+    expect = list(prompt)
+    for _ in range(8):
+        expect.append((expect[-1] + expect[-2]) % 8)
+    print(f"\nbfp8-mixed generation: {list(gen)}")
+    print(f"grammar ground truth:  {expect}")
+    print(f"exact continuation: {list(gen) == expect}")
+
+
+if __name__ == "__main__":
+    main()

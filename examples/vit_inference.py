@@ -1,0 +1,72 @@
+"""Mixed-precision Vision Transformer inference (the paper's case study).
+
+Builds a DeiT-style ViT, runs the same image batch under fp32 and under the
+paper's bfp8-linear + fp32-non-linear regime, and reports logit agreement,
+the analytic workload split and the modeled end-to-end latency on the
+15-unit system (Table IV).
+
+A reduced configuration is used by default so the bit-faithful bfp8
+emulation finishes quickly; pass --deit-small for the full Table IV config
+(op counts and latency only — the full forward pass in emulation is slow).
+
+Run:  python examples/vit_inference.py [--deit-small]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.models import VisionTransformer, ViTConfig, get_backend
+from repro.models.configs import DEIT_SMALL
+from repro.models.ops_count import count_linear_macs, table4_partitions
+from repro.perf.latency import deit_latency_split
+
+DEMO = ViTConfig("deit-demo", image_size=32, patch_size=8, dim=64, depth=2,
+                 n_heads=4, n_classes=10)
+
+
+def run_forward_comparison(cfg: ViTConfig) -> None:
+    rng = np.random.default_rng(0)
+    model = VisionTransformer(
+        image_size=cfg.image_size, patch_size=cfg.patch_size, dim=cfg.dim,
+        depth=cfg.depth, n_heads=cfg.n_heads, n_classes=cfg.n_classes, seed=1,
+    )
+    images = rng.normal(size=(4, 3, cfg.image_size, cfg.image_size)).astype(np.float32)
+    ref = model.forward(images, get_backend("fp32"))
+    mixed = model.forward(images, get_backend("bfp8-mixed"))
+    agree = (np.argmax(ref, 1) == np.argmax(mixed, 1)).mean()
+    rmse = np.sqrt(np.mean((ref - mixed) ** 2))
+    print(f"[{cfg.name}] fp32 vs bfp8-mixed: top-1 agreement {agree:.2f}, "
+          f"logit RMSE {rmse:.4f} (logit std {ref.std():.4f})")
+
+
+def report_workload(cfg: ViTConfig) -> None:
+    lin = count_linear_macs(cfg)
+    print(f"\n[{cfg.name}] encoder linear work: {lin.encoder / 1e6:.1f} M MACs "
+          f"({lin.total / 1e6:.1f} M with patch embed + head)")
+    report = deit_latency_split(table4_partitions(cfg))
+    for row in report.proportions():
+        print(f"  {row['name']:16s} {row['ops'] / 1e6:9.1f}M ops "
+              f"({row['ops_pct']:6.3f}%)  {row['latency_s'] * 1e3:8.3f} ms "
+              f"({row['latency_pct']:6.2f}%)")
+    print(f"  total {report.total_latency_s * 1e3:.3f} ms; fp32 share of "
+          f"latency {100 * report.fp32_latency_share():.1f}% "
+          "(paper: 1.35% of ops, 92.45% of latency)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--deit-small", action="store_true",
+                        help="use the full DeiT-Small config (skips the "
+                        "emulated forward pass)")
+    args = parser.parse_args()
+    if args.deit_small:
+        report_workload(DEIT_SMALL)
+    else:
+        run_forward_comparison(DEMO)
+        report_workload(DEMO)
+        report_workload(DEIT_SMALL)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — reproduction of "A Case for Low Bitwidth Floating Point
+Arithmetic on FPGA for Transformer Based DNN Inference" (Wu, Song, Zhao,
+So; IPDPS-W 2024).
+
+The package implements, in Python:
+
+* the **bfp8 number format** (8x8 blocks, shared 8-bit exponent) and the
+  **fp32 slicing arithmetic** that lets fp32 multiply/add run on an int8
+  systolic array (``repro.formats``, ``repro.arith``);
+* a **register-accurate model of the multi-mode processing unit** — DSP48E2
+  slices, PE array, buffers with the dual-format BRAM layout, exponent
+  unit, shifters/accumulators, quantizer, controller (``repro.hw``);
+* **performance and resource models** reproducing the paper's Table II,
+  Table III, Fig. 6 and Fig. 7 (``repro.perf``);
+* a **programming model** that compiles Softmax/GELU/LayerNorm to fp32
+  mul/add streams with host-side division (``repro.runtime``);
+* a **from-scratch NumPy Transformer** (DeiT-style ViT and a trainable
+  sequence classifier) with pluggable arithmetic backends for the
+  mixed-precision accuracy experiments (``repro.models``);
+* **experiment drivers** regenerating every table and figure
+  (``repro.eval``, mirrored by ``benchmarks/``).
+
+Quick start::
+
+    import numpy as np
+    from repro import MultiModePU, BfpMatrix
+
+    pu = MultiModePU()
+    a = np.random.default_rng(0).normal(size=(64, 96))
+    b = np.random.default_rng(1).normal(size=(96, 32))
+    c = pu.matmul(BfpMatrix.from_dense(a), BfpMatrix.from_dense(b))
+    print(np.abs(c.to_dense() - a @ b).max())      # bfp8 quantization error
+    print(pu.stats.bfp_throughput_ops(300e6) / 1e9, "GOPS achieved")
+"""
+
+from repro.arith import (
+    aligned_add,
+    bfp_matmul,
+    bfp_matmul_dense,
+    bfp_matmul_emulate,
+    sliced_multiply,
+)
+from repro.formats import (
+    BfpBlock,
+    BfpMatrix,
+    Int8Tensor,
+    quantize_block,
+    quantize_int8,
+)
+from repro.hw import MultiModePU, PUStats, SystolicArray
+from repro.models import (
+    DEIT_SMALL,
+    SequenceClassifier,
+    VisionTransformer,
+    evaluate_regimes,
+    get_backend,
+    train_classifier,
+)
+from repro.perf import ClockConfig, MemoryModel, fig6_designs, table2_breakdown
+from repro.runtime import VectorExecutor, build_gelu, build_layernorm, build_softmax, plan_matmul
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BfpBlock",
+    "BfpMatrix",
+    "ClockConfig",
+    "DEIT_SMALL",
+    "Int8Tensor",
+    "MemoryModel",
+    "MultiModePU",
+    "PUStats",
+    "SequenceClassifier",
+    "SystolicArray",
+    "VectorExecutor",
+    "VisionTransformer",
+    "__version__",
+    "aligned_add",
+    "bfp_matmul",
+    "bfp_matmul_dense",
+    "bfp_matmul_emulate",
+    "build_gelu",
+    "build_layernorm",
+    "build_softmax",
+    "evaluate_regimes",
+    "fig6_designs",
+    "get_backend",
+    "plan_matmul",
+    "quantize_block",
+    "quantize_int8",
+    "sliced_multiply",
+    "table2_breakdown",
+    "train_classifier",
+]

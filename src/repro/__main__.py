@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate the full reproduction report.
+
+Usage::
+
+    python -m repro                  # all fast tables/figures to stdout
+    python -m repro --full           # include training-based studies
+    python -m repro --out results/   # also write one file per artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="include the training-based accuracy studies "
+                        "(minutes)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write per-artifact text files")
+    args = parser.parse_args()
+
+    from repro.eval import (
+        accuracy,
+        bitwidth,
+        fig6,
+        fig7,
+        halfprec,
+        sensitivity,
+        table1,
+        table2,
+        table3,
+        table4,
+    )
+
+    artifacts: list[tuple[str, str]] = [
+        ("table1_shared_operations", table1.run()),
+        ("table2_hardware_utilization", table2.run()),
+        ("fig6_design_comparison", fig6.run()),
+        ("fig7_throughput", fig7.run()),
+        ("table3_related_work", table3.run()),
+        ("table4_deit_split", table4.run()),
+        ("bitwidth_sqnr", bitwidth.run(include_model_sweep=args.full)),
+        ("halfprec_vector_unit", halfprec.run()),
+    ]
+    if args.full:
+        artifacts.append(("accuracy_regimes", accuracy.run()))
+        artifacts.append(("component_sensitivity", sensitivity.run()))
+
+    for name, content in artifacts:
+        print(content)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(content + "\n")
+
+
+if __name__ == "__main__":
+    main()

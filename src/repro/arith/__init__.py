@@ -1,0 +1,60 @@
+"""Bit-faithful arithmetic: bfp8 matmul, sliced fp32 mul/add, MAC packing."""
+
+from repro.arith.bfp_matmul import (
+    PSU_WIDTH,
+    WideBlock,
+    accumulate,
+    bfp_matmul,
+    bfp_matmul_dense,
+    bfp_matmul_emulate,
+    block_matmul,
+    requantize_wide,
+)
+from repro.arith.fp_align_add import MAX_ALIGN_SHIFT, aligned_add
+from repro.arith.fp_sliced import (
+    FP32_MUL_TERMS,
+    PartialProductTerm,
+    accumulator_value,
+    sliced_multiply,
+    split_preshift,
+)
+from repro.arith.fp_sliced_half import (
+    half_lane_count,
+    half_rows_per_result,
+    sliced_multiply_half,
+)
+from repro.arith.packing import (
+    LOW_FIELD_BITS,
+    PACK_SHIFT,
+    check_accumulation_contract,
+    max_safe_terms,
+    pack_pair,
+    unpack_accumulator,
+)
+
+__all__ = [
+    "FP32_MUL_TERMS",
+    "LOW_FIELD_BITS",
+    "MAX_ALIGN_SHIFT",
+    "PACK_SHIFT",
+    "PSU_WIDTH",
+    "PartialProductTerm",
+    "WideBlock",
+    "accumulate",
+    "accumulator_value",
+    "aligned_add",
+    "bfp_matmul",
+    "bfp_matmul_dense",
+    "bfp_matmul_emulate",
+    "block_matmul",
+    "check_accumulation_contract",
+    "max_safe_terms",
+    "pack_pair",
+    "requantize_wide",
+    "sliced_multiply",
+    "sliced_multiply_half",
+    "half_lane_count",
+    "half_rows_per_result",
+    "split_preshift",
+    "unpack_accumulator",
+]

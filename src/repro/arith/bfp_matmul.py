@@ -1,0 +1,234 @@
+"""Reference semantics of bfp8 matrix multiplication (paper Eqns 2-3).
+
+Multiplying two bfp8 blocks is an int8 matrix multiply of the mantissas plus
+an int8 add of the shared exponents (Eqn 2).  Accumulating across the K
+dimension of a tiled matmul requires *alignment*: the partial block with the
+smaller exponent is right-shifted (truncating) before the integer add
+(Eqn 3), exactly what the per-column shifter + PSU accumulator do in
+hardware.
+
+This module is the numerical oracle for the cycle-level simulator in
+``repro.hw`` and the fast path for model emulation in ``repro.models``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HardwareContractError
+from repro.formats.bfp8 import BfpBlock, quantize_tiles
+from repro.formats.blocking import BfpMatrix
+from repro.formats.rounding import shift_right
+
+__all__ = [
+    "WideBlock",
+    "PSU_WIDTH",
+    "block_matmul",
+    "accumulate",
+    "requantize_wide",
+    "bfp_matmul_dense",
+    "bfp_matmul",
+    "bfp_matmul_emulate",
+]
+
+PSU_WIDTH = 48  # DSP48E2 accumulator / PSU buffer word width
+
+
+@dataclass(frozen=True)
+class WideBlock:
+    """A partial-sum block in the PSU domain: wide mantissas + exponent.
+
+    ``mantissas`` are int64 values guaranteed (by contract checks) to fit the
+    48-bit PSU; ``exponent`` is the shared block exponent of the partial sum.
+    """
+
+    mantissas: np.ndarray
+    exponent: int
+
+    def __post_init__(self) -> None:
+        man = np.asarray(self.mantissas, dtype=np.int64)
+        limit = np.int64(1) << (PSU_WIDTH - 1)
+        if man.size and (man.min() < -limit or man.max() >= limit):
+            raise HardwareContractError("mantissa exceeds the 48-bit PSU width")
+        object.__setattr__(self, "mantissas", man)
+        object.__setattr__(self, "exponent", int(self.exponent))
+
+    def decode(self) -> np.ndarray:
+        return self.mantissas.astype(np.float64) * np.ldexp(1.0, self.exponent)
+
+
+def block_matmul(x: BfpBlock, y: BfpBlock) -> WideBlock:
+    """Multiply two bfp8 blocks (Eqn 2): int mantissa matmul, exponent add."""
+    if x.shape[1] != y.shape[0]:
+        raise ConfigurationError(
+            f"inner dimensions disagree: {x.shape} @ {y.shape}"
+        )
+    man = x.mantissas.astype(np.int64) @ y.mantissas.astype(np.int64)
+    return WideBlock(man, x.exponent + y.exponent)
+
+
+def accumulate(psu: WideBlock | None, incoming: WideBlock) -> WideBlock:
+    """Aligned accumulation of partial blocks (Eqn 3).
+
+    The operand with the smaller exponent is truncating-right-shifted so both
+    share the larger exponent, then added.  ``psu is None`` models an empty
+    PSU buffer (first partial block of a tile row).
+    """
+    if psu is None:
+        return incoming
+    if psu.exponent >= incoming.exponent:
+        d = psu.exponent - incoming.exponent
+        man = psu.mantissas + shift_right(incoming.mantissas, d, "truncate")
+        exp = psu.exponent
+    else:
+        d = incoming.exponent - psu.exponent
+        man = incoming.mantissas + shift_right(psu.mantissas, d, "truncate")
+        exp = incoming.exponent
+    return WideBlock(man, exp)
+
+
+def requantize_wide(wide: WideBlock) -> BfpBlock:
+    """Hardware output quantizer: renormalize a PSU block back to bfp8.
+
+    Finds the smallest shift that brings every mantissa into [-127, 127]
+    (nearest-even on the discarded bits, with a one-step bump if rounding
+    overflows), and adds the shift to the exponent.
+    """
+    man = wide.mantissas
+    amax = int(np.abs(man).max()) if man.size else 0
+    shift = 0
+    while (amax >> shift) > 127:
+        shift += 1
+    out = shift_right(man, shift, "nearest_even")
+    if out.size and int(np.abs(out).max()) > 127:
+        shift += 1
+        out = shift_right(man, shift, "nearest_even")
+    exp = wide.exponent + shift
+    if exp > 127:
+        raise HardwareContractError(
+            f"requantized block exponent {exp} exceeds the 8-bit field"
+        )
+    if exp < -128:
+        # Value too small for the exponent field: shift mantissas right to
+        # raise the exponent to the representable minimum (precision loss).
+        out = shift_right(out, -128 - exp, "nearest_even")
+        exp = -128
+    return BfpBlock(np.clip(out, -127, 127).astype(np.int8), exp)
+
+
+def bfp_matmul_dense(a: BfpMatrix, b: BfpMatrix) -> np.ndarray:
+    """Tiled bfp8 matmul returning the dequantized dense result (float64).
+
+    Faithful to hardware accumulation order (K blocks in ascending order,
+    truncating alignment at each step).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    rb, kb = a.block_grid
+    kb2, cb = b.block_grid
+    if kb != kb2:
+        raise ConfigurationError("block grids disagree on the inner dimension")
+    r, _ = a.block_shape
+    _, c = b.block_shape
+    out = np.zeros((rb * r, cb * c), dtype=np.float64)
+    for bi in range(rb):
+        for bj in range(cb):
+            psu: WideBlock | None = None
+            for bk in range(kb):
+                prod = block_matmul(a.block(bi, bk), b.block(bk, bj))
+                psu = accumulate(psu, prod)
+            assert psu is not None
+            out[bi * r : (bi + 1) * r, bj * c : (bj + 1) * c] = psu.decode()
+    return out[: a.shape[0], : b.shape[1]]
+
+
+def bfp_matmul(a: BfpMatrix, b: BfpMatrix) -> BfpMatrix:
+    """Tiled bfp8 matmul with hardware output requantization to bfp8."""
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    rb, kb = a.block_grid
+    _, cb = b.block_grid
+    r, _ = a.block_shape
+    _, c = b.block_shape
+    man = np.zeros((rb, cb, r, c), dtype=np.int16)
+    exps = np.zeros((rb, cb), dtype=np.int16)
+    for bi in range(rb):
+        for bj in range(cb):
+            psu: WideBlock | None = None
+            for bk in range(kb):
+                psu = accumulate(psu, block_matmul(a.block(bi, bk), b.block(bk, bj)))
+            assert psu is not None
+            q = requantize_wide(psu)
+            man[bi, bj] = q.mantissas
+            exps[bi, bj] = q.exponent
+    return BfpMatrix(man, exps, (a.shape[0], b.shape[1]))
+
+
+def bfp_matmul_emulate(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    exact_accumulate: bool = False,
+    man_bits: int = 8,
+) -> np.ndarray:
+    """Fast vectorized emulation of bfp8 matmul on dense fp inputs.
+
+    Quantizes both operands to 8x8 bfp8 tiles and multiplies with the same
+    aligned-truncating accumulation as the hardware, vectorized over the
+    whole output block grid (the K loop runs in Python, everything else in
+    NumPy).  With ``exact_accumulate=True`` the truncating alignment is
+    replaced by exact float64 accumulation — useful to isolate how much error
+    the alignment truncation itself contributes.
+
+    This is the workhorse of the Transformer accuracy experiments: a
+    DeiT-Small layer is thousands of blocks, far too many for the per-block
+    oracle above.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigurationError(f"bad matmul shapes: {a.shape} @ {b.shape}")
+    am = BfpMatrix.from_dense(a, man_bits=man_bits)
+    bm = BfpMatrix.from_dense(b, man_bits=man_bits)
+    a_man = am.mantissas.astype(np.int64)  # (Rb, Kb, 8, 8)
+    b_man = bm.mantissas.astype(np.int64)  # (Kb, Cb, 8, 8)
+    a_exp = am.exponents.astype(np.int64)
+    b_exp = bm.exponents.astype(np.int64)
+    rb, kb = a_man.shape[:2]
+    cb = b_man.shape[1]
+    r, c = a_man.shape[2], b_man.shape[3]
+
+    if exact_accumulate:
+        acc = np.zeros((rb, cb, r, c), dtype=np.float64)
+        for bk in range(kb):
+            prod = np.einsum("iab,jbc->ijac", a_man[:, bk], b_man[bk])
+            e = a_exp[:, bk, None] + b_exp[None, bk, :]
+            acc += prod * np.exp2(e)[..., None, None]
+        dense = acc.swapaxes(1, 2).reshape(rb * r, cb * c)
+        return dense[: a.shape[0], : b.shape[1]]
+
+    psu_man = np.zeros((rb, cb, r, c), dtype=np.int64)
+    psu_exp = np.full((rb, cb), np.iinfo(np.int32).min, dtype=np.int64)
+    for bk in range(kb):
+        prod = np.einsum("iab,jbc->ijac", a_man[:, bk], b_man[bk])
+        e = a_exp[:, bk, None] + b_exp[None, bk, :]
+        first = bk == 0
+        if first:
+            psu_man, psu_exp = prod, e.copy()
+            continue
+        keep_psu = psu_exp >= e
+        d = np.abs(psu_exp - e)
+        shifted_new = shift_right(prod, d[..., None, None], "truncate")
+        shifted_old = shift_right(psu_man, d[..., None, None], "truncate")
+        psu_man = np.where(
+            keep_psu[..., None, None], psu_man + shifted_new, prod + shifted_old
+        )
+        psu_exp = np.maximum(psu_exp, e)
+    limit = np.int64(1) << (PSU_WIDTH - 1)
+    if psu_man.size and (psu_man.min() < -limit or psu_man.max() >= limit):
+        raise HardwareContractError("emulated PSU overflowed 48 bits")
+    dense = (psu_man.astype(np.float64) * np.exp2(psu_exp.astype(np.float64))[..., None, None])
+    dense = dense.swapaxes(1, 2).reshape(rb * r, cb * c)
+    return dense[: a.shape[0], : b.shape[1]]

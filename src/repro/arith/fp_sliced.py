@@ -1,0 +1,170 @@
+"""fp32 multiplication on the int8 array via mantissa slicing (paper Eqn 5).
+
+The 24-bit magnitude mantissa of each operand is cut into three 8-bit slices
+``man(i) = man[8i+7 : 8i]``; the full product is the sum of nine partial
+products ``man_x(i) * man_y(j) << 8(i+j)``.  To fit the 8-row PE array the
+least significant partial product ``(0, 0)`` is **omitted** (Section II-D),
+and the remaining eight are *pre-shifted at the inputs* (rather than
+post-shifted) so the DSP48E2 cascade can accumulate them directly; the
+common factor of ``2**8`` is carried implicitly (the accumulator therefore
+holds ``(product - x0*y0) / 2**8`` exactly).
+
+Error model (property-tested): omitting ``x0*y0`` perturbs the product by
+less than ``2**16`` out of at least ``2**46``, i.e. relative error below
+``2**-30``; normalization then truncates to 24 bits (<= 1 ulp).  Sign bits
+are combined by the XOR gate; exponents by the exponent unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HardwareContractError
+from repro.formats import fp32bits
+from repro.formats.fp32bits import SpecialPolicy
+
+__all__ = [
+    "PartialProductTerm",
+    "FP32_MUL_TERMS",
+    "split_preshift",
+    "sliced_multiply",
+    "accumulator_value",
+]
+
+# DSP48E2 port budgets for pre-shifted 8-bit slices: the 27-bit (A:D) port
+# takes the X slice, the 18-bit (B) port takes the Y slice.  An unsigned
+# 8-bit slice shifted left by s occupies 8+s bits and must still fit as a
+# non-negative value in a signed port.
+_X_PORT_SHIFT_MAX = 27 - 1 - 8  # 18
+_Y_PORT_SHIFT_MAX = 18 - 1 - 8  # 9
+
+
+@dataclass(frozen=True)
+class PartialProductTerm:
+    """One row of the fp32-mul mapping: which slices, how pre-shifted."""
+
+    row: int
+    x_slice: int  # slice index of the X mantissa (0 = least significant)
+    y_slice: int
+    x_preshift: int
+    y_preshift: int
+
+    @property
+    def relative_shift(self) -> int:
+        return self.x_preshift + self.y_preshift
+
+
+def split_preshift(relative_shift: int) -> tuple[int, int]:
+    """Split a term's relative shift between the two DSP input ports.
+
+    The Y (18-bit) port absorbs at most 8 bits, the X (27-bit) port the
+    remainder — mirroring the paper's example of splitting the shift across
+    both inputs while respecting the 27x18 multiplier geometry.
+    """
+    if relative_shift < 0:
+        raise ConfigurationError("negative relative shift")
+    y = min(relative_shift, 8)
+    x = relative_shift - y
+    if x > _X_PORT_SHIFT_MAX or y > _Y_PORT_SHIFT_MAX:
+        raise HardwareContractError(
+            f"pre-shift {relative_shift} cannot fit the 27x18 DSP ports"
+        )
+    return x, y
+
+
+def _build_terms() -> tuple[PartialProductTerm, ...]:
+    # All (i, j) slice pairs except (0, 0), ordered by ascending shift so the
+    # row index matches Fig. 5(b)'s bottom-to-top accumulation order.
+    pairs = [
+        (i, j)
+        for i in range(fp32bits.N_SLICES)
+        for j in range(fp32bits.N_SLICES)
+        if (i, j) != (0, 0)
+    ]
+    pairs.sort(key=lambda p: (p[0] + p[1], p[0]))
+    terms = []
+    for row, (i, j) in enumerate(pairs):
+        rel = 8 * (i + j) - 8  # common factor 2**8 dropped with term (0,0)
+        xs, ys = split_preshift(rel)
+        terms.append(PartialProductTerm(row, i, j, xs, ys))
+    return tuple(terms)
+
+
+FP32_MUL_TERMS: tuple[PartialProductTerm, ...] = _build_terms()
+assert len(FP32_MUL_TERMS) == 8
+
+
+def accumulator_value(man_x: np.ndarray, man_y: np.ndarray) -> np.ndarray:
+    """Exact value the column cascade accumulates: ``(mx*my - x0*y0) >> 8``.
+
+    Operates on 24-bit magnitude mantissas; vectorized.  This is the oracle
+    the DSP-level simulator is checked against.
+    """
+    man_x = np.asarray(man_x, dtype=np.int64)
+    man_y = np.asarray(man_y, dtype=np.int64)
+    sx = fp32bits.mantissa_slices(man_x)
+    sy = fp32bits.mantissa_slices(man_y)
+    acc = np.zeros(np.broadcast_shapes(man_x.shape, man_y.shape), dtype=np.int64)
+    for t in FP32_MUL_TERMS:
+        acc = acc + (
+            (sx[..., t.x_slice] << t.x_preshift)
+            * (sy[..., t.y_slice] << t.y_preshift)
+        )
+    return acc
+
+
+def _msb_position(x: np.ndarray) -> np.ndarray:
+    """Index of the most significant set bit (x > 0 assumed)."""
+    # 2**39 < acc < 2**40 at most, so float64 log2 is exact enough, but we
+    # compute it robustly via frexp on the integer value.
+    _, e = np.frexp(x.astype(np.float64))
+    pos = e - 1
+    # frexp on float64 is exact for magnitudes < 2**53; our accumulators are
+    # < 2**40, so no correction is needed, but guard anyway.
+    too_high = (np.int64(1) << np.minimum(pos, 62)) > x
+    pos = pos - too_high.astype(np.int64)
+    return pos.astype(np.int64)
+
+
+def sliced_multiply(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    special_values: SpecialPolicy = "raise",
+) -> np.ndarray:
+    """Multiply float32 arrays exactly as the reconfigured array does.
+
+    Vectorized, bit-faithful: slicing, omission of the (0,0) partial
+    product, pre-shifted integer accumulation, LZC normalization of the
+    accumulator, truncation to 24 bits.  Underflow flushes to zero;
+    exponent overflow raises (the modeled hardware has no Inf encoding).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    y = np.asarray(y, dtype=np.float32)
+    s_x, e_x, m_x = fp32bits.decompose(x, special_values=special_values)
+    s_y, e_y, m_y = fp32bits.decompose(y, special_values=special_values)
+    sign = (s_x ^ s_y).astype(np.uint32)
+    zero = (m_x == 0) | (m_y == 0)
+
+    acc = accumulator_value(m_x, m_y)
+    # Normalize what the accumulator actually holds (the hardware LZC sees
+    # the post-omission value, not the exact product).
+    safe_acc = np.where(zero | (acc <= 0), np.int64(1), acc)
+    msb = _msb_position(safe_acc)
+    man = safe_acc >> np.maximum(msb - 23, 0)
+    man = np.where(msb < 23, safe_acc << (23 - np.minimum(msb, 23)), man)
+    # value = acc * 2**8 * 2**(e_x + e_y - 2*127 - 2*23)
+    #       = man * 2**(msb - 23) * 2**(e_x + e_y - 300 + 8)
+    # compose() expects value = man * 2**(E - 127 - 23)  =>  E below.
+    exp = e_x.astype(np.int64) + e_y.astype(np.int64) + msb - 165
+    result = fp32bits.compose(
+        sign, np.where(zero, 0, exp), np.where(zero, 0, man), strict=False
+    )
+    overflow = (~zero) & (exp >= fp32bits.EXP_SPECIAL)
+    if overflow.any():
+        raise HardwareContractError(
+            "fp32 multiply overflowed the exponent range (no Inf datapath)"
+        )
+    return result.reshape(np.broadcast_shapes(x.shape, y.shape)).astype(np.float32)

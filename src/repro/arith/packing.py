@@ -1,0 +1,91 @@
+"""Combined-MAC packing: two 8-bit MACs per DSP48E2 (paper Fig. 3).
+
+The bfp8 MatMul mode keeps *two* Y blocks resident and multiplies each
+streamed X mantissa against both in a single DSP48E2 by packing the two Y
+values into one wide operand::
+
+    packed = y_hi * 2**18 + y_lo          (fits the 27-bit A:D pre-adder path)
+    x * packed = (x * y_hi) << 18 + (x * y_lo)
+
+Accumulating such products down a column keeps the two running sums in
+disjoint fields as long as the low sum stays within +/-2**17.  With
+mantissas clamped to [-127, 127] (see ``repro.formats.bfp8``) the worst case
+after ``n`` accumulations is ``n * 127**2``; for the paper's 8-row array
+``8 * 127**2 = 129032 < 2**17 = 131072`` — this is the "cleverly circumvent
+such overflow problems" argument of Section II-B, and the reason the
+quantizer never emits -128 (``8 * 128**2`` would be exactly 2**17 and corrupt
+the high field).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareContractError
+
+__all__ = [
+    "PACK_SHIFT",
+    "LOW_FIELD_BITS",
+    "pack_pair",
+    "unpack_accumulator",
+    "max_safe_terms",
+    "check_accumulation_contract",
+]
+
+PACK_SHIFT = 18  # field offset chosen to fit the DSP48E2 27-bit port
+LOW_FIELD_BITS = PACK_SHIFT
+_LOW_MASK = (np.int64(1) << PACK_SHIFT) - 1
+_LOW_SIGN = np.int64(1) << (PACK_SHIFT - 1)
+_A_PORT_MAX = (1 << 26) - 1  # 27-bit signed operand magnitude bound
+
+
+def pack_pair(y_hi: np.ndarray, y_lo: np.ndarray) -> np.ndarray:
+    """Pack two int8 mantissas into one DSP operand.
+
+    Raises :class:`HardwareContractError` if the packed value would not fit
+    the 27-bit DSP48E2 port.
+    """
+    y_hi = np.asarray(y_hi, dtype=np.int64)
+    y_lo = np.asarray(y_lo, dtype=np.int64)
+    for name, v in (("y_hi", y_hi), ("y_lo", y_lo)):
+        if v.size and (v.min() < -128 or v.max() > 127):
+            raise HardwareContractError(f"{name} outside int8 range")
+    packed = (y_hi << PACK_SHIFT) + y_lo
+    if packed.size and (packed.min() < -_A_PORT_MAX - 1 or packed.max() > _A_PORT_MAX):
+        raise HardwareContractError("packed operand exceeds the 27-bit DSP port")
+    return packed
+
+
+def unpack_accumulator(
+    acc: np.ndarray, n_terms: int, man_max: int = 127
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed accumulator into ``(sum_hi, sum_lo)``.
+
+    ``n_terms`` and ``man_max`` describe the accumulation that produced
+    ``acc``; they are used to *prove* the low field cannot have overflowed
+    (the hardware has no way to detect it after the fact).
+    """
+    check_accumulation_contract(n_terms, man_max)
+    acc = np.asarray(acc, dtype=np.int64)
+    low = acc & _LOW_MASK
+    low = np.where(low & _LOW_SIGN, low - (np.int64(1) << PACK_SHIFT), low)
+    high = (acc - low) >> PACK_SHIFT
+    return high, low
+
+
+def max_safe_terms(man_max: int = 127) -> int:
+    """Largest accumulation depth that keeps the low field unambiguous."""
+    if man_max <= 0:
+        raise ValueError("man_max must be positive")
+    return ((1 << (PACK_SHIFT - 1)) - 1) // (man_max * man_max)
+
+
+def check_accumulation_contract(n_terms: int, man_max: int = 127) -> None:
+    """Raise unless ``n_terms`` products of ``|m| <= man_max`` are field-safe."""
+    if n_terms < 0:
+        raise ValueError("n_terms must be non-negative")
+    if n_terms * man_max * man_max >= (1 << (PACK_SHIFT - 1)):
+        raise HardwareContractError(
+            f"{n_terms} accumulations of |man| <= {man_max} products can "
+            f"overflow the packed low field (limit {max_safe_terms(man_max)})"
+        )

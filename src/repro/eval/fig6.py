@@ -1,0 +1,69 @@
+"""Fig. 6: resources of four PE-array designs, normalized to int8."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import header, render_table
+from repro.perf.resources import fig6_designs
+
+__all__ = ["PAPER_FIG6_CLAIMS", "run", "normalized_utilization"]
+
+# The quantitative claims the paper states about Fig. 6 (Section III-A and
+# the abstract); the bars themselves are only published graphically.
+PAPER_FIG6_CLAIMS = {
+    "bfp8_ff_vs_int8": 1.19,
+    "ours_pe_lut_vs_bfp8_pe": 2.94,
+    "indiv_dsp_saving_pct": 20.0,
+    "indiv_ff_saving_pct": 61.2,
+    "indiv_lut_saving_pct": 43.6,
+}
+
+
+def normalized_utilization() -> dict[str, dict[str, float]]:
+    designs = fig6_designs()
+    base = designs["int8"]
+    return {name: r.normalized_to(base) for name, r in designs.items()}
+
+
+def run() -> str:
+    designs = fig6_designs()
+    base = designs["int8"]
+    rows = []
+    for name, r in designs.items():
+        n = r.normalized_to(base)
+        rows.append(
+            [name, round(r.lut, 0), n["lut"], round(r.ff, 0), n["ff"],
+             int(r.dsp), n["dsp"]]
+        )
+    out = [header("Fig. 6 -- Resource utilization of PE-array designs "
+                  "(normalized to int8)")]
+    out.append(render_table(
+        ["Design", "LUT", "LUT/int8", "FF", "FF/int8", "DSP", "DSP/int8"],
+        rows, float_fmt="{:.3f}",
+    ))
+    ours, indiv, bfp8 = designs["ours"], designs["indiv"], designs["bfp8"]
+    out.append("\nPaper claims vs model:")
+    claims = [
+        ("bfp8 FF vs int8", PAPER_FIG6_CLAIMS["bfp8_ff_vs_int8"],
+         bfp8.ff / base.ff),
+        ("multimode PE-array LUT vs bfp8-only PE-array",
+         PAPER_FIG6_CLAIMS["ours_pe_lut_vs_bfp8_pe"], 1317.0 / 448.0),
+        ("DSP saving vs individual (%)",
+         PAPER_FIG6_CLAIMS["indiv_dsp_saving_pct"],
+         100 * (1 - ours.dsp / indiv.dsp)),
+        ("FF saving vs individual (%)",
+         PAPER_FIG6_CLAIMS["indiv_ff_saving_pct"],
+         100 * (1 - ours.ff / indiv.ff)),
+        ("LUT saving vs individual (%)",
+         PAPER_FIG6_CLAIMS["indiv_lut_saving_pct"],
+         100 * (1 - ours.lut / indiv.lut)),
+    ]
+    out.append(render_table(
+        ["Claim", "Paper", "Model"],
+        [[c, p, m] for c, p, m in claims],
+        float_fmt="{:.2f}",
+    ))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,123 @@
+"""Half-precision vector unit study (paper Section V future work).
+
+The paper's conclusion argues "the fp32 format is often overly precise"
+for the non-linear layers and plans to optimize the vector personality
+with cheaper floats.  This driver prototypes that direction on the same
+sliced datapath: bf16 (one mantissa slice) and fp16 (two slices) double the
+lane count to 8 — a 2x non-linear throughput gain — and this study measures
+what that costs in non-linear function accuracy and in end-to-end DeiT
+latency (where fp32 work dominates, Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.reporting import header, render_table
+from repro.models.configs import DEIT_SMALL
+from repro.models.layers import gelu as gelu_ref
+from repro.models.layers import softmax as softmax_ref
+from repro.models.ops_count import table4_partitions
+from repro.perf.latency import deit_latency_split, system_measured_fp32_flops
+from repro.perf.throughput import (
+    DEFAULT_CLOCK,
+    fp32_peak_flops,
+    half_peak_flops,
+)
+from repro.runtime.executor import VectorExecutor
+from repro.runtime.vector_ops import build_gelu, build_softmax
+
+__all__ = ["nonlinear_accuracy", "throughput_gain", "deit_latency_with_half", "run"]
+
+PRECISIONS = ("fp32", "bf16", "fp16")
+
+
+def nonlinear_accuracy(seed: int = 0) -> list[dict]:
+    """Max abs error of softmax/GELU on the vector unit per precision."""
+    rng = np.random.default_rng(seed)
+    x = (rng.normal(size=(16, 64)) * 3).astype(np.float32)
+    rows = []
+    sm_ref = softmax_ref(x.astype(np.float64))
+    ge_ref = gelu_ref(x.astype(np.float64))
+    for prec in PRECISIONS:
+        ex = VectorExecutor(faithful=False, precision=prec)
+        sm, _ = ex.run(build_softmax(), {"x": x})
+        ge, _ = ex.run(build_gelu(), {"x": x})
+        rows.append(
+            {
+                "precision": prec,
+                "softmax_max_err": float(np.abs(sm - sm_ref).max()),
+                "gelu_max_err": float(np.abs(ge - ge_ref).max()),
+            }
+        )
+    return rows
+
+
+def throughput_gain() -> list[dict]:
+    """Peak vector-unit FLOPS per precision (one unit)."""
+    rows = [{"precision": "fp32", "peak_gflops": fp32_peak_flops() / 1e9,
+             "lanes": DEFAULT_CLOCK.fp32_lanes}]
+    from repro.arith.fp_sliced_half import half_lane_count
+    from repro.formats.halfprec import HALF_FORMATS
+
+    for name, fmt in HALF_FORMATS.items():
+        rows.append(
+            {
+                "precision": name,
+                "peak_gflops": half_peak_flops(name) / 1e9,
+                "lanes": half_lane_count(fmt),
+            }
+        )
+    return rows
+
+
+def deit_latency_with_half(fmt_name: str = "bf16") -> dict:
+    """End-to-end DeiT-Small latency if the non-linear layers ran in a
+    16-bit format at 2x the effective fp32 rate (memory behaviour assumed
+    unchanged — the gain is compute-side lane doubling)."""
+    parts = table4_partitions(DEIT_SMALL)
+    base = deit_latency_split(parts)
+    scale = half_peak_flops(fmt_name) / fp32_peak_flops()
+    boosted = deit_latency_split(
+        parts, fp32_system_flops=system_measured_fp32_flops(128) * scale
+    )
+    return {
+        "format": fmt_name,
+        "baseline_ms": base.total_latency_s * 1e3,
+        "boosted_ms": boosted.total_latency_s * 1e3,
+        "speedup": base.total_latency_s / boosted.total_latency_s,
+        "fp32_share_before": base.fp32_latency_share(),
+        "fp32_share_after": boosted.fp32_latency_share(),
+    }
+
+
+def run() -> str:
+    out = [header("Half-precision vector unit (extension; paper Section V)")]
+    acc = nonlinear_accuracy()
+    out.append(render_table(
+        ["Precision", "softmax max err", "GELU max err"],
+        [[r["precision"], f"{r['softmax_max_err']:.2e}",
+          f"{r['gelu_max_err']:.2e}"] for r in acc],
+        title="Non-linear function accuracy on the vector unit",
+    ))
+    out.append("")
+    thr = throughput_gain()
+    out.append(render_table(
+        ["Precision", "Lanes", "Peak GFLOPS/unit"],
+        [[r["precision"], r["lanes"], round(r["peak_gflops"], 2)] for r in thr],
+        title="Vector-unit throughput",
+    ))
+    out.append("")
+    lat = deit_latency_with_half("bf16")
+    out.append(
+        f"DeiT-Small end-to-end: {lat['baseline_ms']:.2f} ms (fp32 vector "
+        f"unit, fp32 share {100 * lat['fp32_share_before']:.1f}%) -> "
+        f"{lat['boosted_ms']:.2f} ms with bf16 non-linear "
+        f"({lat['speedup']:.2f}x, fp32-class share now "
+        f"{100 * lat['fp32_share_after']:.1f}%)."
+    )
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,59 @@
+"""Fixed-width rendering of reproduction tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "header"]
+
+
+def header(title: str, width: int = 78) -> str:
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render one figure's data series (x sweep, named curves) as a table."""
+    columns = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x), *[fmt.format(series[k][i]) for k in series]])
+    return render_table(columns, rows, title=name, float_fmt=fmt)

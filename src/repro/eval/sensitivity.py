@@ -1,0 +1,63 @@
+"""Component-sensitivity study driver (paper Section IV-A).
+
+Quantizes one Transformer component class at a time and reports the output
+perturbation — reproducing the observation that motivates the paper's
+mixed-precision split: linear layers tolerate low-bitwidth block fp, while
+the non-linear operations demand higher precision.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import header, render_table
+from repro.models.data import majority_task
+from repro.models.sensitivity import component_sensitivity
+from repro.models.training import train_classifier
+from repro.models.vit import SequenceClassifier
+
+__all__ = ["run", "run_on_trained_model"]
+
+
+def run_on_trained_model(
+    *,
+    n_samples: int = 1000,
+    epochs: int = 8,
+    dim: int = 32,
+    depth: int = 2,
+    seed: int = 5,
+    schemes: list[tuple[str, int]] | None = None,
+) -> tuple[float, list]:
+    data = majority_task(n=n_samples, seq_len=12, vocab=8, seed=seed)
+    train, test = data.split()
+    model = SequenceClassifier(
+        vocab=8, seq_len=12, dim=dim, depth=depth, n_heads=4, seed=seed + 1
+    )
+    result = train_classifier(model, train, test, epochs=epochs, seed=seed + 2)
+    rows = component_sensitivity(
+        model, test.tokens,
+        schemes=schemes or [("bfp", 8), ("bfp", 4), ("int", 8), ("int", 4)],
+    )
+    return result.test_accuracy, rows
+
+
+def run() -> str:
+    out = [header("Component sensitivity -- quantize one class at a time")]
+    acc, rows = run_on_trained_model()
+    out.append(f"fp32 test accuracy: {acc:.4f}\n")
+    out.append(render_table(
+        ["Component", "Scheme", "Logit RMSE", "Agreement"],
+        [[r.component, r.scheme, f"{r.logit_rmse:.4f}", f"{r.agreement:.4f}"]
+         for r in rows],
+    ))
+    by = {(r.component, r.scheme): r for r in rows}
+    lin4 = by[("linear", "bfp4")].logit_rmse
+    lin8 = by[("linear", "bfp8")].logit_rmse
+    out.append(
+        f"\nLinear layers under bfp8 perturb logits by {lin8:.4f} RMSE "
+        f"(bfp4: {lin4:.4f}) -- the resilience that lets the paper keep "
+        "MatMuls in 8-bit block fp while non-linear classes run in fp32."
+    )
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,49 @@
+"""Table II: per-component hardware utilization of one processing unit."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import header, render_table
+from repro.perf.resources import processing_unit_total, table2_breakdown
+
+__all__ = ["PAPER_TABLE2", "run"]
+
+# Paper Table II (LUT, FF, BRAM, DSP); memory interface + controller LUTs are
+# reported merged in the paper (total row closes at 7348).
+PAPER_TABLE2 = {
+    "PE Array": (1317, 1536, 0.0, 64),
+    "Shifter & ACC": (768, 644, 0.0, 8),
+    "Buffer & Layout Converter": (752, 764, 50.0, 0),
+    "Exponent Unit": (269, 195, 0.0, 0),
+    "Quantizer": (348, 524, 0.0, 0),
+    "Misc.": (483, 1944, 3.0, 0),
+    "Memory Interface + Controller": (3411, 4722, 4.5, 0),
+    "Total": (7348, 10329, 57.5, 72),
+}
+
+
+def run() -> str:
+    breakdown = table2_breakdown()
+    rows = []
+    for name, r in breakdown.items():
+        rows.append([name, round(r.lut, 1), round(r.ff, 1), r.bram, r.dsp])
+    total = processing_unit_total()
+    rows.append(["Total (model)", round(total.lut, 1), round(total.ff, 1),
+                 total.bram, total.dsp])
+    rows.append(["Total (paper)", *PAPER_TABLE2["Total"]])
+    out = [header("Table II -- Hardware utilization of one processing unit")]
+    out.append(render_table(["Component", "LUT", "FF", "BRAM", "DSP"], rows,
+                            float_fmt="{:.1f}"))
+    buf = breakdown["Buffer & Layout Converter"]
+    ctrl = breakdown["Controller"]
+    out.append(
+        "\nOverhead modules (paper Section III-A accounting: the buffer/"
+        "converter row's LUTs and the converter+controller FFs): "
+        f"{100 * buf.lut / total.lut:.2f}% LUT, "
+        f"{100 * (buf.ff + ctrl.ff) / total.ff:.2f}% FF "
+        "(paper: 10.23% LUT, 11.77% FF)"
+    )
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,39 @@
+"""Table III: comparison with prior mixed-precision FPGA accelerators."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import header, render_table
+from repro.perf.related_work import table3_rows
+
+__all__ = ["run"]
+
+
+def run() -> str:
+    rows = []
+    for e in table3_rows():
+        rows.append([
+            e.work,
+            e.data_format,
+            e.application,
+            "Yes" if e.needs_retraining else "No",
+            e.platform,
+            "-" if e.lut_k is None else f"{e.lut_k:.1f}",
+            "-" if e.ff_k is None else f"{e.ff_k:.1f}",
+            "-" if e.bram is None else f"{e.bram:.0f}",
+            e.dsp,
+            f"{e.freq_mhz:.0f}",
+            f"{e.throughput_gops:.1f}",
+            f"{e.efficiency_gops_per_dsp:.2f}",
+        ])
+    out = [header("Table III -- Comparison with related mixed-precision "
+                  "FPGA accelerators")]
+    out.append(render_table(
+        ["Work", "Format", "App", "Retrain", "Platform", "LUT(k)", "FF(k)",
+         "BRAM", "DSP", "MHz", "GOPS", "GOPS/DSP"],
+        rows,
+    ))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,240 @@
+"""8-bit block floating point (bfp8), the paper's linear-layer format.
+
+A bfp8 block (paper Fig. 1, Eqn 1) holds an ``8 x 8`` tile of values that
+share a single 8-bit two's-complement exponent; each element keeps its own
+8-bit two's-complement mantissa::
+
+    val[i, j] = man[i, j] * 2**expb
+
+Quantization policy (normative, see DESIGN.md Section 5):
+
+* mantissas are clamped to ``[-127, 127]`` — never -128.  This is what makes
+  the combined-MAC packing of two 8-bit products into one DSP48E2 safe for
+  8-row accumulation (8 * 127**2 < 2**17).
+* the shared exponent is chosen so the largest-magnitude element uses 7
+  magnitude bits: ``expb = floor(log2(max|x|)) - 6``, bumped by one if
+  rounding would overflow 127.
+* an all-zero block takes the minimum exponent with all-zero mantissas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.formats.rounding import RoundingMode, shift_right
+
+__all__ = [
+    "BLOCK_ROWS",
+    "BLOCK_COLS",
+    "MAN_MIN",
+    "MAN_MAX",
+    "EXP_MIN",
+    "EXP_MAX",
+    "BfpBlock",
+    "quantize_block",
+    "choose_shared_exponent",
+    "quantize_tiles",
+    "dequantize_tiles",
+]
+
+BLOCK_ROWS = 8
+BLOCK_COLS = 8
+MAN_MIN = -127
+MAN_MAX = 127
+EXP_MIN = -128
+EXP_MAX = 127
+
+# The largest element of a block occupies man_bits-1 magnitude bits; for the
+# default bfp8 that is 7 bits (value ~2**6..2**7).
+_TARGET_MSB = 6
+
+
+def _man_limits(man_bits: int) -> tuple[int, int]:
+    """(man_max, target_msb) for a given mantissa width (2..8 bits).
+
+    The magnitude is clamped to ``2**(man_bits-1) - 1`` (never the most
+    negative code, preserving the combined-MAC packing guarantee), and the
+    shared exponent targets ``man_bits - 2`` magnitude bits for the peak.
+    """
+    if not (2 <= man_bits <= 8):
+        raise ConfigurationError(f"mantissa width {man_bits} outside 2..8")
+    return (1 << (man_bits - 1)) - 1, man_bits - 2
+
+
+@dataclass(frozen=True)
+class BfpBlock:
+    """One quantized bfp8 block: int8 mantissas plus a shared exponent."""
+
+    mantissas: np.ndarray  # shape (rows, cols), int8-valued
+    exponent: int
+
+    def __post_init__(self) -> None:
+        man = np.asarray(self.mantissas)
+        if man.ndim != 2:
+            raise ConfigurationError("BfpBlock mantissas must be 2-D")
+        if man.size and (man.min() < MAN_MIN or man.max() > MAN_MAX):
+            raise ConfigurationError(
+                f"mantissas outside [{MAN_MIN}, {MAN_MAX}]"
+            )
+        if not (EXP_MIN <= int(self.exponent) <= EXP_MAX):
+            raise ConfigurationError(
+                f"shared exponent {self.exponent} outside 8-bit range"
+            )
+        object.__setattr__(self, "mantissas", man.astype(np.int8))
+        object.__setattr__(self, "exponent", int(self.exponent))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.mantissas.shape  # type: ignore[return-value]
+
+    def decode(self) -> np.ndarray:
+        """Dequantize to float64 (``man * 2**expb``)."""
+        return self.mantissas.astype(np.float64) * np.ldexp(1.0, self.exponent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BfpBlock(shape={self.shape}, exponent={self.exponent}, "
+            f"max|man|={int(np.abs(self.mantissas).max()) if self.mantissas.size else 0})"
+        )
+
+
+def choose_shared_exponent(x: np.ndarray, *, man_bits: int = 8) -> int:
+    """Shared exponent for a block of real values (before overflow bump)."""
+    _, target_msb = _man_limits(man_bits)
+    x = np.asarray(x, dtype=np.float64)
+    amax = float(np.abs(x).max()) if x.size else 0.0
+    if amax == 0.0 or not np.isfinite(amax):
+        return EXP_MIN
+    _, e = np.frexp(amax)  # amax = m * 2**e with m in [0.5, 1)
+    expb = int(e) - 1 - target_msb
+    return int(np.clip(expb, EXP_MIN, EXP_MAX))
+
+
+def quantize_block(
+    x: np.ndarray, *, rounding: RoundingMode = "nearest_even", man_bits: int = 8
+) -> BfpBlock:
+    """Quantize one real-valued tile into a :class:`BfpBlock`.
+
+    ``man_bits`` selects the block-fp bitwidth (bfp8 by default; bfp4/bfp6
+    for the bitwidth-sweep experiments).  Raises on NaN/Inf input — the
+    quantizer sits after fp32 hardware that, in this model, refuses special
+    values.
+    """
+    man_max, _ = _man_limits(man_bits)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ConfigurationError("quantize_block expects a 2-D tile")
+    if x.size and not np.isfinite(x).all():
+        raise ConfigurationError("NaN/Inf in block quantizer input")
+    expb = choose_shared_exponent(x, man_bits=man_bits)
+    man = _round_to_int(x, expb, rounding)
+    if man.size and int(np.abs(man).max()) > man_max:
+        expb = min(expb + 1, EXP_MAX)
+        man = _round_to_int(x, expb, rounding)
+    man = np.clip(man, -man_max, man_max)
+    return BfpBlock(man.astype(np.int8), expb)
+
+
+def _round_to_int(
+    x: np.ndarray, expb: int, rounding: RoundingMode
+) -> np.ndarray:
+    scaled = np.ldexp(x, -expb)
+    if rounding == "truncate":
+        return np.floor(scaled).astype(np.int64)
+    if rounding == "nearest_even":
+        return np.rint(scaled).astype(np.int64)
+    if rounding == "nearest_away":
+        return np.trunc(scaled + np.copysign(0.5, scaled)).astype(np.int64)
+    raise ConfigurationError(f"unsupported block rounding mode: {rounding!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized multi-tile quantization (used by the model-emulation fast path).
+# ---------------------------------------------------------------------------
+
+def quantize_tiles(
+    tiles: np.ndarray,
+    *,
+    rounding: RoundingMode = "nearest_even",
+    man_bits: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a batch of tiles at once.
+
+    ``tiles`` has shape ``(..., r, c)``; returns ``(mantissas, exponents)``
+    with shapes ``(..., r, c)`` (int8-valued int16) and ``(...,)`` (int16).
+    Semantics are element-for-element identical to :func:`quantize_block`
+    (a property test enforces this).
+    """
+    man_max, target_msb = _man_limits(man_bits)
+    tiles = np.asarray(tiles, dtype=np.float64)
+    if tiles.ndim < 2:
+        raise ConfigurationError("quantize_tiles expects shape (..., r, c)")
+    if tiles.size and not np.isfinite(tiles).all():
+        raise ConfigurationError("NaN/Inf in block quantizer input")
+    amax = np.abs(tiles).max(axis=(-2, -1))
+    zero = amax == 0.0
+    _, e = np.frexp(np.where(zero, 1.0, amax))
+    expb = np.clip(e - 1 - target_msb, EXP_MIN, EXP_MAX).astype(np.int16)
+    expb = np.where(zero, np.int16(EXP_MIN), expb)
+
+    man = _round_batch(tiles, expb, rounding)
+    over = np.abs(man).max(axis=(-2, -1)) > man_max
+    if over.any():
+        expb = np.where(over, np.minimum(expb + 1, EXP_MAX), expb).astype(np.int16)
+        man = _round_batch(tiles, expb, rounding)
+    man = np.clip(man, -man_max, man_max).astype(np.int16)
+    return man, expb
+
+
+def _round_batch(
+    tiles: np.ndarray, expb: np.ndarray, rounding: RoundingMode
+) -> np.ndarray:
+    scaled = np.ldexp(tiles, -expb[..., None, None].astype(np.int32))
+    if rounding == "truncate":
+        return np.floor(scaled).astype(np.int64)
+    if rounding == "nearest_even":
+        return np.rint(scaled).astype(np.int64)
+    if rounding == "nearest_away":
+        return np.trunc(scaled + np.copysign(0.5, scaled)).astype(np.int64)
+    raise ConfigurationError(f"unsupported block rounding mode: {rounding!r}")
+
+
+def dequantize_tiles(mantissas: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_tiles` (up to quantization error)."""
+    man = np.asarray(mantissas, dtype=np.float64)
+    exp = np.asarray(exponents, dtype=np.int32)
+    return np.ldexp(man, exp[..., None, None])
+
+
+def align_add_mantissas(
+    man_x: np.ndarray,
+    exp_x: int,
+    man_y: np.ndarray,
+    exp_y: int,
+    *,
+    width: int = 48,
+) -> tuple[np.ndarray, int]:
+    """Add two mantissa tiles under bfp semantics (paper Eqn 3).
+
+    The tile with the smaller exponent is shifted right (truncating) before
+    an integer add; the result keeps the larger exponent.  ``width`` bounds
+    the adder: results are asserted to fit (the modeled PSU path is 48-bit).
+    """
+    man_x = np.asarray(man_x, dtype=np.int64)
+    man_y = np.asarray(man_y, dtype=np.int64)
+    if exp_x >= exp_y:
+        hi, lo, d, exp = man_x, man_y, exp_x - exp_y, exp_x
+    else:
+        hi, lo, d, exp = man_y, man_x, exp_y - exp_x, exp_y
+    out = hi + shift_right(lo, d, "truncate")
+    limit = np.int64(1) << (width - 1)
+    if out.size and (out.min() < -limit or out.max() >= limit):
+        from repro.errors import HardwareContractError
+
+        raise HardwareContractError(
+            f"aligned add overflows the {width}-bit accumulator"
+        )
+    return out, exp

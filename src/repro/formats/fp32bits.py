@@ -1,0 +1,196 @@
+"""Bit-level views of IEEE-754 single precision (fp32) values.
+
+The paper's fp32 datapath (Section II-A, Eqns 4-6) works on a
+*signed-magnitude* representation: the sign bit is "fused to the mantissa",
+the exponent is kept as a plain (biased) integer, and the 24-bit magnitude
+mantissa (implicit leading one made explicit) is cut into three 8-bit slices
+``man(i) = man[8i+7 : 8i]`` that feed the int8 multipliers of the systolic
+array.
+
+This module provides vectorized NumPy conversions between ``float32`` arrays
+and that representation.  All functions are pure and operate on arrays of any
+shape.
+
+Conventions
+-----------
+* ``sign``: 0 for non-negative, 1 for negative (uint8).
+* ``exp``:  the *biased* IEEE exponent field (0..255) as int32.  Normal
+  numbers have ``1 <= exp <= 254``; a value of 0 here always denotes a true
+  zero because denormals are flushed (the modeled hardware has no denormal
+  path).
+* ``man``:  24-bit magnitude mantissa including the implicit leading one
+  (so ``2**23 <= man < 2**24`` for normal numbers, and 0 for zero), int64.
+* ``special_values``: ``"raise"`` (default) raises
+  :class:`~repro.errors.SpecialValueError` on NaN/Inf inputs; ``"propagate"``
+  lets them through as their raw fields (exp == 255).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import SpecialValueError
+
+__all__ = [
+    "EXP_BIAS",
+    "EXP_SPECIAL",
+    "MAN_BITS",
+    "SLICE_BITS",
+    "N_SLICES",
+    "decompose",
+    "compose",
+    "signed_mantissa",
+    "mantissa_slices",
+    "slices_to_mantissa",
+    "flush_denormals",
+    "is_special",
+]
+
+EXP_BIAS = 127
+EXP_SPECIAL = 255
+MAN_BITS = 24  # magnitude mantissa width, implicit bit included
+SLICE_BITS = 8
+N_SLICES = MAN_BITS // SLICE_BITS  # = 3 (paper Eqn 5)
+
+SpecialPolicy = Literal["raise", "propagate"]
+
+_SIGN_MASK = np.uint32(0x8000_0000)
+_EXP_MASK = np.uint32(0x7F80_0000)
+_FRAC_MASK = np.uint32(0x007F_FFFF)
+_IMPLICIT_ONE = np.int64(1) << 23
+
+
+def _as_bits(x: np.ndarray) -> np.ndarray:
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    return x.view(np.uint32)
+
+
+def is_special(x: np.ndarray) -> np.ndarray:
+    """Boolean mask of NaN/Inf elements of a float32 array."""
+    bits = _as_bits(np.asarray(x))
+    return (bits & _EXP_MASK) == _EXP_MASK
+
+
+def flush_denormals(x: np.ndarray) -> np.ndarray:
+    """Return a copy of ``x`` with denormal values replaced by (signed) zero.
+
+    The modeled datapath treats exponent field 0 as exact zero; this mirrors
+    the common FPGA float pipeline choice of flush-to-zero.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    bits = _as_bits(x)
+    denormal = ((bits & _EXP_MASK) == 0) & ((bits & _FRAC_MASK) != 0)
+    if not denormal.any():
+        return x.copy()
+    out = bits.copy()
+    out[denormal] &= _SIGN_MASK
+    return out.view(np.float32).reshape(x.shape)
+
+
+def _check_special(x: np.ndarray, policy: SpecialPolicy) -> None:
+    if policy == "propagate":
+        return
+    if policy != "raise":
+        raise ValueError(f"unknown special_values policy: {policy!r}")
+    mask = np.atleast_1d(is_special(x))
+    if mask.any():
+        bad = np.atleast_1d(np.asarray(x, dtype=np.float32))[mask]
+        raise SpecialValueError(
+            f"{mask.sum()} NaN/Inf value(s) reached the fp32 datapath "
+            f"(first: {bad.flat[0]!r}); the modeled hardware has no "
+            f"special-value logic. Use special_values='propagate' to bypass."
+        )
+
+
+def decompose(
+    x: np.ndarray, *, special_values: SpecialPolicy = "raise"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split float32 values into ``(sign, biased_exp, man24)``.
+
+    Denormals are flushed to zero.  Zero decomposes to ``(sign, 0, 0)``.
+    Normal values satisfy ``value == (-1)**sign * man * 2**(exp - 127 - 23)``.
+    """
+    x = flush_denormals(np.asarray(x, dtype=np.float32))
+    _check_special(x, special_values)
+    bits = _as_bits(x)
+    sign = ((bits & _SIGN_MASK) >> 31).astype(np.uint8)
+    exp = ((bits & _EXP_MASK) >> 23).astype(np.int32)
+    man = (bits & _FRAC_MASK).astype(np.int64)
+    normal = exp > 0
+    man = np.where(normal, man | _IMPLICIT_ONE, 0)
+    return sign.reshape(x.shape), exp.reshape(x.shape), man.reshape(x.shape)
+
+
+def compose(
+    sign: np.ndarray,
+    exp: np.ndarray,
+    man: np.ndarray,
+    *,
+    strict: bool = True,
+) -> np.ndarray:
+    """Reassemble float32 values from ``(sign, biased_exp, man24)``.
+
+    ``man`` must be a normalized 24-bit magnitude (``2**23 <= man < 2**24``)
+    wherever the value is nonzero; zero is encoded as ``man == 0`` (any exp).
+    Exponents outside 1..254 saturate: underflow flushes to zero, overflow
+    raises when ``strict`` else becomes +/-Inf.
+    """
+    sign = np.asarray(sign, dtype=np.uint32)
+    exp = np.asarray(exp, dtype=np.int64)
+    man = np.asarray(man, dtype=np.int64)
+    if man.size and (man.min() < 0 or man.max() >= (1 << MAN_BITS)):
+        raise ValueError("mantissa out of 24-bit magnitude range")
+    nonzero = man != 0
+    if strict:
+        bad = nonzero & (man < _IMPLICIT_ONE)
+        if bad.any():
+            raise ValueError("non-normalized mantissa passed to compose()")
+        if (nonzero & (exp >= EXP_SPECIAL)).any():
+            raise OverflowError("exponent overflow in compose()")
+    underflow = nonzero & (exp < 1)
+    overflow = nonzero & (exp >= EXP_SPECIAL)
+    exp_c = np.clip(exp, 1, EXP_SPECIAL - 1)
+    frac = (man & int(_FRAC_MASK)).astype(np.uint32)
+    bits = (sign << np.uint32(31)) | (exp_c.astype(np.uint32) << np.uint32(23)) | frac
+    bits = np.where(nonzero & ~underflow, bits, sign << np.uint32(31))
+    if overflow.any():
+        inf_bits = (sign << np.uint32(31)) | (np.uint32(EXP_SPECIAL) << np.uint32(23))
+        bits = np.where(overflow, inf_bits, bits)
+    return bits.astype(np.uint32).view(np.float32).reshape(np.shape(man))
+
+
+def signed_mantissa(sign: np.ndarray, man: np.ndarray) -> np.ndarray:
+    """Fuse the sign bit into the mantissa: ``(-1)**sign * man`` (int64).
+
+    This is the paper's "signed magnitude" fusion (Section II-A): downstream
+    adders operate on this signed integer directly.
+    """
+    sign = np.asarray(sign)
+    man = np.asarray(man, dtype=np.int64)
+    return np.where(sign.astype(bool), -man, man)
+
+
+def mantissa_slices(man: np.ndarray) -> np.ndarray:
+    """Cut 24-bit magnitudes into 3 unsigned 8-bit slices (Eqn 5).
+
+    Returns an int64 array of shape ``man.shape + (3,)`` with slice ``i``
+    holding bits ``[8i+7 : 8i]`` — index 0 is the least significant slice.
+    """
+    man = np.asarray(man, dtype=np.int64)
+    if man.size and (man.min() < 0 or man.max() >= (1 << MAN_BITS)):
+        raise ValueError("mantissa out of 24-bit magnitude range")
+    shifts = np.arange(N_SLICES, dtype=np.int64) * SLICE_BITS
+    return (man[..., None] >> shifts) & 0xFF
+
+
+def slices_to_mantissa(slices: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`mantissa_slices`."""
+    slices = np.asarray(slices, dtype=np.int64)
+    if slices.shape[-1] != N_SLICES:
+        raise ValueError(f"expected trailing dimension {N_SLICES}")
+    if slices.size and (slices.min() < 0 or slices.max() > 0xFF):
+        raise ValueError("slice value out of 8-bit range")
+    shifts = np.arange(N_SLICES, dtype=np.int64) * SLICE_BITS
+    return (slices << shifts).sum(axis=-1)

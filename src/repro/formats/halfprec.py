@@ -1,0 +1,137 @@
+"""Half-precision formats (bf16 / fp16) for the vector-unit extension study.
+
+The paper's conclusion plans to "delve deeper into high-precision
+floating-point optimization within the mixed-precision unit, as the fp32
+format is often overly precise for many machine learning systems".  This
+module supplies the two standard 16-bit formats in the same
+sign/exponent/mantissa decomposition the fp32 path uses, so the sliced
+multiplier generalizes to them:
+
+* **bf16** — 8-bit exponent (fp32-compatible), 8-bit magnitude mantissa
+  (7 stored + implicit): exactly *one* 8-bit slice, i.e. a single partial
+  product per multiply;
+* **fp16** — 5-bit exponent (bias 15), 11-bit magnitude mantissa
+  (10 stored + implicit): two slices, four partial products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.formats import fp32bits
+
+__all__ = ["HalfFormat", "BF16", "FP16", "HALF_FORMATS", "quantize_half",
+           "decompose_half", "compose_half"]
+
+
+@dataclass(frozen=True)
+class HalfFormat:
+    """A reduced-precision float format processable by the sliced datapath."""
+
+    name: str
+    exp_bits: int
+    man_bits: int  # magnitude mantissa width, implicit bit included
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def exp_max(self) -> int:
+        return (1 << self.exp_bits) - 1  # special-value code
+
+    @property
+    def max_finite(self) -> float:
+        """Largest representable magnitude (saturation value)."""
+        return float(
+            ((1 << self.man_bits) - 1)
+            * 2.0 ** (self.exp_max - 1 - self.bias - (self.man_bits - 1))
+        )
+
+    @property
+    def n_slices(self) -> int:
+        return -(-self.man_bits // 8)
+
+    @property
+    def n_partial_products(self) -> int:
+        return self.n_slices**2
+
+
+BF16 = HalfFormat("bf16", exp_bits=8, man_bits=8)
+FP16 = HalfFormat("fp16", exp_bits=5, man_bits=11)
+HALF_FORMATS = {"bf16": BF16, "fp16": FP16}
+
+
+def quantize_half(x: np.ndarray, fmt: HalfFormat) -> np.ndarray:
+    """Round float32 values to the half format's grid (RNE), as float32.
+
+    Overflow saturates to the format's largest finite value; underflow
+    flushes to zero (consistent with the fp32 path's no-denormal policy).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    sign, exp, man = fp32bits.decompose(x)
+    exp64 = exp.astype(np.int64)
+    # Round the 24-bit magnitude to man_bits (RNE on the dropped bits).
+    drop = fp32bits.MAN_BITS - fmt.man_bits
+    from repro.formats.rounding import shift_right
+
+    man_r = shift_right(man, drop, "nearest_even")
+    carry = man_r >= (1 << fmt.man_bits)
+    man_r = np.where(carry, man_r >> 1, man_r)
+    exp64 = exp64 + carry
+    # Re-express in the half format's exponent range.
+    e_half = exp64 - fp32bits.EXP_BIAS + fmt.bias
+    underflow = (man_r > 0) & (e_half < 1)
+    overflow = (man_r > 0) & (e_half >= fmt.exp_max)
+    man_r = np.where(underflow, 0, man_r)
+    e_half = np.clip(e_half, 1, fmt.exp_max - 1)
+    man_r = np.where(overflow, (1 << fmt.man_bits) - 1, man_r)
+    # Back to a float32 value: man_r * 2**(e_half - bias - (man_bits - 1)).
+    mag = man_r.astype(np.float64) * np.exp2(
+        (e_half - fmt.bias - (fmt.man_bits - 1)).astype(np.float64)
+    )
+    out = np.where(sign.astype(bool), -mag, mag)
+    out = np.where(man_r == 0, np.where(sign.astype(bool), -0.0, 0.0), out)
+    return out.astype(np.float32)
+
+
+def decompose_half(
+    x: np.ndarray, fmt: HalfFormat
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split half-format values (held as float32 on the grid) into fields.
+
+    Returns ``(sign, biased_exp, man)`` in the *half* format's convention:
+    normal values satisfy
+    ``value == (-1)**sign * man * 2**(exp - bias - (man_bits - 1))``.
+    Values off the grid raise (they should come from :func:`quantize_half`).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    snapped = quantize_half(x, fmt)
+    if not np.array_equal(
+        snapped.view(np.uint32) & np.uint32(0x7FFFFFFF),
+        x.view(np.uint32) & np.uint32(0x7FFFFFFF),
+    ):
+        raise ConfigurationError(f"values are not on the {fmt.name} grid")
+    sign, exp32, man32 = fp32bits.decompose(x)
+    exp = exp32.astype(np.int64) - fp32bits.EXP_BIAS + fmt.bias
+    man = man32 >> (fp32bits.MAN_BITS - fmt.man_bits)
+    zero = man32 == 0
+    return sign, np.where(zero, 0, exp), np.where(zero, 0, man)
+
+
+def compose_half(
+    sign: np.ndarray, exp: np.ndarray, man: np.ndarray, fmt: HalfFormat
+) -> np.ndarray:
+    """Reassemble half-format fields into float32 values."""
+    man = np.asarray(man, dtype=np.int64)
+    exp = np.asarray(exp, dtype=np.int64)
+    if man.size and (man.min() < 0 or man.max() >= (1 << fmt.man_bits)):
+        raise ConfigurationError(f"mantissa outside {fmt.man_bits} bits")
+    mag = man.astype(np.float64) * np.exp2(
+        (exp - fmt.bias - (fmt.man_bits - 1)).astype(np.float64)
+    )
+    out = np.where(np.asarray(sign).astype(bool), -mag, mag)
+    return np.where(man == 0, 0.0, out).astype(np.float32)

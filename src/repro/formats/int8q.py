@@ -1,0 +1,86 @@
+"""Per-tensor symmetric int8 quantization — the paper's comparison baseline.
+
+Conventional int8 accelerators quantize each tensor with one power-free real
+scale: ``q = clip(round(x / scale), -127, 127)``.  Transformers quantized
+this way need retraining to recover accuracy (paper Section I); we implement
+it to reproduce that accuracy gap and as the int8 PE-array design point in
+Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Int8Tensor", "quantize_int8", "quantize_intn", "int8_matmul"]
+
+QMAX = 127
+
+
+@dataclass(frozen=True)
+class Int8Tensor:
+    """An int8-quantized tensor with its (positive) per-tensor scale."""
+
+    values: np.ndarray  # int8
+    scale: float
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.values)
+        if v.size and (v.min() < -QMAX or v.max() > QMAX):
+            raise ConfigurationError("int8 values outside [-127, 127]")
+        if not (self.scale > 0.0 and np.isfinite(self.scale)):
+            raise ConfigurationError("scale must be positive and finite")
+        object.__setattr__(self, "values", v.astype(np.int8))
+        object.__setattr__(self, "scale", float(self.scale))
+
+    def decode(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+
+def quantize_intn(
+    x: np.ndarray, bits: int = 8, *, percentile: float | None = None
+) -> Int8Tensor:
+    """Quantize a real tensor symmetrically to ``bits``-wide signed integers.
+
+    ``percentile`` optionally clips the calibration range to that percentile
+    of ``|x|`` (a common post-training calibration trick); ``None`` uses the
+    exact maximum.  Values are stored int8 (``bits <= 8``).
+    """
+    if not (2 <= bits <= 8):
+        raise ConfigurationError(f"integer bitwidth {bits} outside 2..8")
+    qmax = (1 << (bits - 1)) - 1
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return Int8Tensor(np.zeros(x.shape, dtype=np.int8), 1.0)
+    if not np.isfinite(x).all():
+        raise ConfigurationError("NaN/Inf in int quantizer input")
+    mag = np.abs(x)
+    amax = float(np.percentile(mag, percentile)) if percentile is not None else float(mag.max())
+    if amax == 0.0:
+        return Int8Tensor(np.zeros(x.shape, dtype=np.int8), 1.0)
+    scale = amax / qmax
+    q = np.clip(np.rint(x / scale), -qmax, qmax).astype(np.int8)
+    return Int8Tensor(q, scale)
+
+
+def quantize_int8(
+    x: np.ndarray, *, percentile: float | None = None
+) -> Int8Tensor:
+    """Quantize a real tensor symmetrically to int8 (see quantize_intn)."""
+    return quantize_intn(x, 8, percentile=percentile)
+
+
+def int8_matmul(a: Int8Tensor, b: Int8Tensor) -> np.ndarray:
+    """Integer matmul with exact int32-style accumulation, dequantized.
+
+    Models a conventional int8 accelerator: products accumulate exactly in a
+    wide register, and the result is rescaled by the product of the two
+    scales.
+    """
+    av = a.values.astype(np.int64)
+    bv = b.values.astype(np.int64)
+    acc = av @ bv
+    return acc.astype(np.float64) * (a.scale * b.scale)

@@ -1,0 +1,84 @@
+"""Integer right-shift rounding helpers used across the arithmetic models.
+
+The hardware truncates on alignment shifts (paper Eqns 3 and 6 drop the
+shifted-out bits) and the output quantizer rounds to nearest.  All helpers
+below operate on signed int64 NumPy arrays and a per-element or scalar
+non-negative shift amount.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["shift_right", "RoundingMode"]
+
+RoundingMode = Literal["truncate", "nearest_even", "nearest_away", "stochastic"]
+
+
+def _floor_shift(x: np.ndarray, n: np.ndarray) -> np.ndarray:
+    # NumPy's >> on signed ints is an arithmetic shift == floor division.
+    return x >> n
+
+
+def shift_right(
+    x: np.ndarray,
+    n: np.ndarray | int,
+    mode: RoundingMode = "truncate",
+    *,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Shift ``x`` right by ``n`` bits under the given rounding mode.
+
+    ``truncate`` is an arithmetic shift (round toward -inf), matching what a
+    plain barrel shifter does to a two's-complement value.  ``nearest_even``
+    is IEEE round-to-nearest-even on the discarded bits.  ``nearest_away``
+    rounds halfway cases away from zero.  ``stochastic`` rounds up with
+    probability equal to the discarded fraction (requires ``rng``).
+
+    Shift amounts >= 64 are saturated to the sign (truncate) or to zero
+    (other modes round the vanishing fraction).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    if n.size and n.min() < 0:
+        raise ValueError("negative shift amount")
+    n_eff = np.minimum(n, 63)
+    big = n >= 63
+
+    if mode == "truncate":
+        out = _floor_shift(x, n_eff)
+        return np.where(big, np.where(x < 0, np.int64(-1), np.int64(0)), out)
+
+    if mode == "nearest_even":
+        floor = _floor_shift(x, n_eff)
+        rem = x - (floor << n_eff)
+        half = np.where(n_eff > 0, np.int64(1) << (n_eff - 1), np.int64(0))
+        round_up = (rem > half) | ((rem == half) & ((floor & 1) == 1))
+        out = floor + np.where((n_eff > 0) & round_up, 1, 0)
+        return np.where(big, np.int64(0), out)
+
+    if mode == "nearest_away":
+        floor = _floor_shift(x, n_eff)
+        rem = x - (floor << n_eff)
+        half = np.where(n_eff > 0, np.int64(1) << (n_eff - 1), np.int64(0))
+        # away-from-zero on ties: for negative x, floor-based remainder makes
+        # the tie fall toward -inf already, so only bump when strictly above
+        # half or (exactly half and the value is non-negative).
+        round_up = (rem > half) | ((rem == half) & (x >= 0))
+        out = floor + np.where((n_eff > 0) & round_up, 1, 0)
+        return np.where(big, np.int64(0), out)
+
+    if mode == "stochastic":
+        if rng is None:
+            raise ValueError("stochastic rounding requires an rng")
+        floor = _floor_shift(x, n_eff)
+        rem = (x - (floor << n_eff)).astype(np.float64)
+        scale = np.ldexp(1.0, -n_eff.astype(np.int32))
+        p = rem * scale
+        draw = rng.random(size=np.broadcast_shapes(x.shape, n_eff.shape))
+        out = floor + (draw < p).astype(np.int64)
+        return np.where(big, np.int64(0), out)
+
+    raise ValueError(f"unknown rounding mode: {mode!r}")

@@ -1,0 +1,71 @@
+"""Column accumulator (ACC) with its PSU buffer (Fig. 2).
+
+Each of the 8 columns owns a 48-bit accumulator that combines the freshly
+computed block column with the previous partial sums fetched from the PSU
+buffer (BRAM-backed, depth 512 words: 64 X blocks x 8 rows, the paper's
+maximum continuous stream).  Exponent bookkeeping for the buffered partial
+sums lives here too: one running exponent per buffered tile row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HardwareContractError
+from repro.hw.exponent_unit import ExponentUnit
+from repro.hw.shifter import AlignmentShifter
+
+__all__ = ["ColumnAccumulator", "PSU_DEPTH"]
+
+PSU_DEPTH = 512  # words per column buffer (BRAM18: 512 x 36 config, paper II-D)
+
+
+@dataclass
+class ColumnAccumulator:
+    """One column's shifter + ACC + PSU buffer slice."""
+
+    depth: int = PSU_DEPTH
+    width: int = 48
+    shifter: AlignmentShifter = field(default_factory=AlignmentShifter)
+    eu: ExponentUnit = field(default_factory=ExponentUnit)
+
+    def __post_init__(self) -> None:
+        self._psu = np.zeros(self.depth, dtype=np.int64)
+        self._valid = np.zeros(self.depth, dtype=bool)
+        self._exp = np.zeros(self.depth, dtype=np.int64)
+
+    def clear(self) -> None:
+        self._valid[:] = False
+        self._psu[:] = 0
+        self._exp[:] = 0
+
+    def accumulate(self, addr: int, mantissa: int, exponent: int) -> None:
+        """Fold one incoming 48-bit mantissa into PSU[addr] with alignment."""
+        if not (0 <= addr < self.depth):
+            raise HardwareContractError(
+                f"PSU address {addr} outside depth {self.depth}"
+            )
+        if not self._valid[addr]:
+            self._psu[addr] = mantissa
+            self._exp[addr] = exponent
+            self._valid[addr] = True
+            return
+        exp_out, sh_old, sh_new = self.eu.align(int(self._exp[addr]), exponent)
+        old = self.shifter.shift(int(self._psu[addr]), sh_old)
+        new = self.shifter.shift(int(mantissa), sh_new)
+        total = int(old) + int(new)
+        limit = 1 << (self.width - 1)
+        if not (-limit <= total < limit):
+            raise HardwareContractError("column accumulator overflowed 48 bits")
+        self._psu[addr] = total
+        self._exp[addr] = exp_out
+
+    def read(self, addr: int) -> tuple[int, int]:
+        if not self._valid[addr]:
+            raise HardwareContractError(f"PSU read of invalid address {addr}")
+        return int(self._psu[addr]), int(self._exp[addr])
+
+    def occupancy(self) -> int:
+        return int(self._valid.sum())

@@ -1,0 +1,60 @@
+"""BRAM18 model: an 18 Kb block RAM with a byte-wide port (Fig. 4).
+
+The buffers use BRAM18 primitives in the 2048 x 9 configuration with 8 data
+bits used, i.e. 2048 addressable bytes with one byte read per cycle.  The
+PSU buffer uses the 512 x 36 configuration (handled in
+``repro.hw.accumulator``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HardwareContractError
+
+__all__ = ["Bram18", "BRAM18_BYTES"]
+
+BRAM18_BYTES = 2048
+
+
+@dataclass
+class Bram18:
+    """Byte-addressable BRAM18 with bounds-checked access."""
+
+    name: str = "bram"
+    data: np.ndarray = field(
+        default_factory=lambda: np.zeros(BRAM18_BYTES, dtype=np.int16)
+    )
+
+    def _check(self, addr: int, n: int = 1) -> None:
+        if not (0 <= addr and addr + n <= BRAM18_BYTES):
+            raise HardwareContractError(
+                f"{self.name}: address range [{addr}, {addr + n}) outside "
+                f"{BRAM18_BYTES}-byte BRAM18"
+            )
+
+    def write(self, addr: int, value: int) -> None:
+        """Write one signed byte."""
+        self._check(addr)
+        if not (-128 <= value <= 255):
+            raise HardwareContractError(f"{self.name}: byte value {value} out of range")
+        self.data[addr] = value if value < 128 else value - 256
+
+    def write_block(self, addr: int, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._check(addr, values.size)
+        if values.size and (values.min() < -128 or values.max() > 255):
+            raise HardwareContractError(f"{self.name}: byte values out of range")
+        signed = np.where(values >= 128, values - 256, values)
+        self.data[addr : addr + values.size] = signed
+
+    def read(self, addr: int) -> int:
+        """Read one signed byte."""
+        self._check(addr)
+        return int(self.data[addr])
+
+    def read_block(self, addr: int, n: int) -> np.ndarray:
+        self._check(addr, n)
+        return self.data[addr : addr + n].astype(np.int64)

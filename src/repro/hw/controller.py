@@ -1,0 +1,61 @@
+"""Run-time controller: mode FSM and cycle bookkeeping (Fig. 2).
+
+The controller owns the unit's mode (bfp8 MatMul / fp32 mul / fp32 add),
+charges a small reconfiguration penalty when the mode changes (programming
+the PE pre-shifters and the crossbar), and aggregates cycle statistics that
+the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import HardwareContractError
+
+__all__ = ["Mode", "Controller", "RECONFIG_CYCLES"]
+
+RECONFIG_CYCLES = 2  # program pre-shifters + crossbar select
+
+
+class Mode(Enum):
+    IDLE = "idle"
+    BFP_MATMUL = "bfp_matmul"
+    FP32_MUL = "fp32_mul"
+    FP32_ADD = "fp32_add"
+
+
+@dataclass
+class Controller:
+    mode: Mode = Mode.IDLE
+    cycles_total: int = 0
+    reconfigurations: int = 0
+    cycles_by_mode: dict[str, int] = field(
+        default_factory=lambda: {m.value: 0 for m in Mode}
+    )
+
+    def set_mode(self, mode: Mode) -> int:
+        """Switch mode; returns the cycles charged for reconfiguration."""
+        if not isinstance(mode, Mode):
+            raise HardwareContractError(f"unknown mode {mode!r}")
+        if mode is self.mode:
+            return 0
+        self.mode = mode
+        self.reconfigurations += 1
+        self.charge(RECONFIG_CYCLES, Mode.IDLE)
+        return RECONFIG_CYCLES
+
+    def charge(self, cycles: int, mode: Mode | None = None) -> None:
+        """Account ``cycles`` against ``mode`` (defaults to current mode)."""
+        if cycles < 0:
+            raise HardwareContractError("negative cycle charge")
+        m = (mode or self.mode).value
+        self.cycles_total += cycles
+        self.cycles_by_mode[m] = self.cycles_by_mode.get(m, 0) + cycles
+
+    def require(self, mode: Mode) -> None:
+        if self.mode is not mode:
+            raise HardwareContractError(
+                f"operation requires mode {mode.value}, controller is in "
+                f"{self.mode.value}"
+            )

@@ -1,0 +1,129 @@
+"""Co-simulation: scalar per-PE models against the vectorized array.
+
+The cycle-level :class:`~repro.hw.systolic.SystolicArray` vectorizes the
+whole 8x8 grid with NumPy for speed.  This module builds the same array out
+of 64 individual :class:`~repro.hw.pe.PE` objects (each with its own
+:class:`~repro.hw.dsp48e2.DSP48E2` slice) and steps it cycle by cycle, so
+the vectorized implementation can be checked for *bit-identical* behaviour
+against the port-level model — the reproduction's equivalent of RTL-vs-
+golden-model co-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arith.fp_sliced import FP32_MUL_TERMS
+from repro.arith.packing import unpack_accumulator
+from repro.errors import ConfigurationError
+from repro.formats import fp32bits
+from repro.hw.pe import PE
+
+__all__ = ["ScalarArray"]
+
+
+@dataclass
+class ScalarArray:
+    """An 8x8 grid of scalar PEs stepped one clock at a time."""
+
+    rows: int = 8
+    cols: int = 8
+    pes: list[list[PE]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.pes:
+            self.pes = [
+                [PE(r, c) for c in range(self.cols)] for r in range(self.rows)
+            ]
+
+    # ------------------------------------------------------------------ bfp8
+    def run_bfp8_stream(
+        self, x_blocks: np.ndarray, y_hi: np.ndarray, y_lo: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Scalar-PE version of ``SystolicArray.run_bfp8_stream``.
+
+        Returns ``(z_hi, z_lo, cycles)`` with identical semantics.
+        """
+        x = np.asarray(x_blocks, dtype=np.int64)
+        if x.ndim != 3 or x.shape[1:] != (self.rows, self.cols):
+            raise ConfigurationError("X stream must have shape (N, 8, 8)")
+        for r in range(self.rows):
+            for c in range(self.cols):
+                pe = self.pes[r][c]
+                pe.configure("bfp8")
+                pe.load_y(int(y_hi[r, c]), int(y_lo[r, c]))
+
+        n_total = x.shape[0] * self.rows
+        x_stream = x.reshape(n_total, self.cols)
+        # Register state mirrored explicitly: psum register per PE.
+        psum = [[0] * self.cols for _ in range(self.rows)]
+        x_reg = [[0] * self.cols for _ in range(self.rows)]
+        z_packed = np.zeros((n_total, self.cols), dtype=np.int64)
+        collected = np.zeros((n_total, self.cols), dtype=bool)
+        t = 0
+        last = -1
+        while True:
+            new_psum = [[0] * self.cols for _ in range(self.rows)]
+            new_x = [[0] * self.cols for _ in range(self.rows)]
+            for r in range(self.rows):
+                idx = t - r
+                x_in_row = int(x_stream[idx, r]) if 0 <= idx < n_total else 0
+                for c in range(self.cols):
+                    x_val = x_in_row if c == 0 else x_reg[r][c - 1]
+                    psum_in = psum[r - 1][c] if r > 0 else 0
+                    pe = self.pes[r][c]
+                    pe.dsp.reset()  # P register is re-driven every cycle
+                    x_out, p = pe.step_bfp8(x_val, psum_in)
+                    new_x[r][c] = x_out
+                    new_psum[r][c] = p
+            x_reg, psum = new_x, new_psum
+            for j in range(self.cols):
+                i = t - j - (self.rows - 1)
+                if 0 <= i < n_total and not collected[i, j]:
+                    z_packed[i, j] = psum[self.rows - 1][j]
+                    collected[i, j] = True
+                    last = t + 1
+            t += 1
+            if collected.all() and t > last:
+                break
+        hi, lo = unpack_accumulator(z_packed, self.rows)
+        n_blocks = x.shape[0]
+        return (
+            hi.reshape(n_blocks, self.rows, self.cols),
+            lo.reshape(n_blocks, self.rows, self.cols),
+            t,
+        )
+
+    # --------------------------------------------------------------- fp32 mul
+    def run_fp32_mul_accumulators(
+        self, man_x: np.ndarray, man_y: np.ndarray
+    ) -> np.ndarray:
+        """Scalar-PE cascade accumulators for ``(4, L)`` mantissa pairs.
+
+        Returns the raw 48-bit sums, to be compared bit-for-bit against
+        ``SystolicArray.run_fp32_mul_stream(...).accumulators``.
+        """
+        man_x = np.asarray(man_x, dtype=np.int64)
+        man_y = np.asarray(man_y, dtype=np.int64)
+        lanes, L = man_x.shape
+        for t_ in FP32_MUL_TERMS:
+            for lane in range(lanes):
+                self.pes[t_.row][lane].configure(
+                    "fp32_mul", x_preshift=t_.x_preshift, y_preshift=t_.y_preshift
+                )
+        acc = np.zeros((lanes, L), dtype=np.int64)
+        for lane in range(lanes):
+            for e in range(L):
+                sx = fp32bits.mantissa_slices(man_x[lane, e])
+                sy = fp32bits.mantissa_slices(man_y[lane, e])
+                pcin = 0
+                for t_ in FP32_MUL_TERMS:
+                    pe = self.pes[t_.row][lane]
+                    pe.dsp.reset()
+                    pcin = pe.step_fp32_mul(
+                        int(sx[t_.x_slice]), int(sy[t_.y_slice]), pcin
+                    )
+                acc[lane, e] = pcin
+        return acc

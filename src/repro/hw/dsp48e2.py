@@ -1,0 +1,86 @@
+"""Functional model of the AMD DSP48E2 slice (UG579) as used by the design.
+
+Only the behaviour the paper's PE exercises is modeled:
+
+* a 27-bit (A:D pre-adder path) by 18-bit (B) signed multiplier,
+* the 48-bit ALU accumulating the product with either the C port, the
+  previous P value, or the PCIN cascade input from the neighbour below,
+* 48-bit two's-complement wraparound semantics.
+
+Port-width violations raise :class:`HardwareContractError` — in silicon they
+would silently truncate, so the simulator treats them as design bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HardwareContractError
+
+__all__ = ["DSP48E2", "wrap48", "A_PORT_BITS", "B_PORT_BITS", "P_PORT_BITS"]
+
+A_PORT_BITS = 27
+B_PORT_BITS = 18
+P_PORT_BITS = 48
+
+_A_MIN, _A_MAX = -(1 << (A_PORT_BITS - 1)), (1 << (A_PORT_BITS - 1)) - 1
+_B_MIN, _B_MAX = -(1 << (B_PORT_BITS - 1)), (1 << (B_PORT_BITS - 1)) - 1
+_P_MOD = 1 << P_PORT_BITS
+_P_HALF = 1 << (P_PORT_BITS - 1)
+
+
+def wrap48(x: np.ndarray | int) -> np.ndarray | int:
+    """48-bit two's-complement wraparound (vectorized)."""
+    if isinstance(x, (int, np.integer)):
+        v = (int(x) + _P_HALF) % _P_MOD - _P_HALF
+        return v
+    x = np.asarray(x, dtype=np.int64)
+    return ((x + _P_HALF) % _P_MOD) - _P_HALF
+
+
+def _check_port(value: int, lo: int, hi: int, name: str) -> None:
+    if not (lo <= value <= hi):
+        raise HardwareContractError(
+            f"DSP48E2 {name} port operand {value} outside [{lo}, {hi}]"
+        )
+
+
+@dataclass
+class DSP48E2:
+    """One DSP slice with its P register and cascade output.
+
+    The object is deliberately tiny: the cycle-level array simulator
+    vectorizes the same arithmetic over all 64 PEs; this scalar model is the
+    per-slice oracle used by unit tests and by the single-PE documentation
+    examples.
+    """
+
+    p: int = 0
+    _pcout: int = field(default=0, repr=False)
+
+    @property
+    def pcout(self) -> int:
+        """Dedicated cascade output (registered P value)."""
+        return self._pcout
+
+    def cycle(self, a: int, b: int, *, c: int = 0, accumulate: bool = False,
+              pcin: int = 0) -> int:
+        """One clock: P <= a*b + (P if accumulate else c + pcin).
+
+        Returns the new P value.  ``c`` models the C port, ``pcin`` the
+        cascade input; the design never drives both at once (asserted).
+        """
+        _check_port(a, _A_MIN, _A_MAX, "A:D")
+        _check_port(b, _B_MIN, _B_MAX, "B")
+        if c and pcin:
+            raise HardwareContractError("C and PCIN driven simultaneously")
+        base = self.p if accumulate else (c + pcin)
+        self.p = int(wrap48(a * b + base))
+        self._pcout = self.p
+        return self.p
+
+    def reset(self) -> None:
+        self.p = 0
+        self._pcout = 0

@@ -1,0 +1,49 @@
+"""Exponent unit (EU): shared-exponent arithmetic for both modes (Fig. 2).
+
+In bfp8 MatMul mode the EU adds the two block exponents of each X/Y tile
+pair and compares the result against the PSU buffer's running exponent,
+producing the alignment-shift distances for the column shifters (Eqn 3).
+In fp32 mode it adds/compares the per-element biased exponents (Eqns 4-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareContractError
+
+__all__ = ["ExponentUnit", "EXP_FIELD_BITS"]
+
+EXP_FIELD_BITS = 10  # internal width: sums of two 8-bit exponents need 9+sign
+
+
+@dataclass
+class ExponentUnit:
+    """Combinational exponent add/compare with a width contract."""
+
+    width: int = EXP_FIELD_BITS
+
+    def _check(self, value: int, what: str) -> int:
+        lo = -(1 << (self.width - 1))
+        hi = (1 << (self.width - 1)) - 1
+        if not (lo <= value <= hi):
+            raise HardwareContractError(
+                f"exponent unit {what} {value} exceeds {self.width}-bit field"
+            )
+        return value
+
+    def add(self, exp_a: int, exp_b: int) -> int:
+        """Product exponent: ``expb_Z = expb_X + expb_Y`` (Eqn 2 / Eqn 4)."""
+        return self._check(exp_a + exp_b, "sum")
+
+    def align(self, exp_a: int, exp_b: int) -> tuple[int, int, int]:
+        """Compare two exponents for the alignment shifter (Eqn 3 / Eqn 6).
+
+        Returns ``(exp_out, shift_a, shift_b)`` where the operand with the
+        smaller exponent receives the positive shift distance.
+        """
+        self._check(exp_a, "operand")
+        self._check(exp_b, "operand")
+        if exp_a >= exp_b:
+            return exp_a, 0, exp_a - exp_b
+        return exp_b, exp_b - exp_a, 0

@@ -1,0 +1,92 @@
+"""Baseline int8 systolic array (the Fig. 6 "int8" design point, functional).
+
+A conventional weight-stationary int8 array with the same geometry and the
+same combined-MAC packing as the proposed unit, but no exponent unit, no
+alignment shifter and no fp32 personality: partial blocks accumulate as
+plain integers.  It exists so the comparison baseline is an *implemented*
+design, not just a resource-model row — and so the accuracy baselines
+(`int8-linear` / `int8-all` backends) have a hardware-faithful matmul.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.formats.int8q import Int8Tensor, quantize_int8
+from repro.hw.systolic import SystolicArray
+
+__all__ = ["Int8Array", "Int8ArrayStats"]
+
+
+@dataclass
+class Int8ArrayStats:
+    cycles: int = 0
+    macs: int = 0
+    streams: int = 0
+
+    def throughput_ops(self, freq_hz: float) -> float:
+        return 2.0 * self.macs * freq_hz / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class Int8Array:
+    """int8 matmul engine built on the same systolic fabric."""
+
+    rows: int = 8
+    cols: int = 8
+    array: SystolicArray = field(default_factory=SystolicArray)
+    stats: Int8ArrayStats = field(default_factory=Int8ArrayStats)
+
+    def matmul_quantized(self, a: Int8Tensor, b: Int8Tensor) -> np.ndarray:
+        """Tiled int8 matmul of pre-quantized tensors; dequantized output.
+
+        Uses the cycle-level fabric per (row-chunk, column-pair, K) stream,
+        accumulating exactly in wide integers (a conventional int8
+        accelerator's int32 accumulators never need alignment).
+        """
+        av = a.values.astype(np.int64)
+        bv = b.values.astype(np.int64)
+        if av.ndim != 2 or bv.ndim != 2 or av.shape[1] != bv.shape[0]:
+            raise ConfigurationError(
+                f"bad matmul shapes: {av.shape} @ {bv.shape}"
+            )
+        m, k = av.shape
+        n = bv.shape[1]
+        r, c = self.rows, self.cols
+        ap = np.zeros(((m + r - 1) // r * r, (k + r - 1) // r * r), np.int64)
+        bp = np.zeros((ap.shape[1], (n + c - 1) // c * c), np.int64)
+        ap[:m, :k] = av
+        bp[:k, :n] = bv
+        acc = np.zeros((ap.shape[0], bp.shape[1]), dtype=np.int64)
+        for kb in range(ap.shape[1] // r):
+            ks = slice(kb * r, (kb + 1) * r)
+            for jb in range(0, bp.shape[1] // c, 2):
+                j0 = jb * c
+                y_hi = bp[ks, j0 : j0 + c]
+                has_second = j0 + 2 * c <= bp.shape[1]
+                y_lo = (
+                    bp[ks, j0 + c : j0 + 2 * c]
+                    if has_second
+                    else np.zeros((r, c), np.int64)
+                )
+                self.array.load_y_pair(y_hi, y_lo)
+                x = ap[:, ks].reshape(-1, r, c)
+                res = self.array.run_bfp8_stream(x)
+                z_hi = res.z_hi.reshape(ap.shape[0], c)
+                acc[:, j0 : j0 + c] += z_hi
+                if has_second:
+                    acc[:, j0 + c : j0 + 2 * c] += res.z_lo.reshape(
+                        ap.shape[0], c
+                    )
+                self.stats.cycles += res.cycles
+                self.stats.streams += 1
+                self.stats.macs += 2 * x.shape[0] * r * r * c
+        out = acc[:m, :n].astype(np.float64) * (a.scale * b.scale)
+        return out
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Quantize fp inputs per-tensor and multiply on the fabric."""
+        return self.matmul_quantized(quantize_int8(a), quantize_int8(b))

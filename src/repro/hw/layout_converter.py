@@ -1,0 +1,51 @@
+"""fp32 layout converter / crossbar (Fig. 2, Fig. 5b).
+
+In fp32 multiplication mode there is no data reuse, so the systolic dataflow
+is bypassed: the converter broadcasts each lane's operand pair into its PE
+column, duplicating and routing the three mantissa slices so that row ``r``
+receives exactly the slice pair of partial-product term ``r`` (the mapping
+in ``repro.arith.fp_sliced.FP32_MUL_TERMS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.fp_sliced import FP32_MUL_TERMS
+from repro.errors import HardwareContractError
+from repro.formats import fp32bits
+
+__all__ = ["LayoutConverter", "RowOperands"]
+
+
+@dataclass(frozen=True)
+class RowOperands:
+    """Slice operands for the 8 rows of one column, one stream position."""
+
+    x_slices: np.ndarray  # (8,) unsigned slice bytes for the X input
+    y_slices: np.ndarray  # (8,)
+
+
+class LayoutConverter:
+    """Routes mantissa slices of an fp32 operand pair to the 8 PE rows."""
+
+    def map_pair(self, man_x: int, man_y: int) -> RowOperands:
+        if not (0 <= man_x < (1 << fp32bits.MAN_BITS)):
+            raise HardwareContractError("X mantissa outside 24-bit magnitude")
+        if not (0 <= man_y < (1 << fp32bits.MAN_BITS)):
+            raise HardwareContractError("Y mantissa outside 24-bit magnitude")
+        sx = [(man_x >> (8 * i)) & 0xFF for i in range(fp32bits.N_SLICES)]
+        sy = [(man_y >> (8 * i)) & 0xFF for i in range(fp32bits.N_SLICES)]
+        xs = np.zeros(len(FP32_MUL_TERMS), dtype=np.int64)
+        ys = np.zeros(len(FP32_MUL_TERMS), dtype=np.int64)
+        for t in FP32_MUL_TERMS:
+            xs[t.row] = sx[t.x_slice]
+            ys[t.row] = sy[t.y_slice]
+        return RowOperands(xs, ys)
+
+    @staticmethod
+    def preshift_schedule() -> list[tuple[int, int]]:
+        """Per-row (x_preshift, y_preshift) the controller programs once."""
+        return [(t.x_preshift, t.y_preshift) for t in FP32_MUL_TERMS]

@@ -1,0 +1,71 @@
+"""Processing element: data registers, pre-shifters and one DSP48E2 (Fig. 3).
+
+A PE has three personalities selected by the controller:
+
+* ``bfp8``: the resident operand register holds a *packed* pair of Y
+  mantissas (two Y blocks, combined-MAC); each cycle the streamed X mantissa
+  multiplies the pair and the product joins the column partial sum.
+* ``fp32_mul``: the pre-shifters left-shift the incoming X/Y mantissa slices
+  by the row's assigned amounts (``repro.arith.fp_sliced.FP32_MUL_TERMS``)
+  before the multiply; the column cascade accumulates the partial products.
+* ``idle``: the PE is gated off (fp32 add mode, or an unused fp32 column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.arith.packing import pack_pair
+from repro.errors import HardwareContractError
+from repro.hw.dsp48e2 import DSP48E2
+
+__all__ = ["PE", "PEMode"]
+
+PEMode = Literal["bfp8", "fp32_mul", "idle"]
+
+
+@dataclass
+class PE:
+    row: int
+    col: int
+    mode: PEMode = "idle"
+    x_preshift: int = 0
+    y_preshift: int = 0
+    y_resident: int = 0  # packed pair (bfp8) -- loaded by the controller
+    x_reg: int = 0
+    dsp: DSP48E2 = field(default_factory=DSP48E2)
+
+    def configure(self, mode: PEMode, *, x_preshift: int = 0, y_preshift: int = 0) -> None:
+        self.mode = mode
+        self.x_preshift = x_preshift
+        self.y_preshift = y_preshift
+        self.dsp.reset()
+
+    def load_y(self, y_hi: int, y_lo: int) -> None:
+        """Preload the resident packed Y pair (bfp8 mode)."""
+        self.y_resident = int(pack_pair(y_hi, y_lo))
+
+    def step_bfp8(self, x_in: int, psum_in: int) -> tuple[int, int]:
+        """One bfp8 cycle: register X, MAC against the resident pair.
+
+        Returns ``(x_out, psum_out)``: X forwarded right, partial sum
+        forwarded down the column.
+        """
+        if self.mode != "bfp8":
+            raise HardwareContractError(f"PE({self.row},{self.col}) not in bfp8 mode")
+        if not (-128 <= x_in <= 127):
+            raise HardwareContractError("bfp8 X operand outside int8")
+        self.x_reg = x_in
+        psum_out = self.dsp.cycle(self.y_resident, x_in, pcin=psum_in)
+        return self.x_reg, psum_out
+
+    def step_fp32_mul(self, x_slice: int, y_slice: int, pcin: int) -> int:
+        """One fp32-mul cycle: pre-shift both slices, MAC into the cascade."""
+        if self.mode != "fp32_mul":
+            raise HardwareContractError(f"PE({self.row},{self.col}) not in fp32_mul mode")
+        if not (0 <= x_slice <= 0xFF and 0 <= y_slice <= 0xFF):
+            raise HardwareContractError("fp32 mantissa slice outside 8-bit range")
+        a = x_slice << self.x_preshift
+        b = y_slice << self.y_preshift
+        return self.dsp.cycle(a, b, pcin=pcin)

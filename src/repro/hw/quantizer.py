@@ -1,0 +1,36 @@
+"""Hardware output quantizer: PSU-domain partial sums back to bfp8.
+
+Sits after the column accumulators (Table II lists it as a distinct
+component).  For each completed output block it finds the block-wide
+normalization shift, rounds the 48-bit mantissas to 8 bits (nearest-even)
+and emits a fresh :class:`~repro.formats.bfp8.BfpBlock`.  Functionally
+identical to :func:`repro.arith.bfp_matmul.requantize_wide` — that function
+is the oracle in this module's tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.bfp_matmul import WideBlock, requantize_wide
+from repro.errors import HardwareContractError
+from repro.formats.bfp8 import BfpBlock
+
+__all__ = ["OutputQuantizer"]
+
+
+@dataclass
+class OutputQuantizer:
+    """Block renormalizer with a running count of quantized blocks."""
+
+    blocks_quantized: int = 0
+
+    def quantize(self, mantissas: np.ndarray, exponent: int) -> BfpBlock:
+        man = np.asarray(mantissas, dtype=np.int64)
+        if man.ndim != 2:
+            raise HardwareContractError("quantizer expects a 2-D PSU block")
+        block = requantize_wide(WideBlock(man, exponent))
+        self.blocks_quantized += 1
+        return block

@@ -1,0 +1,61 @@
+"""Per-column alignment shifter and the normalizer (Fig. 2, bottom of array).
+
+The alignment shifter truncating-right-shifts a 48-bit two's-complement
+mantissa by the distance computed in the exponent unit.  The normalizer
+(used by the fp32 paths) is a leading-zero counter plus barrel shifter that
+brings a magnitude into the 24-bit window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareContractError
+from repro.formats.rounding import shift_right
+
+__all__ = ["AlignmentShifter", "Normalizer"]
+
+
+@dataclass
+class AlignmentShifter:
+    """Truncating arithmetic right shifter of bounded distance."""
+
+    width: int = 48
+    max_shift: int = 48
+
+    def shift(self, value: np.ndarray | int, distance: int) -> np.ndarray | int:
+        if distance < 0:
+            raise HardwareContractError("alignment shifter distance is unsigned")
+        d = min(distance, self.max_shift)
+        scalar = isinstance(value, (int, np.integer))
+        out = shift_right(np.asarray(value, dtype=np.int64), d, "truncate")
+        limit = np.int64(1) << (self.width - 1)
+        arr = np.asarray(out)
+        if arr.size and (arr.min() < -limit or arr.max() >= limit):
+            raise HardwareContractError(f"shifter value exceeds {self.width} bits")
+        return int(arr) if scalar else out
+
+
+@dataclass
+class Normalizer:
+    """LZC + barrel shifter: normalize a positive magnitude to ``target_msb``.
+
+    Returns ``(normalized, shift)`` where ``shift`` is positive for right
+    shifts (value was too large) and negative for left shifts; the caller
+    adds ``shift`` to the exponent.  Right shifts truncate.
+    """
+
+    target_msb: int = 23
+
+    def normalize(self, magnitude: int) -> tuple[int, int]:
+        if magnitude < 0:
+            raise HardwareContractError("normalizer input must be a magnitude")
+        if magnitude == 0:
+            return 0, 0
+        msb = magnitude.bit_length() - 1
+        shift = msb - self.target_msb
+        if shift >= 0:
+            return magnitude >> shift, shift
+        return magnitude << (-shift), shift

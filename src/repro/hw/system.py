@@ -1,0 +1,133 @@
+"""Multi-unit system: 15 processing units on the U280 fed by HBM.
+
+The paper deploys 15 independent units, each with two 256-bit AXI channels
+into HBM, "running with independent instructions" (Section III-B).  This
+module models that system level: a pool of units, a work queue of
+independent jobs, greedy earliest-available dispatch, and aggregate
+throughput/utilization reporting.  Jobs either carry explicit cycle costs
+(from the compiler/latency models) or are executed functionally on a
+:class:`~repro.hw.unit.MultiModePU`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+
+__all__ = ["Job", "UnitTimeline", "SystemReport", "MultiUnitSystem"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent unit-schedulable job.
+
+    ``cycles`` is the end-to-end unit-occupancy (compute + memory) of the
+    job; ``ops`` its useful operation count (bfp8 ops or fp32 FLOPs,
+    paper conventions); ``mode`` tags the workload class.
+    """
+
+    name: str
+    mode: str  # "bfp8" | "fp32"
+    cycles: int
+    ops: float
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigurationError(f"job {self.name!r} has no cycles")
+        if self.mode not in ("bfp8", "fp32"):
+            raise ConfigurationError(f"job {self.name!r} has unknown mode")
+
+
+@dataclass
+class UnitTimeline:
+    """Dispatch record of one unit."""
+
+    unit: int
+    busy_cycles: int = 0
+    jobs: list[str] = field(default_factory=list)
+    finish: int = 0
+
+
+@dataclass
+class SystemReport:
+    """Result of scheduling a job set onto the system."""
+
+    makespan_cycles: int
+    timelines: list[UnitTimeline]
+    total_ops: dict[str, float]
+    clock: ClockConfig
+
+    @property
+    def n_units(self) -> int:
+        return len(self.timelines)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.makespan_cycles / self.clock.freq_hz
+
+    def utilization(self) -> float:
+        """Mean busy fraction across units over the makespan."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        busy = sum(t.busy_cycles for t in self.timelines)
+        return busy / (self.makespan_cycles * self.n_units)
+
+    def throughput_ops(self, mode: str) -> float:
+        """Aggregate achieved ops/s for one workload class."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.total_ops.get(mode, 0.0) / self.makespan_seconds
+
+
+@dataclass
+class MultiUnitSystem:
+    """Greedy earliest-available scheduler over identical units."""
+
+    clock: ClockConfig = DEFAULT_CLOCK
+    memory: MemoryModel = DEFAULT_MEMORY
+
+    def schedule(self, jobs: list[Job]) -> SystemReport:
+        """Dispatch independent jobs to the earliest-free unit.
+
+        Greedy list scheduling on identical machines (2-approximate for
+        makespan; optimal here because jobs have no dependencies and the
+        queue is served longest-first).
+        """
+        n = self.clock.n_units
+        if n <= 0:
+            raise ConfigurationError("system needs at least one unit")
+        timelines = [UnitTimeline(i) for i in range(n)]
+        heap: list[tuple[int, int]] = [(0, i) for i in range(n)]
+        heapq.heapify(heap)
+        total_ops: dict[str, float] = {}
+        for job in sorted(jobs, key=lambda j: -j.cycles):
+            finish, idx = heapq.heappop(heap)
+            t = timelines[idx]
+            t.busy_cycles += job.cycles
+            t.jobs.append(job.name)
+            t.finish = finish + job.cycles
+            total_ops[job.mode] = total_ops.get(job.mode, 0.0) + job.ops
+            heapq.heappush(heap, (t.finish, idx))
+        makespan = max((t.finish for t in timelines), default=0)
+        return SystemReport(makespan, timelines, total_ops, self.clock)
+
+    # -- convenience job builders -------------------------------------------
+    def bfp_stream_job(self, name: str, n_x: int) -> Job:
+        """One bfp8 stream of ``n_x`` X blocks, including memory I/O."""
+        compute = self.clock.rows * n_x + 15
+        rd, wr = self.memory.bfp_stream_bytes(n_x, self.clock.rows, self.clock.cols)
+        cycles = self.memory.stream_total_cycles("bfp8", compute, rd, wr)
+        ops = 2.0 * 2 * n_x * self.clock.rows * self.clock.rows * self.clock.cols
+        return Job(name, "bfp8", cycles, ops)
+
+    def fp32_stream_job(self, name: str, length: int) -> Job:
+        """One fp32 stream of per-lane length ``length``, including I/O."""
+        compute = length + 8
+        rd, wr = self.memory.fp32_stream_bytes(length, self.clock.fp32_lanes)
+        cycles = self.memory.stream_total_cycles("fp32", compute, rd, wr)
+        ops = 2.0 * self.clock.fp32_lanes * length
+        return Job(name, "fp32", cycles, ops)

@@ -1,0 +1,248 @@
+"""Cycle-level simulator of the 8x8 PE array (Fig. 2, Fig. 5).
+
+The simulator advances the array one clock at a time with register-accurate
+dataflow; it does **not** hard-code the paper's cycle formulas — the counts
+``8*N_X + 15`` (Eqn 9) and ``L + 8`` (Eqn 10) must *emerge* from the
+pipeline structure, and the test suite asserts that they do.
+
+Dataflow (bfp8 MatMul, Y-stationary, Fig. 5a)
+---------------------------------------------
+PE ``(r, j)`` holds the packed pair ``(Y_hi[r, j], Y_lo[r, j])``.  The X
+buffer emits row ``i`` of the streamed blocks at cycle ``i``; the per-row
+delay chains (the "Misc." delay chains of Table II) skew element ``X[i, r]``
+into array row ``r`` at cycle ``i + r``.  X values shift right, partial
+sums flow down; element ``Z[i, j]`` lands in the bottom register of column
+``j`` at cycle ``i + j + 7`` and is handed to the shifter/ACC the following
+cycle.  Y preloading overlaps the skew: row ``r`` is written at cycle
+``r - 1`` relative to stream start (write-before-read), so no separate
+preload bubble exists inside one stream — the 15-cycle constant is pure
+pipeline fill/drain.
+
+Dataflow (fp32 mul, Fig. 5b)
+----------------------------
+Only 4 columns are fed (buffer bandwidth).  Column ``l`` is one FPU: the 8
+rows hold the 8 retained partial-product terms, pre-shifted at the inputs;
+the DSP cascade adds them downward with one register per row, so element
+``e`` finishes the cascade at cycle ``e + 7`` and leaves the normalizer at
+``e + 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arith.fp_sliced import FP32_MUL_TERMS
+from repro.arith.packing import pack_pair, unpack_accumulator
+from repro.errors import ConfigurationError, HardwareContractError
+from repro.formats import fp32bits
+from repro.hw.dsp48e2 import wrap48
+from repro.hw.shifter import Normalizer
+
+__all__ = ["SystolicArray", "BfpStreamResult", "Fp32MulResult"]
+
+ROWS = 8
+COLS = 8
+FP32_COLS = 4
+
+
+@dataclass(frozen=True)
+class BfpStreamResult:
+    """Outputs of one bfp8 stream: per-X-block products against both Y blocks.
+
+    ``z_hi``/``z_lo`` have shape ``(N_X, 8, 8)`` and hold exact integer
+    mantissa products ``X_i @ Y_hi`` and ``X_i @ Y_lo``; ``cycles`` is the
+    emergent cycle count of the stream (fill + 8 per block + drain).
+    """
+
+    z_hi: np.ndarray
+    z_lo: np.ndarray
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Fp32MulResult:
+    """Outputs of one fp32 multiply stream.
+
+    ``accumulators`` has shape ``(lanes, L)``: the raw 48-bit cascade sums
+    (``(man_x*man_y - x0*y0) >> 8``); ``results`` the normalized float32
+    products; ``cycles`` the emergent count (``L + 8``).
+    """
+
+    accumulators: np.ndarray
+    results: np.ndarray
+    cycles: int
+
+
+@dataclass
+class SystolicArray:
+    """Register-accurate model of the PE array."""
+
+    rows: int = ROWS
+    cols: int = COLS
+    y_packed: np.ndarray = field(default_factory=lambda: np.zeros((ROWS, COLS), np.int64))
+    _normalizer: Normalizer = field(default_factory=Normalizer)
+
+    # ------------------------------------------------------------------ bfp8
+    def load_y_pair(self, y_hi_man: np.ndarray, y_lo_man: np.ndarray) -> None:
+        """Preload the resident packed Y mantissas (combined MAC)."""
+        y_hi = np.asarray(y_hi_man, dtype=np.int64)
+        y_lo = np.asarray(y_lo_man, dtype=np.int64)
+        if y_hi.shape != (self.rows, self.cols) or y_lo.shape != (self.rows, self.cols):
+            raise ConfigurationError("Y blocks must match the array shape")
+        self.y_packed = pack_pair(y_hi, y_lo)
+
+    def run_bfp8_stream(self, x_mantissas: np.ndarray) -> BfpStreamResult:
+        """Stream ``(N_X, rows, cols)`` X mantissa blocks through the array.
+
+        Returns the packed-and-unpacked column sums per X block, plus the
+        emergent cycle count.  Arithmetic is performed exactly as the DSP
+        slices do (48-bit wraparound, packed fields).
+        """
+        x = np.asarray(x_mantissas, dtype=np.int64)
+        if x.ndim != 3 or x.shape[1:] != (self.rows, self.cols):
+            raise ConfigurationError("X stream must have shape (N_X, 8, 8)")
+        if x.size and (x.min() < -127 or x.max() > 127):
+            raise HardwareContractError(
+                "X mantissas outside [-127, 127] (quantizer contract)"
+            )
+        n_blocks = x.shape[0]
+        n_rows_total = n_blocks * self.rows
+        x_stream = x.reshape(n_rows_total, self.cols)  # row i of the stream
+
+        x_pipe = np.zeros((self.rows, self.cols), dtype=np.int64)
+        psum = np.zeros((self.rows, self.cols), dtype=np.int64)
+        z_packed = np.zeros((n_rows_total, self.cols), dtype=np.int64)
+        collected = np.zeros((n_rows_total, self.cols), dtype=bool)
+
+        t = 0
+        # Termination is data-driven: run until every output element has been
+        # handed to the accumulator stage (one cycle after it lands in the
+        # bottom register).
+        last_handoff = -1
+        while True:
+            # -- input skew: array row r receives X[t - r, r] this cycle
+            idx = t - np.arange(self.rows)
+            valid_in = (idx >= 0) & (idx < n_rows_total)
+            x_in = np.where(valid_in, x_stream[np.clip(idx, 0, n_rows_total - 1),
+                                               np.arange(self.rows)], 0)
+            # -- register updates (X shifts right, products join column sums)
+            x_pipe = np.concatenate([x_in[:, None], x_pipe[:, :-1]], axis=1)
+            prod = wrap48(x_pipe * self.y_packed)
+            shifted_psum = np.vstack([np.zeros((1, self.cols), np.int64), psum[:-1]])
+            psum = wrap48(prod + shifted_psum)
+            # -- bottom register exits to the shifter/ACC next cycle
+            i_out = t - np.arange(self.cols) - (self.rows - 1)
+            for j in range(self.cols):
+                i = int(i_out[j])
+                if 0 <= i < n_rows_total and not collected[i, j]:
+                    z_packed[i, j] = psum[self.rows - 1, j]
+                    collected[i, j] = True
+                    last_handoff = max(last_handoff, t + 1)
+            t += 1
+            if collected.all() and t > last_handoff:
+                break
+        cycles = t
+        hi, lo = unpack_accumulator(z_packed, self.rows)
+        return BfpStreamResult(
+            z_hi=hi.reshape(n_blocks, self.rows, self.cols),
+            z_lo=lo.reshape(n_blocks, self.rows, self.cols),
+            cycles=cycles,
+        )
+
+    # --------------------------------------------------------------- fp32 mul
+    def run_fp32_mul_stream(
+        self,
+        man_x: np.ndarray,
+        man_y: np.ndarray,
+        sign_x: np.ndarray,
+        sign_y: np.ndarray,
+        exp_x: np.ndarray,
+        exp_y: np.ndarray,
+    ) -> Fp32MulResult:
+        """Run ``(lanes, L)`` operand pairs through the 4 FPU columns.
+
+        All arrays have shape ``(4, L)``.  Mantissas are 24-bit magnitudes
+        (0 for zero operands), exponents biased.  Returns the raw cascade
+        accumulators and the normalized float32 products.
+        """
+        man_x = np.asarray(man_x, dtype=np.int64)
+        man_y = np.asarray(man_y, dtype=np.int64)
+        if man_x.shape != man_y.shape or man_x.ndim != 2 or man_x.shape[0] != FP32_COLS:
+            raise ConfigurationError("fp32 operands must have shape (4, L)")
+        lanes, L = man_x.shape
+
+        # Slice routing (layout converter): per row r, the slice indices and
+        # pre-shifts of FP32_MUL_TERMS.
+        xsl = np.array([t.x_slice for t in FP32_MUL_TERMS])
+        ysl = np.array([t.y_slice for t in FP32_MUL_TERMS])
+        xps = np.array([t.x_preshift for t in FP32_MUL_TERMS])
+        yps = np.array([t.y_preshift for t in FP32_MUL_TERMS])
+        slx = fp32bits.mantissa_slices(man_x)  # (4, L, 3)
+        sly = fp32bits.mantissa_slices(man_y)
+
+        psum = np.zeros((self.rows, lanes), dtype=np.int64)
+        acc = np.zeros((lanes, L), dtype=np.int64)
+        done = np.zeros((lanes, L), dtype=bool)
+        t = 0
+        last_exit = -1
+        while True:
+            e_idx = t - np.arange(self.rows)  # element index at each row
+            valid = (e_idx >= 0) & (e_idx < L)
+            e_c = np.clip(e_idx, 0, L - 1)
+            # operands entering row r this cycle (per lane)
+            a = np.where(
+                valid[:, None],
+                slx[:, e_c, xsl].T << xps[:, None],  # (rows, lanes)
+                0,
+            )
+            b = np.where(valid[:, None], sly[:, e_c, ysl].T << yps[:, None], 0)
+            prod = wrap48(a * b)
+            shifted = np.vstack([np.zeros((1, lanes), np.int64), psum[:-1]])
+            psum = wrap48(prod + shifted)
+            e_bottom = t - (self.rows - 1)
+            if 0 <= e_bottom < L:
+                acc[:, e_bottom] = psum[self.rows - 1]
+                done[:, e_bottom] = True
+                last_exit = t + 1  # normalizer register stage
+            t += 1
+            if done.all() and t > last_exit:
+                break
+        cycles = t
+
+        results = self._normalize_products(acc, sign_x, sign_y, exp_x, exp_y)
+        return Fp32MulResult(accumulators=acc, results=results, cycles=cycles)
+
+    def _normalize_products(
+        self,
+        acc: np.ndarray,
+        sign_x: np.ndarray,
+        sign_y: np.ndarray,
+        exp_x: np.ndarray,
+        exp_y: np.ndarray,
+    ) -> np.ndarray:
+        """Normalizer + XOR sign + exponent unit, per element (scalar path)."""
+        lanes, L = acc.shape
+        out = np.zeros((lanes, L), dtype=np.float32)
+        for lane in range(lanes):
+            for e in range(L):
+                a = int(acc[lane, e])
+                ex, ey = int(exp_x[lane, e]), int(exp_y[lane, e])
+                if a <= 0 or ex == 0 or ey == 0:
+                    out[lane, e] = 0.0
+                    continue
+                man, shift = self._normalizer.normalize(a)
+                exp = ex + ey + (23 + shift) - 165
+                sign = int(sign_x[lane, e]) ^ int(sign_y[lane, e])
+                if exp >= fp32bits.EXP_SPECIAL:
+                    raise HardwareContractError("fp32 product exponent overflow")
+                if exp < 1:
+                    out[lane, e] = 0.0
+                    continue
+                out[lane, e] = float(
+                    fp32bits.compose(
+                        np.uint32(sign), np.int64(exp), np.int64(man)
+                    )
+                )
+        return out

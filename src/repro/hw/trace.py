@@ -1,0 +1,120 @@
+"""Cycle-trace recorder: observe the array's registers over time.
+
+A development/debug aid: wraps a bfp8 stream run and records selected
+per-cycle signals — input skew, a chosen PE's X register and partial sum,
+and the bottom-row outputs — then renders them as an aligned text waveform
+(a lightweight stand-in for the waveform viewer an RTL flow would use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arith.packing import pack_pair
+from repro.errors import ConfigurationError
+from repro.hw.dsp48e2 import wrap48
+
+__all__ = ["TraceEvent", "ArrayTrace", "trace_bfp8_stream"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    signal: str
+    value: int
+
+
+@dataclass
+class ArrayTrace:
+    """Recorded signals, indexable by name, renderable as text."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    cycles: int = 0
+
+    def signal(self, name: str) -> list[tuple[int, int]]:
+        return [(e.cycle, e.value) for e in self.events if e.signal == name]
+
+    def signals(self) -> list[str]:
+        seen: list[str] = []
+        for e in self.events:
+            if e.signal not in seen:
+                seen.append(e.signal)
+        return seen
+
+    def render(self, *, width: int = 8) -> str:
+        """Aligned text waveform: one row per signal, one column per cycle."""
+        lines = []
+        header = "cycle".ljust(16) + "".join(
+            str(t).rjust(width) for t in range(self.cycles)
+        )
+        lines.append(header)
+        for name in self.signals():
+            values = {c: v for c, v in self.signal(name)}
+            row = name.ljust(16)
+            for t in range(self.cycles):
+                row += (str(values[t]) if t in values else ".").rjust(width)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def trace_bfp8_stream(
+    x_blocks: np.ndarray,
+    y_hi: np.ndarray,
+    y_lo: np.ndarray,
+    *,
+    watch_pe: tuple[int, int] = (0, 0),
+    watch_column: int = 0,
+) -> ArrayTrace:
+    """Run a bfp8 stream while recording per-cycle signals.
+
+    Semantically identical to ``SystolicArray.run_bfp8_stream`` (same
+    register structure); returns the trace rather than the outputs.
+    """
+    x = np.asarray(x_blocks, dtype=np.int64)
+    if x.ndim != 3 or x.shape[1:] != (8, 8):
+        raise ConfigurationError("X stream must have shape (N, 8, 8)")
+    wr, wc = watch_pe
+    if not (0 <= wr < 8 and 0 <= wc < 8 and 0 <= watch_column < 8):
+        raise ConfigurationError("watch indices out of range")
+    y_packed = pack_pair(np.asarray(y_hi, np.int64), np.asarray(y_lo, np.int64))
+
+    n_total = x.shape[0] * 8
+    x_stream = x.reshape(n_total, 8)
+    x_pipe = np.zeros((8, 8), dtype=np.int64)
+    psum = np.zeros((8, 8), dtype=np.int64)
+    trace = ArrayTrace()
+    collected = np.zeros((n_total, 8), dtype=bool)
+    t = 0
+    last = -1
+    while True:
+        idx = t - np.arange(8)
+        valid = (idx >= 0) & (idx < n_total)
+        x_in = np.where(valid, x_stream[np.clip(idx, 0, n_total - 1),
+                                        np.arange(8)], 0)
+        x_pipe = np.concatenate([x_in[:, None], x_pipe[:, :-1]], axis=1)
+        psum = wrap48(wrap48(x_pipe * y_packed)
+                      + np.vstack([np.zeros((1, 8), np.int64), psum[:-1]]))
+        trace.events.append(TraceEvent(t, "x_in[0]", int(x_in[0])))
+        trace.events.append(
+            TraceEvent(t, f"pe{wr}{wc}.x", int(x_pipe[wr, wc]))
+        )
+        trace.events.append(
+            TraceEvent(t, f"pe{wr}{wc}.psum", int(psum[wr, wc]))
+        )
+        i_out = t - np.arange(8) - 7
+        j = watch_column
+        i = int(i_out[j])
+        if 0 <= i < n_total and not collected[i, j]:
+            trace.events.append(TraceEvent(t, f"col{j}.out", int(psum[7, j])))
+        for jj in range(8):
+            ii = int(i_out[jj])
+            if 0 <= ii < n_total and not collected[ii, jj]:
+                collected[ii, jj] = True
+                last = t + 1
+        t += 1
+        if collected.all() and t > last:
+            break
+    trace.cycles = t
+    return trace

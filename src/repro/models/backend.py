@@ -1,0 +1,236 @@
+"""Compute backends: the arithmetic regimes a Transformer can run under.
+
+The paper's deployment story is *mixed precision*: linear layers in bfp8 on
+the systolic array, non-linear layers in fp32 on the vector personality,
+no retraining.  The comparison points are conventional int8 quantization
+(which needs retraining to recover accuracy) and full fp32.
+
+A backend supplies two primitives:
+
+* ``matmul(x, w)`` — how linear layers multiply;
+* ``nonlinear(kind, fn, x)`` — how a non-linear function (softmax / gelu /
+  layernorm internals) is evaluated: exactly, or squeezed through a
+  quantization grid first.
+
+Backends
+--------
+``FP32Backend``        float32 everywhere (reference).
+``BFP8MixedBackend``   the paper's regime: bfp8 linear + fp32 non-linear.
+``BFP8AllBackend``     ablation: non-linear inputs/outputs also pass
+                       through the bfp8 grid.
+``INT8LinearBackend``  int8 per-tensor linear + fp32 non-linear.
+``INT8AllBackend``     conventional int8 inference: non-linear tensors are
+                       also snapped to the int8 grid (what an integer-only
+                       accelerator without retraining does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.arith.bfp_matmul import bfp_matmul_emulate
+from repro.formats.blocking import BfpMatrix
+from repro.formats.int8q import int8_matmul, quantize_int8, quantize_intn
+
+__all__ = [
+    "ComputeBackend",
+    "FP32Backend",
+    "BFP8MixedBackend",
+    "BFP8AllBackend",
+    "INT8LinearBackend",
+    "INT8AllBackend",
+    "IBERTBackend",
+    "BACKENDS",
+    "get_backend",
+]
+
+
+@dataclass
+class ComputeBackend:
+    """Base backend: exact float32 arithmetic, with op statistics."""
+
+    name: str = "fp32"
+    matmul_count: int = 0
+    matmul_macs: int = 0
+
+    def matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        self.matmul_count += 1
+        self.matmul_macs += x.shape[0] * x.shape[1] * w.shape[1]
+        return self._matmul(x, w)
+
+    def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return (x.astype(np.float32) @ w.astype(np.float32)).astype(np.float32)
+
+    def nonlinear(
+        self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate a non-linear function under this regime."""
+        return fn(x).astype(np.float32)
+
+    def requantize(self, x: np.ndarray) -> np.ndarray:
+        """Snap an intermediate tensor (e.g. the residual stream) to the
+        regime's storage grid.  Exact-fp32 regimes return it unchanged."""
+        return x.astype(np.float32)
+
+
+class FP32Backend(ComputeBackend):
+    def __init__(self) -> None:
+        super().__init__(name="fp32")
+
+
+class BFP8MixedBackend(ComputeBackend):
+    """The paper's regime: block-fp MatMul + exact fp32 non-linear.
+
+    ``man_bits`` selects the block-fp mantissa width (8 = the paper's bfp8;
+    lower widths feed the bitwidth-sweep experiment).  ``exact_accumulate``
+    replaces the hardware's truncating cross-block alignment with exact
+    accumulation (ablation knob).
+    """
+
+    def __init__(self, *, exact_accumulate: bool = False, man_bits: int = 8) -> None:
+        name = "bfp8-mixed" if man_bits == 8 else f"bfp{man_bits}-mixed"
+        super().__init__(name=name)
+        self.exact_accumulate = exact_accumulate
+        self.man_bits = man_bits
+
+    def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return bfp_matmul_emulate(
+            x, w, exact_accumulate=self.exact_accumulate, man_bits=self.man_bits
+        ).astype(np.float32)
+
+
+class BFP8AllBackend(BFP8MixedBackend):
+    """Ablation: non-linear tensors also snap to the block-fp grid."""
+
+    def __init__(self, *, man_bits: int = 8) -> None:
+        super().__init__(man_bits=man_bits)
+        self.name = "bfp8-all" if man_bits == 8 else f"bfp{man_bits}-all"
+
+    def _snap(self, x):
+        return (
+            BfpMatrix.from_dense(_as2d(x), man_bits=self.man_bits)
+            .to_dense()
+            .reshape(x.shape)
+            .astype(np.float32)
+        )
+
+    def nonlinear(self, kind, fn, x):
+        return self._snap(fn(self._snap(x)))
+
+    def requantize(self, x):
+        return self._snap(x)
+
+
+class INT8LinearBackend(ComputeBackend):
+    """Per-tensor integer linear layers, exact fp32 non-linear."""
+
+    def __init__(self, *, bits: int = 8) -> None:
+        super().__init__(name="int8-linear" if bits == 8 else f"int{bits}-linear")
+        self.bits = bits
+
+    def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return int8_matmul(
+            quantize_intn(x, self.bits), quantize_intn(w, self.bits)
+        ).astype(np.float32)
+
+
+class INT8AllBackend(INT8LinearBackend):
+    """Conventional integer inference: non-linear tensors quantized too.
+
+    This is the regime that, without quantization-aware retraining, loses
+    accuracy on Transformers (paper Section I / IV-A): activations with
+    outliers force a coarse per-tensor grid, and softmax inputs span a huge
+    dynamic range.
+    """
+
+    def __init__(self, *, bits: int = 8) -> None:
+        super().__init__(bits=bits)
+        self.name = "int8-all" if bits == 8 else f"int{bits}-all"
+
+    def _snap(self, x):
+        return quantize_intn(x, self.bits).decode().reshape(x.shape).astype(np.float32)
+
+    def nonlinear(self, kind, fn, x):
+        return self._snap(fn(self._snap(x)))
+
+    def requantize(self, x):
+        return self._snap(x)
+
+
+class IBERTBackend(INT8LinearBackend):
+    """Integer-only inference with I-BERT non-linear approximations.
+
+    The competing design point of the paper's related work (ref [4]):
+    int8 linear layers plus *integer-arithmetic* softmax/GELU/LayerNorm
+    (second-order polynomial exp/erf, Newton integer sqrt) instead of the
+    fp32 vector personality.  Published results require quantization-aware
+    retraining to reach parity; here it is evaluated post-training, like
+    every other regime.
+    """
+
+    def __init__(self, *, bits: int = 8, act_bits: int = 8) -> None:
+        super().__init__(bits=bits)
+        self.name = "ibert"
+        self.act_bits = act_bits
+
+    def nonlinear(self, kind, fn, x):
+        from repro.models.integer_nonlinear import i_gelu, i_softmax, i_sqrt
+
+        xq = quantize_intn(x, self.act_bits)
+        q = xq.values.astype(np.int64).reshape(x.shape)
+        scale = xq.scale
+        if kind == "softmax":
+            out_q, out_scale = i_softmax(q, scale)
+            return (out_q * out_scale).astype(np.float32)
+        if kind == "gelu":
+            out_q, out_scale = i_gelu(q, scale)
+            return (out_q * out_scale).astype(np.float32)
+        if kind in ("layernorm", "rmsnorm"):
+            # Integer mean/variance with the Newton integer sqrt.  The
+            # integer-normalized tensor (zero mean, unit variance on a 2^7
+            # fixed-point grid) is handed back to the layer's own function,
+            # which re-normalizes (a near-no-op) and applies gamma/beta —
+            # so only the integer normalization's quantization error enters.
+            n = q.shape[-1]
+            mean = q.sum(-1, keepdims=True) // n if kind == "layernorm" else 0
+            c = q - mean
+            var = np.maximum((c * c).sum(-1, keepdims=True) // n, 1)
+            std = np.maximum(i_sqrt(var), 1)
+            norm = (c << 7) // std
+            return fn((norm.astype(np.float32) / (1 << 7))).astype(np.float32)
+        # Unknown non-linearity (e.g. swiglu): integer pipelines have no
+        # program for it; fall back to quantize-evaluate-quantize.
+        y = fn((q * scale).astype(np.float32))
+        yq = quantize_intn(y, self.act_bits)
+        return yq.decode().reshape(y.shape).astype(np.float32)
+
+    def requantize(self, x):
+        return quantize_intn(x, self.act_bits).decode().reshape(x.shape).astype(
+            np.float32
+        )
+
+
+def _as2d(x: np.ndarray) -> np.ndarray:
+    return x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+
+
+BACKENDS: dict[str, Callable[[], ComputeBackend]] = {
+    "fp32": FP32Backend,
+    "bfp8-mixed": BFP8MixedBackend,
+    "bfp8-all": BFP8AllBackend,
+    "int8-linear": INT8LinearBackend,
+    "int8-all": INT8AllBackend,
+    "ibert": IBERTBackend,
+}
+
+
+def get_backend(name: str) -> ComputeBackend:
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None

@@ -1,0 +1,43 @@
+"""DeiT model configurations (Touvron et al.) used by the paper's case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ViTConfig", "DEIT_TINY", "DEIT_SMALL", "DEIT_BASE", "CONFIGS"]
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    name: str
+    image_size: int = 224
+    patch_size: int = 16
+    in_chans: int = 3
+    dim: int = 384
+    depth: int = 12
+    n_heads: int = 6
+    mlp_ratio: float = 4.0
+    n_classes: int = 1000
+
+    @property
+    def n_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def n_tokens(self) -> int:
+        return self.n_patches + 1
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+    @property
+    def mlp_hidden(self) -> int:
+        return int(self.dim * self.mlp_ratio)
+
+
+DEIT_TINY = ViTConfig("deit-tiny", dim=192, depth=12, n_heads=3)
+DEIT_SMALL = ViTConfig("deit-small", dim=384, depth=12, n_heads=6)
+DEIT_BASE = ViTConfig("deit-base", dim=768, depth=12, n_heads=12)
+
+CONFIGS = {c.name: c for c in (DEIT_TINY, DEIT_SMALL, DEIT_BASE)}

@@ -1,0 +1,272 @@
+"""Decoder-style (LLaMA-family) Transformer substrate.
+
+The paper's introduction motivates the design with large language models
+(OPT, LLaMA-2 are its refs [2][10]) and argues a run-time *programmable*
+non-linear unit is needed because "new non-linear functions are constantly
+being introduced".  This module supplies that workload family from scratch:
+RMSNorm (LLaMA's normalizer), causal self-attention, a SwiGLU MLP, and a
+small trainable language model with greedy generation — all running through
+the same arithmetic backends (bfp8 linear + fp32 non-linear) with zero
+hardware change, the corresponding vector programs living in
+``repro.runtime.vector_ops``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.backend import ComputeBackend, FP32Backend
+from repro.models.layers import Embedding, Linear, Module
+
+__all__ = ["RMSNorm", "SwiGLUMLP", "DecoderBlock", "TinyLM"]
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization: ``x / rms(x) * gamma`` (no mean/beta)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim, self.eps = dim, eps
+        self.params["gamma"] = np.ones(dim, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
+        backend = backend or FP32Backend()
+        gamma = self.params["gamma"]
+
+        def fn(v: np.ndarray) -> np.ndarray:
+            ms = (v.astype(np.float64) ** 2).mean(-1, keepdims=True)
+            inv = (1.0 / np.sqrt(ms + self.eps)).astype(np.float32)
+            norm = v * inv
+            self._cache = (v, inv, norm)
+            return norm * gamma
+
+        return backend.nonlinear("rmsnorm", fn, x.astype(np.float32))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x, inv, norm = self._cache
+        gamma = self.params["gamma"]
+        n = x.shape[-1]
+        self.grads["gamma"] = self.grads.get("gamma", 0) + (
+            (dout * norm).reshape(-1, n).sum(0).astype(np.float32)
+        )
+        dnorm = (dout * gamma).astype(np.float64)
+        x64 = x.astype(np.float64)
+        inv64 = inv.astype(np.float64)
+        # d/dx of x * (mean(x^2)+eps)^(-1/2)
+        dot = (dnorm * x64).mean(-1, keepdims=True)
+        dx = dnorm * inv64 - x64 * (inv64**3) * dot
+        return dx.astype(np.float32)
+
+
+class SwiGLUMLP(Module):
+    """LLaMA-style gated MLP: ``W2( silu(W_gate x) * (W_up x) )``."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.gate = Linear(dim, hidden, bias=False, rng=rng)
+        self.up = Linear(dim, hidden, bias=False, rng=rng)
+        self.down = Linear(hidden, dim, bias=False, rng=rng)
+        self._cache: tuple | None = None
+
+    @staticmethod
+    def _silu(z: np.ndarray) -> np.ndarray:
+        return z / (1.0 + np.exp(-z))
+
+    def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
+        backend = backend or FP32Backend()
+        g = self.gate.forward(x, backend)
+        u = self.up.forward(x, backend)
+
+        def fn(gu: np.ndarray) -> np.ndarray:
+            half = gu.shape[-1] // 2
+            gg, uu = gu[..., :half], gu[..., half:]
+            act = self._silu(gg.astype(np.float64)).astype(np.float32)
+            self._cache = (gg, uu, act)
+            return act * uu
+
+        gated = backend.nonlinear("swiglu", fn, np.concatenate([g, u], axis=-1))
+        return self.down.forward(gated, backend)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        gg, uu, act = self._cache
+        dgated = self.down.backward(dout)
+        du = dgated * act
+        z = gg.astype(np.float64)
+        sig = 1.0 / (1.0 + np.exp(-z))
+        dsilu = sig * (1.0 + z * (1.0 - sig))
+        dg = (dgated * uu).astype(np.float64) * dsilu
+        dx = self.gate.backward(dg.astype(np.float32)) + self.up.backward(
+            du.astype(np.float32)
+        )
+        return dx.astype(np.float32)
+
+
+class DecoderBlock(Module):
+    """Pre-RMSNorm causal block: x + Attn(RMS(x)); x + SwiGLU(RMS(x))."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        mlp_ratio: float = 8 / 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.norm1 = RMSNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, n_heads, rng=rng, causal=True)
+        self.norm2 = RMSNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.mlp = SwiGLUMLP(dim, hidden, rng=rng)
+
+    def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
+        backend = backend or FP32Backend()
+        x = backend.requantize(x + self.attn.forward(self.norm1.forward(x, backend), backend))
+        x = backend.requantize(x + self.mlp.forward(self.norm2.forward(x, backend), backend))
+        return x.astype(np.float32)
+
+    def forward_step(
+        self, x: np.ndarray, kv_cache: dict, backend: ComputeBackend | None = None
+    ) -> np.ndarray:
+        """Incremental decode through the block with a shared KV cache."""
+        backend = backend or FP32Backend()
+        x = backend.requantize(
+            x + self.attn.forward_step(self.norm1.forward(x, backend), kv_cache, backend)
+        )
+        x = backend.requantize(x + self.mlp.forward(self.norm2.forward(x, backend), backend))
+        return x.astype(np.float32)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        d = dout + self.norm2.backward(self.mlp.backward(dout))
+        d = d + self.norm1.backward(self.attn.backward(d))
+        return d.astype(np.float32)
+
+
+class TinyLM(Module):
+    """A small causal language model (next-token prediction).
+
+    Token embedding + learned positions, ``depth`` decoder blocks, RMSNorm,
+    and an untied linear head over the vocabulary.
+    """
+
+    def __init__(
+        self,
+        *,
+        vocab: int = 16,
+        seq_len: int = 16,
+        dim: int = 32,
+        depth: int = 2,
+        n_heads: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab, self.seq_len, self.dim = vocab, seq_len, dim
+        self.embed = Embedding(vocab, dim, rng=rng)
+        self.params["pos_embed"] = rng.normal(0, 0.02, (1, seq_len, dim)).astype(
+            np.float32
+        )
+        self.blocks = [DecoderBlock(dim, n_heads, rng=rng) for _ in range(depth)]
+        self.norm = RMSNorm(dim)
+        self.head = Linear(dim, vocab, bias=False, rng=rng)
+
+    def forward(self, tokens: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
+        """Logits for every position: shape ``(batch, seq, vocab)``."""
+        backend = backend or FP32Backend()
+        tokens = np.asarray(tokens)
+        if tokens.shape[-1] > self.seq_len:
+            raise ConfigurationError(
+                f"sequence longer than context ({tokens.shape[-1]} > {self.seq_len})"
+            )
+        n = tokens.shape[-1]
+        x = self.embed.forward(tokens) + self.params["pos_embed"][:, :n]
+        x = x.astype(np.float32)
+        for blk in self.blocks:
+            x = blk.forward(x, backend)
+        x = self.norm.forward(x, backend)
+        return self.head.forward(x, backend)
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        d = self.head.backward(dlogits)
+        d = self.norm.backward(d)
+        for blk in reversed(self.blocks):
+            d = blk.backward(d)
+        n = d.shape[1]
+        pos_grad = d.sum(0, keepdims=True).astype(np.float32)
+        g = self.grads.get("pos_embed")
+        if not isinstance(g, np.ndarray):
+            g = np.zeros_like(self.params["pos_embed"])
+        g[:, :n] += pos_grad
+        self.grads["pos_embed"] = g
+        self.embed.backward(d)
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        n_tokens: int,
+        backend: ComputeBackend | None = None,
+    ) -> np.ndarray:
+        """Greedy decoding from a 1-D prompt (full-context recompute)."""
+        seq = list(np.asarray(prompt).reshape(-1))
+        for _ in range(n_tokens):
+            ctx = np.array(seq[-self.seq_len :])[None, :]
+            logits = self.forward(ctx, backend)
+            seq.append(int(np.argmax(logits[0, -1])))
+        return np.array(seq)
+
+    def init_cache(self) -> list[dict]:
+        """Fresh per-block KV caches for incremental decoding."""
+        empty = lambda: np.zeros((1, 0, 0, 0), dtype=np.float32)
+        return [{"k": empty(), "v": empty()} for _ in self.blocks]
+
+    def forward_step(
+        self,
+        token: int,
+        position: int,
+        caches: list[dict],
+        backend: ComputeBackend | None = None,
+    ) -> np.ndarray:
+        """One autoregressive step: logits for the next token.
+
+        The KV-cache decode path — every linear layer is a single-row
+        matmul (the N_X = 1 worst case of Eqn 9, see
+        ``repro.runtime.scheduler.compile_decoder``).
+        """
+        backend = backend or FP32Backend()
+        if position >= self.seq_len:
+            raise ConfigurationError("position beyond the context window")
+        x = self.embed.forward(np.array([[token]]))
+        x = (x + self.params["pos_embed"][:, position : position + 1]).astype(
+            np.float32
+        )
+        for blk, cache in zip(self.blocks, caches):
+            x = blk.forward_step(x, cache, backend)
+        x = self.norm.forward(x, backend)
+        return self.head.forward(x, backend)[0, 0]
+
+    def generate_cached(
+        self,
+        prompt: np.ndarray,
+        n_tokens: int,
+        backend: ComputeBackend | None = None,
+    ) -> np.ndarray:
+        """Greedy decoding with a KV cache (equivalent to :meth:`generate`
+        while the sequence fits the context window; property-tested)."""
+        prompt = np.asarray(prompt).reshape(-1)
+        caches = self.init_cache()
+        logits = None
+        for pos, tok in enumerate(prompt):
+            logits = self.forward_step(int(tok), pos, caches, backend)
+        seq = list(prompt)
+        for _ in range(n_tokens):
+            nxt = int(np.argmax(logits))
+            seq.append(nxt)
+            if len(seq) >= self.seq_len:
+                break
+            logits = self.forward_step(nxt, len(seq) - 1, caches, backend)
+        return np.array(seq)

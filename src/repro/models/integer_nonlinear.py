@@ -1,0 +1,125 @@
+"""Integer-only non-linear approximations (the I-BERT design point, ref [4]).
+
+The paper's related work contrasts two ways to handle Transformer
+non-linearities: keep them in high-precision float (the paper's choice) or
+approximate them in integer arithmetic a la I-BERT (Kim et al., the
+paper's ref [4]) — which recovers accuracy only with quantization-aware
+retraining.  This module implements the I-BERT approximations from scratch
+so the competing design point is an *implemented baseline*, not a citation:
+
+* ``i_exp``: integer-only exponential via base-2 range reduction and the
+  I-BERT second-order polynomial ``0.3585 (x + 1.353)^2 + 0.344`` evaluated
+  in fixed point;
+* ``i_softmax``: integer softmax built on ``i_exp``;
+* ``i_gelu``: integer GELU via the I-BERT sigmoid-like erf polynomial;
+* ``i_sqrt``: Newton integer square root (for integer LayerNorm).
+
+All functions take fixed-point inputs ``(q, scale)`` with ``value = q *
+scale`` and return the same representation; internal arithmetic uses only
+integer add/mul/shift, as the hardware they target would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["i_exp", "i_softmax", "i_gelu", "i_sqrt", "IBERT_OUTPUT_BITS"]
+
+IBERT_OUTPUT_BITS = 30  # internal fixed-point width of the i-exp output
+
+_LN2 = float(np.log(2.0))
+
+
+def _i_poly(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """I-BERT's integer 2nd-order polynomial for exp on [-ln2, 0].
+
+    ``L(x) = 0.3585 (x + 1.353)^2 + 0.344``; coefficients are folded into
+    the fixed-point grid so only integer ops remain.
+    """
+    b_int = np.floor(1.353 / scale).astype(np.int64)
+    c_int = np.floor(0.344 / (0.3585 * scale**2)).astype(np.int64)
+    shifted = q + b_int
+    out = shifted * shifted + c_int
+    return out, 0.3585 * scale**2
+
+
+def i_exp(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """Integer-only exp for non-positive fixed-point inputs."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    q = np.asarray(q, dtype=np.int64)
+    # Coarse grids (scale > ln2) degenerate to a single-step reduction.
+    ln2_int = np.int64(max(int(np.floor(_LN2 / scale)), 1))
+    # Range reduction: x = -z*ln2 + r, r in (-ln2, 0].
+    z = np.maximum((-q) // ln2_int, 0)
+    r = q + z * ln2_int
+    poly, poly_scale = _i_poly(r, scale)
+    # exp(x) = 2^-z * L(r): arithmetic shift implements the 2^-z.
+    z_c = np.minimum(z, 62)
+    out = poly >> z_c
+    return out, poly_scale
+
+
+def i_softmax(q: np.ndarray, scale: float, *, out_bits: int = 15) -> tuple[np.ndarray, float]:
+    """Integer softmax over the trailing axis (I-BERT Algorithm 2)."""
+    q = np.asarray(q, dtype=np.int64)
+    q = q - q.max(axis=-1, keepdims=True)
+    e, e_scale = i_exp(q, scale)
+    total = e.sum(axis=-1, keepdims=True)
+    total = np.maximum(total, 1)
+    # out = e / total in (0, 1], requantized to out_bits fraction bits.
+    factor = np.int64(1) << out_bits
+    out = (e * factor) // total
+    return out, 1.0 / factor
+
+
+def i_gelu(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """Integer GELU via I-BERT's i-erf polynomial.
+
+    ``gelu(x) ~ x * 0.5 (1 + erf(x / sqrt(2)))`` with
+    ``erf(t) ~ sign(t) * L(min(|t|, -b))``, ``L(t) = a (t + b)^2 + c``,
+    a = -0.2888, b = -1.769, c = 1.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    q = np.asarray(q, dtype=np.int64)
+    a, b, c = -0.2888, -1.769, 1.0
+    s_erf = scale / float(np.sqrt(2.0))
+    b_int = np.int64(np.floor(b / s_erf))
+    c_int = np.int64(np.floor(c / (a * s_erf**2)))
+    t = np.minimum(np.abs(q), -b_int)
+    lpoly = (t + b_int) ** 2 + c_int
+    erf_q = np.sign(q) * lpoly
+    erf_scale = a * s_erf**2
+    # gelu = x * (erf + 1) / 2; fold the +1 into the erf grid.
+    one_int = np.int64(np.floor(1.0 / erf_scale))
+    out = q * (erf_q + one_int)
+    return out, scale * erf_scale / 2.0
+
+
+def i_sqrt(n: np.ndarray) -> np.ndarray:
+    """Integer Newton square root: floor(sqrt(n)) elementwise."""
+    n = np.asarray(n, dtype=np.int64)
+    if (n < 0).any():
+        raise ConfigurationError("i_sqrt of a negative value")
+    x = n.copy()
+    x[x == 0] = 0
+    guess = np.maximum(n, 1)
+    # Bit-length-based initial guess, then Newton iterations.
+    bl = np.zeros_like(n)
+    tmp = guess.copy()
+    while (tmp > 0).any():
+        bl = bl + (tmp > 0)
+        tmp >>= 1
+    est = np.int64(1) << ((bl + 1) // 2)
+    for _ in range(20):
+        nxt = (est + np.maximum(guess, 1) // np.maximum(est, 1)) >> 1
+        done = nxt >= est
+        est = np.where(done, est, nxt)
+    out = np.where(n == 0, 0, est)
+    # Final correction to floor(sqrt(n)).
+    out = np.where(out * out > n, out - 1, out)
+    out = np.where((out + 1) * (out + 1) <= n, out + 1, out)
+    return out

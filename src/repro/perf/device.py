@@ -1,0 +1,96 @@
+"""Device-level utilization: the design against the Alveo U280's capacity.
+
+Synthesis flows report component utilization as fractions of the target
+device; this module does the same for the modeled design, supporting the
+deployment questions the paper answers implicitly (how many units fit, what
+limits scaling — it is the HBM channel count, not fabric, that pins the
+paper at 15 units: the U280 exposes 32 HBM pseudo-channels and each unit
+consumes two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor
+
+from repro.perf.resources import Resources, processing_unit_total
+
+__all__ = ["DeviceCapacity", "ALVEO_U280", "utilization_pct", "max_units",
+           "device_report"]
+
+
+@dataclass(frozen=True)
+class DeviceCapacity:
+    """Programmable-logic capacity of a target device."""
+
+    name: str
+    lut: float
+    ff: float
+    bram18: float
+    dsp: float
+    hbm_channels: int
+
+
+# xcu280-fsvh2892-2L-e: 1.304M LUTs, 2.607M FFs, 4032 BRAM18 (2016 BRAM36),
+# 9024 DSP48E2, 32 HBM AXI pseudo-channels.
+ALVEO_U280 = DeviceCapacity(
+    name="Alveo U280",
+    lut=1_303_680,
+    ff=2_607_360,
+    bram18=4032,
+    dsp=9024,
+    hbm_channels=32,
+)
+
+
+def utilization_pct(r: Resources, device: DeviceCapacity = ALVEO_U280) -> dict[str, float]:
+    return {
+        "lut": 100.0 * r.lut / device.lut,
+        "ff": 100.0 * r.ff / device.ff,
+        "bram": 100.0 * r.bram / device.bram18,
+        "dsp": 100.0 * r.dsp / device.dsp,
+    }
+
+
+def max_units(
+    device: DeviceCapacity = ALVEO_U280,
+    *,
+    channels_per_unit: int = 2,
+    shell: Resources = Resources(lut=190_000, ff=292_000, bram=490, dsp=0),
+    fabric_margin: float = 0.85,
+) -> dict[str, int]:
+    """How many units each resource class admits; the minimum binds.
+
+    ``fabric_margin`` models routable fabric (placement never reaches 100%).
+    """
+    pu = processing_unit_total()
+    limits = {
+        "lut": floor((device.lut * fabric_margin - shell.lut) / pu.lut),
+        "ff": floor((device.ff * fabric_margin - shell.ff) / pu.ff),
+        "bram": floor((device.bram18 * fabric_margin - shell.bram) / pu.bram),
+        "dsp": floor(device.dsp * fabric_margin / pu.dsp),
+        "hbm": device.hbm_channels // channels_per_unit,
+    }
+    limits["binding"] = min(limits.values())
+    return limits
+
+
+def device_report(n_units: int = 15, device: DeviceCapacity = ALVEO_U280) -> str:
+    pu = processing_unit_total()
+    system = pu.scaled(n_units)
+    u = utilization_pct(system, device)
+    lines = [
+        f"{device.name}: {n_units} units "
+        f"({n_units * 2}/{device.hbm_channels} HBM channels)",
+        f"  LUT  {system.lut:10.0f} ({u['lut']:5.2f}% of device)",
+        f"  FF   {system.ff:10.0f} ({u['ff']:5.2f}%)",
+        f"  BRAM {system.bram:10.1f} ({u['bram']:5.2f}%)",
+        f"  DSP  {system.dsp:10.0f} ({u['dsp']:5.2f}%)",
+    ]
+    lim = max_units(device)
+    lines.append(
+        "  unit ceiling by resource: "
+        + ", ".join(f"{k}={v}" for k, v in lim.items() if k != "binding")
+        + f" -> binding constraint admits {lim['binding']} units"
+    )
+    return "\n".join(lines)

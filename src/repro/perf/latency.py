@@ -1,0 +1,169 @@
+"""End-to-end latency model: compute + memory, per workload (Fig. 7, Table IV).
+
+``measured_*`` functions combine the cycle-accurate compute counts (Eqn 9/10
+terms, validated against the cycle simulator) with the AXI/HBM memory model
+— this is the "measured" series of Fig. 7.  ``Workload`` aggregation feeds
+the Table IV end-to-end DeiT latency split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
+from repro.perf.throughput import (
+    DEFAULT_CLOCK,
+    ClockConfig,
+    bfp_throughput_ops,
+    fp32_throughput_flops,
+)
+
+__all__ = [
+    "measured_bfp_stream_cycles",
+    "measured_bfp_throughput_ops",
+    "measured_fp32_stream_cycles",
+    "measured_fp32_throughput_flops",
+    "system_measured_bfp_ops",
+    "system_measured_fp32_flops",
+    "LatencyReport",
+    "WorkloadPartition",
+    "deit_latency_split",
+]
+
+
+def measured_bfp_stream_cycles(
+    n_x: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> int:
+    """End-to-end cycles of one bfp8 stream including memory I/O."""
+    compute = cfg.rows * n_x + 15
+    rd, wr = mem.bfp_stream_bytes(n_x, cfg.rows, cfg.cols)
+    return mem.stream_total_cycles("bfp8", compute, rd, wr)
+
+
+def measured_bfp_throughput_ops(
+    n_x: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> float:
+    """One unit's achieved bfp8 OPS with memory effects (Fig. 7 left)."""
+    macs = 2 * n_x * cfg.rows * cfg.rows * cfg.cols
+    cycles = measured_bfp_stream_cycles(n_x, mem, cfg)
+    return 2.0 * macs * cfg.freq_hz / cycles
+
+
+def measured_fp32_stream_cycles(
+    length: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> int:
+    """End-to-end cycles of one fp32 stream including memory I/O."""
+    compute = length + 8
+    rd, wr = mem.fp32_stream_bytes(length, cfg.fp32_lanes)
+    return mem.stream_total_cycles("fp32", compute, rd, wr)
+
+
+def measured_fp32_throughput_flops(
+    length: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> float:
+    """One unit's achieved fp32 FLOPS with memory effects (Fig. 7 right)."""
+    ops = cfg.fp32_lanes * length
+    cycles = measured_fp32_stream_cycles(length, mem, cfg)
+    return 2.0 * ops * cfg.freq_hz / cycles
+
+
+def system_measured_bfp_ops(
+    n_x: int = 64,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> float:
+    return cfg.n_units * measured_bfp_throughput_ops(n_x, mem, cfg)
+
+
+def system_measured_fp32_flops(
+    length: int = 128,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> float:
+    return cfg.n_units * measured_fp32_throughput_flops(length, mem, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Table IV: end-to-end model latency split
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadPartition:
+    """One row of Table IV: a workload class with its op count."""
+
+    name: str
+    ops: float  # OPs (bfp8) or FLOPs (fp32), paper counting convention
+    mode: str  # "bfp8" or "fp32"
+
+
+@dataclass
+class LatencyReport:
+    """Latency split across workload partitions (Table IV)."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(r["latency_s"] for r in self.rows)
+
+    @property
+    def total_ops(self) -> float:
+        return sum(r["ops"] for r in self.rows)
+
+    def proportions(self) -> list[dict]:
+        tl, to = self.total_latency_s, self.total_ops
+        out = []
+        for r in self.rows:
+            out.append(
+                dict(
+                    r,
+                    ops_pct=100.0 * r["ops"] / to if to else 0.0,
+                    latency_pct=100.0 * r["latency_s"] / tl if tl else 0.0,
+                )
+            )
+        return out
+
+    def fp32_latency_share(self) -> float:
+        tl = self.total_latency_s
+        fp = sum(r["latency_s"] for r in self.rows if r["mode"] == "fp32")
+        return fp / tl if tl else 0.0
+
+
+def deit_latency_split(
+    partitions: list[WorkloadPartition],
+    *,
+    bfp_system_ops: float | None = None,
+    fp32_system_flops: float | None = None,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> LatencyReport:
+    """Latency of each workload partition on the full system.
+
+    By default the achieved system rates come from the measured-throughput
+    model (bfp8 at N_X = 64, fp32 at L = 128, 15 units); pass explicit rates
+    to reproduce the paper's exact Table IV numbers (2052 GOPS / 15 GFLOPS).
+    """
+    bfp_rate = bfp_system_ops or system_measured_bfp_ops(64, mem, cfg)
+    fp32_rate = fp32_system_flops or system_measured_fp32_flops(128, mem, cfg)
+    report = LatencyReport()
+    for p in partitions:
+        rate = bfp_rate if p.mode == "bfp8" else fp32_rate
+        report.rows.append(
+            {
+                "name": p.name,
+                "mode": p.mode,
+                "ops": p.ops,
+                "rate_ops_s": rate,
+                "latency_s": p.ops / rate,
+            }
+        )
+    return report

@@ -1,0 +1,115 @@
+"""HBM/AXI memory model for the "measured" side of Fig. 7.
+
+Each processing unit owns two 256-bit AXI channels into HBM (paper
+Section III footnote).  A transfer is modeled as a sequence of bursts:
+each burst pays a fixed issue latency and then streams one 32-byte beat per
+cycle.  The two workload classes differ only in their achievable burst
+length — the paper attributes the fp32 mode's gap to theory precisely to
+its "more random memory access" (short bursts, no compiler-level burst
+optimization yet):
+
+* bfp8 MatMul streams contiguous tiles -> long bursts (up to 64 beats);
+* fp32 vector streams gather scattered operands -> short bursts.
+
+The constants are calibrated (see EXPERIMENTS.md) so that the modeled
+system matches the two throughput anchors implied by the paper: bfp8
+approaching its theoretical curve at N_X = 64, and fp32 landing at ~44% of
+theory at L = 128 (the 15 GFLOPS effective rate implied by Table IV's
+latency column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["AxiChannel", "MemoryModel", "DEFAULT_MEMORY"]
+
+BEAT_BYTES = 32  # 256-bit data bus
+
+
+@dataclass(frozen=True)
+class AxiChannel:
+    """One 256-bit AXI channel with burst issue overhead."""
+
+    burst_beats: int
+    issue_latency: int
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Cycles to move ``n_bytes`` through this channel."""
+        if n_bytes < 0:
+            raise ValueError("negative transfer size")
+        if n_bytes == 0:
+            return 0
+        beats = ceil(n_bytes / BEAT_BYTES)
+        bursts = ceil(beats / self.burst_beats)
+        return bursts * self.issue_latency + beats
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-unit memory system: one read + one write channel.
+
+    ``bfp_burst``/``fp32_burst`` are the achievable burst lengths per
+    workload class; ``issue_latency`` the HBM/AXI round-trip charged per
+    burst.
+    """
+
+    issue_latency: int = 16
+    bfp_burst_beats: int = 64
+    fp32_burst_beats: int = 16
+
+    def read_channel(self, mode: str) -> AxiChannel:
+        return AxiChannel(self._burst(mode), self.issue_latency)
+
+    def write_channel(self, mode: str) -> AxiChannel:
+        return AxiChannel(self._burst(mode), self.issue_latency)
+
+    def _burst(self, mode: str) -> int:
+        if mode == "bfp8":
+            return self.bfp_burst_beats
+        if mode == "fp32":
+            return self.fp32_burst_beats
+        raise ValueError(f"unknown workload mode {mode!r}")
+
+    # -- workload byte accounting -------------------------------------------
+    @staticmethod
+    def bfp_stream_bytes(n_x: int, rows: int = 8, cols: int = 8) -> tuple[int, int]:
+        """(read, write) bytes of one bfp8 stream of ``n_x`` X blocks.
+
+        Reads: X mantissas + exponents, plus the two resident Y blocks.
+        Writes: the requantized output blocks for both Y fields.
+        """
+        x_bytes = n_x * (rows * cols + 1)
+        y_bytes = 2 * (rows * cols + 1)
+        out_bytes = 2 * n_x * (rows * cols + 1)
+        return x_bytes + y_bytes, out_bytes
+
+    @staticmethod
+    def fp32_stream_bytes(length: int, lanes: int = 4) -> tuple[int, int]:
+        """(read, write) bytes of one fp32 stream of per-lane length ``L``."""
+        words = lanes * length
+        return 2 * words * 4, words * 4
+
+    # -- combined compute + memory timing -------------------------------------
+    def stream_total_cycles(
+        self, mode: str, compute_cycles: int, read_bytes: int, write_bytes: int
+    ) -> int:
+        """End-to-end cycles of one double-buffered stream.
+
+        The read prefetch of the *first* burst serializes with compute
+        (pipeline lead-in); steady-state reads overlap compute on the read
+        channel; the write-back of the final outputs drains after compute
+        (one burst's worth serialized, the rest overlapped).
+        """
+        rd = self.read_channel(mode)
+        wr = self.write_channel(mode)
+        read_cycles = rd.transfer_cycles(read_bytes)
+        write_cycles = wr.transfer_cycles(write_bytes)
+        lead_in = rd.issue_latency + min(rd.burst_beats, ceil(read_bytes / BEAT_BYTES))
+        drain = wr.issue_latency + min(wr.burst_beats, ceil(write_bytes / BEAT_BYTES))
+        body = max(compute_cycles, read_cycles - lead_in, write_cycles - drain)
+        return lead_in + body + drain
+
+
+DEFAULT_MEMORY = MemoryModel()

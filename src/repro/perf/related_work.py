@@ -1,0 +1,99 @@
+"""Table III dataset: prior mixed-precision FPGA accelerators.
+
+The comparison rows are literature values transcribed from the paper's
+Table III; "Ours" is computed from this reproduction's models (resource
+totals scaled to the 15-unit system plus shell, the reported system
+throughput, and the derived GOPS/DSP efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.resources import processing_unit_total
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+
+__all__ = ["AcceleratorEntry", "RELATED_WORK", "ours_entry", "table3_rows"]
+
+
+@dataclass(frozen=True)
+class AcceleratorEntry:
+    work: str
+    data_format: str
+    application: str
+    needs_retraining: bool
+    platform: str
+    lut_k: float | None
+    ff_k: float | None
+    bram: float | None
+    dsp: int
+    freq_mhz: float
+    throughput_gops: float
+
+    @property
+    def efficiency_gops_per_dsp(self) -> float:
+        return self.throughput_gops / self.dsp if self.dsp else 0.0
+
+
+RELATED_WORK: tuple[AcceleratorEntry, ...] = (
+    AcceleratorEntry("Lian et al. [17]", "bfp8", "CNN", False, "VX690T",
+                     231.8, 141.0, 913, 1027, 200, 760.83),
+    AcceleratorEntry("Wu et al. [18]", "fp8", "CNN", False, "XC7K325T",
+                     154.6, 180.6, 234.5, 768, 200, 1086.8),
+    AcceleratorEntry("Fan et al. [19]", "bfp8", "CNN", False, "Intel GX1150",
+                     437.2, 170.9, 2713, 1518, 220, 1667.0),
+    AcceleratorEntry("Wong et al. [20]", "bfp10", "CNN", False, "KU115",
+                     386.3, 425.6, 1426, 4492, 125, 794.0),
+    AcceleratorEntry("Auto-ViT-Acc [21]", "int4 & int8", "Transformer", True,
+                     "ZCU102", 185.0, None, None, 1152, 150, 907.8),
+    AcceleratorEntry("ViA [22]", "fp16", "Transformer", False, "Alveo U50",
+                     258.0, 257.0, 1002, 2420, 300, 309.6),
+    AcceleratorEntry("Ye et al. [23]", "int8 & int16", "Transformer", True,
+                     "Alveo U250", 736.0, None, 1781, 4189, 300, 1800.0),
+)
+
+# The paper's own Table III row (reported measurements on the U280).
+PAPER_OURS = AcceleratorEntry(
+    "Ours (paper)", "bfp8 & fp32", "Transformer", False, "Alveo U280",
+    410.6, 602.7, 1353, 2163, 300, 2052.06,
+)
+
+
+# U280 platform shell + HBM interconnect (XDMA shell scale; calibration
+# constant so the deployed footprint is comparable with Table III rows).
+_SHELL_LUT = 190_000.0
+_SHELL_FF = 292_000.0
+_SHELL_BRAM = 490.0
+
+
+def ours_entry(cfg: ClockConfig = DEFAULT_CLOCK) -> AcceleratorEntry:
+    """Our modeled system row: ``n_units`` PUs + platform shell.
+
+    Resources come from the Table II component model; throughput from the
+    measured-throughput model (cycle counts + AXI/HBM memory model) at the
+    paper's N_X = 64 operating point.  The paper's own row reports 2163
+    DSPs and 2052 GOPS, which is not consistent with 15 units of 72 DSPs at
+    Eqn-9 rates — EXPERIMENTS.md discusses the discrepancy; this row is the
+    self-consistent model.
+    """
+    from repro.perf.latency import system_measured_bfp_ops
+
+    pu = processing_unit_total(cfg.rows, cfg.cols)
+    n = cfg.n_units
+    return AcceleratorEntry(
+        work="Ours (model)",
+        data_format="bfp8 & fp32",
+        application="Transformer",
+        needs_retraining=False,
+        platform="Alveo U280 (simulated)",
+        lut_k=round((pu.lut * n + _SHELL_LUT) / 1000.0, 1),
+        ff_k=round((pu.ff * n + _SHELL_FF) / 1000.0, 1),
+        bram=round(pu.bram * n + _SHELL_BRAM, 0),
+        dsp=int(pu.dsp * n),
+        freq_mhz=cfg.freq_hz / 1e6,
+        throughput_gops=round(system_measured_bfp_ops(64, cfg=cfg) / 1e9, 1),
+    )
+
+
+def table3_rows(cfg: ClockConfig = DEFAULT_CLOCK) -> list[AcceleratorEntry]:
+    return [*RELATED_WORK, PAPER_OURS, ours_entry(cfg)]

@@ -1,0 +1,103 @@
+"""Roofline analysis: why bfp8 MatMul is compute-bound and fp32 is not.
+
+Fig. 7's measured/theoretical gap has a classical explanation: the fp32
+vector workload's arithmetic intensity (FLOPs per byte moved) is far below
+the machine balance of one unit's two AXI channels, so it is memory-bound;
+the bfp8 MatMul reuses the resident Y pair across the whole X stream and
+sits near (or above) the ridge.  This module computes those numbers from
+the same models used everywhere else and locates each workload against the
+roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.memory import BEAT_BYTES, DEFAULT_MEMORY, MemoryModel
+from repro.perf.throughput import (
+    DEFAULT_CLOCK,
+    ClockConfig,
+    bfp_peak_ops,
+    fp32_peak_flops,
+)
+
+__all__ = ["RooflinePoint", "machine_balance", "bfp_point", "fp32_point",
+           "roofline_series"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload located against the roofline."""
+
+    name: str
+    intensity_ops_per_byte: float
+    peak_ops: float
+    bandwidth_bound_ops: float
+
+    @property
+    def attainable_ops(self) -> float:
+        return min(self.peak_ops, self.bandwidth_bound_ops)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.bandwidth_bound_ops < self.peak_ops
+
+
+def stream_bandwidth_bytes_per_s(cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """One unit's read-channel streaming bandwidth (256-bit @ clock)."""
+    return BEAT_BYTES * cfg.freq_hz
+
+
+def machine_balance(
+    peak_ops: float, cfg: ClockConfig = DEFAULT_CLOCK
+) -> float:
+    """Ridge-point intensity (ops/byte) for a given compute peak."""
+    return peak_ops / stream_bandwidth_bytes_per_s(cfg)
+
+
+def bfp_point(
+    n_x: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> RooflinePoint:
+    """The bfp8 MatMul stream as a roofline point.
+
+    Ops: ``2 * 2 * n_x * 512`` per stream (combined MAC, MAC = 2 ops);
+    bytes: X + Y reads plus output write-back.
+    """
+    ops = 2.0 * 2 * n_x * cfg.rows * cfg.rows * cfg.cols
+    rd, wr = mem.bfp_stream_bytes(n_x, cfg.rows, cfg.cols)
+    intensity = ops / (rd + wr)
+    bw = stream_bandwidth_bytes_per_s(cfg)
+    return RooflinePoint(
+        name=f"bfp8 N_X={n_x}",
+        intensity_ops_per_byte=intensity,
+        peak_ops=bfp_peak_ops(cfg),
+        bandwidth_bound_ops=intensity * bw,
+    )
+
+
+def fp32_point(
+    length: int,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    cfg: ClockConfig = DEFAULT_CLOCK,
+) -> RooflinePoint:
+    """The fp32 vector stream as a roofline point (no data reuse at all)."""
+    ops = 2.0 * cfg.fp32_lanes * length
+    rd, wr = mem.fp32_stream_bytes(length, cfg.fp32_lanes)
+    intensity = ops / (rd + wr)
+    bw = stream_bandwidth_bytes_per_s(cfg)
+    return RooflinePoint(
+        name=f"fp32 L={length}",
+        intensity_ops_per_byte=intensity,
+        peak_ops=fp32_peak_flops(cfg),
+        bandwidth_bound_ops=intensity * bw,
+    )
+
+
+def roofline_series(
+    mem: MemoryModel = DEFAULT_MEMORY, cfg: ClockConfig = DEFAULT_CLOCK
+) -> list[RooflinePoint]:
+    pts = [bfp_point(n, mem, cfg) for n in (1, 8, 64)]
+    pts += [fp32_point(L, mem, cfg) for L in (16, 128)]
+    return pts

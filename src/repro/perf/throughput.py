@@ -1,0 +1,131 @@
+"""Analytical throughput model: paper Eqns 7-10 and system-level figures.
+
+Conventions (matching the paper's reporting):
+
+* bfp8 throughput is counted in OPS with one MAC = 2 ops (Eqn 7's second
+  factor of 2) and the combined-MAC optimization contributing the first
+  factor of 2;
+* fp32 throughput is counted in FLOPS with each vector operation counted as
+  a multiply-accumulate-equivalent 2 FLOPs — this is the convention under
+  which the paper's "33.88 GFLOPS" headline is consistent with Eqns 8/10
+  for 15 units at L = 128:  ``15 * 4 * 2 * 300e6 * 128/136 = 33.88e9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ClockConfig",
+    "DEFAULT_CLOCK",
+    "bfp_peak_ops",
+    "bfp_efficiency",
+    "bfp_throughput_ops",
+    "fp32_peak_flops",
+    "fp32_efficiency",
+    "fp32_throughput_flops",
+    "system_bfp_throughput_ops",
+    "system_fp32_throughput_flops",
+    "paper_headline_bfp_tops",
+    "paper_headline_fp32_gflops",
+]
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    freq_hz: float = 300e6
+    rows: int = 8
+    cols: int = 8
+    fp32_lanes: int = 4
+    n_units: int = 15
+
+
+DEFAULT_CLOCK = ClockConfig()
+
+
+def bfp_peak_ops(cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """Eqn 7: ``rows * cols * 2 * 2 * freq`` (ops/s, one unit)."""
+    return cfg.rows * cfg.cols * 2 * 2 * cfg.freq_hz
+
+
+def bfp_efficiency(n_x: int, rows: int = 8) -> float:
+    """Eqn 9 utilization factor: ``8 N_X / (8 N_X + 15)``."""
+    if n_x <= 0:
+        raise ValueError("N_X must be positive")
+    stream = rows * n_x
+    return stream / (stream + 15)
+
+
+def bfp_throughput_ops(n_x: int, cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """Eqn 9: achieved bfp8 OPS for a stream of ``n_x`` X blocks (one unit)."""
+    return bfp_peak_ops(cfg) * bfp_efficiency(n_x, cfg.rows)
+
+
+def fp32_peak_flops(cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """Eqn 8 with the paper's 2-FLOPs-per-op count: ``lanes * 2 * freq``."""
+    return cfg.fp32_lanes * 2 * cfg.freq_hz
+
+
+def fp32_efficiency(length: int) -> float:
+    """Eqn 10 utilization factor: ``L / (L + 8)``."""
+    if length <= 0:
+        raise ValueError("stream length must be positive")
+    return length / (length + 8)
+
+
+def fp32_throughput_flops(length: int, cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """Eqn 10: achieved fp32 FLOPS for stream length ``L`` (one unit)."""
+    return fp32_peak_flops(cfg) * fp32_efficiency(length)
+
+
+def system_bfp_throughput_ops(
+    n_x: int = 64, cfg: ClockConfig = DEFAULT_CLOCK
+) -> float:
+    """All units running independent bfp8 streams."""
+    return cfg.n_units * bfp_throughput_ops(n_x, cfg)
+
+
+def system_fp32_throughput_flops(
+    length: int = 128, cfg: ClockConfig = DEFAULT_CLOCK
+) -> float:
+    """All units running independent fp32 streams (the 33.88 GFLOPS figure)."""
+    return cfg.n_units * fp32_throughput_flops(length, cfg)
+
+
+def paper_headline_fp32_gflops(cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """The paper's theoretical fp32 number: 15 units at L = 128."""
+    return system_fp32_throughput_flops(128, cfg) / 1e9
+
+
+def half_peak_flops(fmt_name: str, cfg: ClockConfig = DEFAULT_CLOCK) -> float:
+    """Extension: peak FLOPS of the vector unit in a 16-bit float format.
+
+    16-bit operands double the buffer lane count to 8, and bf16's
+    single-slice mantissa (or fp16's four retained partial products) fits
+    the 8-row column with capacity to spare, so the lane count is
+    bandwidth-bound at 8 — 2x the fp32 peak (paper Section V direction).
+    """
+    from repro.arith.fp_sliced_half import half_lane_count
+    from repro.formats.halfprec import HALF_FORMATS
+
+    fmt = HALF_FORMATS[fmt_name]
+    lanes = half_lane_count(fmt, cfg.cols)
+    return lanes * 2 * cfg.freq_hz
+
+
+def half_throughput_flops(
+    fmt_name: str, length: int, cfg: ClockConfig = DEFAULT_CLOCK
+) -> float:
+    """Eqn-10-style achieved FLOPS for a half-precision stream."""
+    return half_peak_flops(fmt_name, cfg) * fp32_efficiency(length)
+
+
+def paper_headline_bfp_tops() -> float:
+    """The paper's measured system bfp8 figure (2.052 TOPS).
+
+    Note (EXPERIMENTS.md): this *measured* number exceeds 15 units' Eqn-9
+    throughput at 300 MHz (1.12 TOPS); the paper does not reconcile the two.
+    We expose the reported constant for Table III/IV reproduction and the
+    Eqn-9 value via :func:`system_bfp_throughput_ops`.
+    """
+    return 2.05206e12 / 1e12

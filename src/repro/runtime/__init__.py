@@ -1,0 +1,50 @@
+"""Programming model: instruction set, vector programs, compiler, executor."""
+
+from repro.runtime.compiler import MatmulPlan, plan_matmul
+from repro.runtime.executor import ExecutionTrace, VectorExecutor
+from repro.runtime.scheduler import CompiledModel, Stage, compile_decoder, compile_vit
+from repro.runtime.instructions import (
+    FPU_OPS,
+    HOST_OPS,
+    Instr,
+    OpCode,
+    OpCount,
+    Program,
+)
+from repro.runtime.vector_ops import (
+    NONLINEAR_BUILDERS,
+    build_exp,
+    build_gelu,
+    build_layernorm,
+    build_rmsnorm,
+    build_silu,
+    build_softmax,
+    build_swiglu,
+    exp2_poly_coeffs,
+)
+
+__all__ = [
+    "ExecutionTrace",
+    "FPU_OPS",
+    "HOST_OPS",
+    "Instr",
+    "MatmulPlan",
+    "CompiledModel",
+    "Stage",
+    "compile_decoder",
+    "compile_vit",
+    "NONLINEAR_BUILDERS",
+    "OpCode",
+    "OpCount",
+    "Program",
+    "VectorExecutor",
+    "build_exp",
+    "build_gelu",
+    "build_layernorm",
+    "build_rmsnorm",
+    "build_silu",
+    "build_swiglu",
+    "build_softmax",
+    "exp2_poly_coeffs",
+    "plan_matmul",
+]

@@ -1,0 +1,109 @@
+"""Workload compiler: tile large matmuls onto the 8x8 block fabric.
+
+The compiler plans a dense ``(M, K) @ (K, N)`` multiplication as the
+hardware schedule of Section II-D — row-block chunks of at most 64 X blocks
+(the PSU depth), output column-block pairs (combined MAC), and one
+Y-stationary stream per K block — and reports the analytic cost (streams,
+cycles, MACs, memory traffic).  :meth:`MatmulPlan.run` executes the plan on
+a :class:`MultiModePU`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.formats.blocking import BfpMatrix
+from repro.hw.buffers import MAX_X_BLOCKS
+from repro.hw.unit import BFP_STREAM_OVERHEAD, MultiModePU
+from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
+
+__all__ = ["MatmulPlan", "plan_matmul"]
+
+
+@dataclass(frozen=True)
+class MatmulPlan:
+    """The planned schedule and analytic cost of one tiled matmul."""
+
+    m: int
+    k: int
+    n: int
+    row_blocks: int
+    k_blocks: int
+    col_blocks: int
+    chunks: int  # row-block chunks (<= 64 blocks each)
+    col_pairs: int
+    streams: int
+    stream_len: int  # N_X of a full chunk
+    compute_cycles: int
+    macs: int
+
+    @property
+    def ops(self) -> int:
+        """8-bit ops, MAC = 2 (paper convention)."""
+        return 2 * self.macs
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the array's peak MAC rate."""
+        peak_macs = self.compute_cycles * 128  # 64 DSPs x 2 MACs
+        return self.macs / peak_macs if peak_macs else 0.0
+
+    def memory_bytes(self) -> tuple[int, int]:
+        """(read, write) bytes over the whole plan."""
+        read = 0
+        write = 0
+        mem = MemoryModel()
+        for _ in range(self.streams):
+            r, w = mem.bfp_stream_bytes(self.stream_len)
+            read += r
+            write += w
+        return read, write
+
+    def total_cycles_with_memory(self, mem: MemoryModel = DEFAULT_MEMORY) -> int:
+        """End-to-end cycles including per-stream memory I/O."""
+        per_stream_compute = 8 * self.stream_len + BFP_STREAM_OVERHEAD
+        rd, wr = mem.bfp_stream_bytes(self.stream_len)
+        per_stream = mem.stream_total_cycles("bfp8", per_stream_compute, rd, wr)
+        return per_stream * self.streams
+
+    def run(self, a: np.ndarray, b: np.ndarray, pu: MultiModePU | None = None,
+            *, engine: str = "fast") -> np.ndarray:
+        """Execute the plan; returns the dequantized dense result."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != (self.m, self.k) or b.shape != (self.k, self.n):
+            raise ConfigurationError("operands do not match the plan")
+        pu = pu or MultiModePU()
+        out = pu.matmul(
+            BfpMatrix.from_dense(a), BfpMatrix.from_dense(b), engine=engine
+        )
+        return out.to_dense()
+
+
+def plan_matmul(m: int, k: int, n: int) -> MatmulPlan:
+    """Plan ``(m, k) @ (k, n)`` on the 8x8 fabric."""
+    if min(m, k, n) <= 0:
+        raise ConfigurationError("matmul dimensions must be positive")
+    rb, kb, cb = ceil(m / 8), ceil(k / 8), ceil(n / 8)
+    chunks = ceil(rb / MAX_X_BLOCKS)
+    pairs = ceil(cb / 2)
+    streams = chunks * pairs * kb
+    # Cycle cost: chunks may be ragged; account exactly.
+    cycles = 0
+    macs = 0
+    for c in range(chunks):
+        n_x = min(MAX_X_BLOCKS, rb - c * MAX_X_BLOCKS)
+        per_stream = 8 * n_x + BFP_STREAM_OVERHEAD
+        cycles += per_stream * pairs * kb
+        macs += 2 * n_x * 8 * 8 * 8 * pairs * kb
+    return MatmulPlan(
+        m=m, k=k, n=n,
+        row_blocks=rb, k_blocks=kb, col_blocks=cb,
+        chunks=chunks, col_pairs=pairs, streams=streams,
+        stream_len=min(rb, MAX_X_BLOCKS),
+        compute_cycles=cycles, macs=macs,
+    )

@@ -1,0 +1,143 @@
+"""Instruction set of the fp32 vector-processing personality.
+
+The reconfigured array executes elementwise fp32 multiply and add streams;
+everything a Transformer's non-linear layers need beyond that — division,
+comparison/max, floor, exponent insertion — runs on the host CPU, exactly
+as in the paper ("the division operations in fp32 ... are executed on the
+host CPU due to lack of support", Section III-B).
+
+A :class:`Program` is a short SSA-ish list of register instructions over
+named vector registers.  The executor (``repro.runtime.executor``) runs FPU
+opcodes through the simulated unit and host opcodes through NumPy, and the
+op accounting distinguishes the two — that split is what Table IV reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ProgramError
+
+__all__ = ["OpCode", "Instr", "Program", "OpCount", "FPU_OPS", "HOST_OPS"]
+
+
+class OpCode(Enum):
+    # FPU (simulated hardware) opcodes
+    VMUL = "vmul"  # dst = a * b          (fp32 mul mode)
+    VADD = "vadd"  # dst = a + b          (fp32 add mode)
+    VSUB = "vsub"  # dst = a - b          (add mode, sign flip is free)
+    VMULI = "vmuli"  # dst = a * imm      (broadcast constant)
+    VADDI = "vaddi"  # dst = a + imm
+    VREDSUM = "vredsum"  # dst = sum(a, axis=-1), tree of VADDs on the FPU
+    # Host opcodes (CPU escape hatch)
+    HDIV = "hdiv"  # dst = a / b
+    HRECIP = "hrecip"  # dst = 1 / a
+    HRSQRT = "hrsqrt"  # dst = 1 / sqrt(a)
+    HMAX = "hmax"  # dst = max(a, axis=-1, keepdims)
+    HFLOOR = "hfloor"  # dst = floor(a)
+    HEXP2I = "hexp2i"  # dst = 2.0 ** a   (exponent-field insertion)
+    HCLAMP = "hclamp"  # dst = clip(a, imm[0], imm[1])
+
+
+FPU_OPS = {
+    OpCode.VMUL,
+    OpCode.VADD,
+    OpCode.VSUB,
+    OpCode.VMULI,
+    OpCode.VADDI,
+    OpCode.VREDSUM,
+}
+HOST_OPS = {
+    OpCode.HDIV,
+    OpCode.HRECIP,
+    OpCode.HRSQRT,
+    OpCode.HMAX,
+    OpCode.HFLOOR,
+    OpCode.HEXP2I,
+    OpCode.HCLAMP,
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: OpCode
+    dst: str
+    a: str
+    b: str | None = None
+    imm: float | tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        needs_b = self.op in (OpCode.VMUL, OpCode.VADD, OpCode.VSUB, OpCode.HDIV)
+        if needs_b and self.b is None:
+            raise ProgramError(f"{self.op.value} requires a second operand")
+        needs_imm = self.op in (OpCode.VMULI, OpCode.VADDI, OpCode.HCLAMP)
+        if needs_imm and self.imm is None:
+            raise ProgramError(f"{self.op.value} requires an immediate")
+
+
+@dataclass
+class OpCount:
+    """FPU vs host operation counts (per element unless noted)."""
+
+    fpu_mul: int = 0
+    fpu_add: int = 0
+    host: int = 0
+
+    @property
+    def fpu_total(self) -> int:
+        return self.fpu_mul + self.fpu_add
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.fpu_mul + other.fpu_mul,
+            self.fpu_add + other.fpu_add,
+            self.host + other.host,
+        )
+
+    def scaled(self, k: int) -> "OpCount":
+        return OpCount(self.fpu_mul * k, self.fpu_add * k, self.host * k)
+
+
+@dataclass
+class Program:
+    """A validated straight-line vector program."""
+
+    name: str
+    inputs: list[str]
+    instrs: list[Instr] = field(default_factory=list)
+    output: str = "out"
+
+    def validate(self) -> None:
+        defined = set(self.inputs)
+        for i, ins in enumerate(self.instrs):
+            if ins.a not in defined:
+                raise ProgramError(
+                    f"{self.name}[{i}] reads undefined register {ins.a!r}"
+                )
+            if ins.b is not None and ins.b not in defined:
+                raise ProgramError(
+                    f"{self.name}[{i}] reads undefined register {ins.b!r}"
+                )
+            defined.add(ins.dst)
+        if self.output not in defined:
+            raise ProgramError(f"{self.name} never defines output {self.output!r}")
+
+    def emit(self, op: OpCode, dst: str, a: str, b: str | None = None,
+             imm: float | tuple[float, float] | None = None) -> str:
+        self.instrs.append(Instr(op, dst, a, b, imm))
+        return dst
+
+    def static_op_count(self) -> OpCount:
+        """Per-element op count, counting VREDSUM as one add per element."""
+        c = OpCount()
+        for ins in self.instrs:
+            if ins.op in (OpCode.VMUL, OpCode.VMULI):
+                c.fpu_mul += 1
+            elif ins.op in (OpCode.VADD, OpCode.VSUB, OpCode.VADDI, OpCode.VREDSUM):
+                c.fpu_add += 1
+            elif ins.op in HOST_OPS:
+                c.host += 1
+            else:  # pragma: no cover - exhaustiveness guard
+                raise ProgramError(f"unhandled opcode {ins.op}")
+        return c

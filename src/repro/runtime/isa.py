@@ -1,0 +1,307 @@
+"""Processing-unit instruction set: what the controller actually executes.
+
+The paper's units run "with independent instructions" (Section III-B).
+This module defines that instruction stream concretely: a compact 32-bit
+encoding (8-bit opcode + three 8-bit operand fields), an assembler from
+symbolic text, a disassembler, and an interpreter that executes encoded
+programs on a :class:`~repro.hw.unit.MultiModePU` against a named tensor
+memory.
+
+Instruction set
+---------------
+==============  =======================================================
+``MODE m``       reconfigure: ``m`` in {bfp8, fp32mul, fp32add}
+``LOADY a b``    preload resident Y pair from block registers a, b
+``STREAMX x d``  stream X block-list register x; accumulate into PSU
+                 region then deposit wide result at register d
+``QUANT d s``    requantize wide register s into bfp8 block register d
+``FPMUL d a b``  elementwise fp32 multiply of vector registers
+``FPADD d a b``  elementwise fp32 add of vector registers
+``HALT``         end of program
+==============  =======================================================
+
+Registers are symbolic names resolved by the assembler into 8-bit indices
+(at most 256 live objects per program) over a :class:`TensorMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.arith.bfp_matmul import WideBlock, accumulate, block_matmul
+from repro.errors import ProgramError
+from repro.formats.bfp8 import BfpBlock
+from repro.hw.controller import Mode
+from repro.hw.unit import MultiModePU
+
+__all__ = [
+    "PUOp",
+    "PUInstruction",
+    "MODE_CODES",
+    "assemble",
+    "disassemble",
+    "encode",
+    "decode",
+    "TensorMemory",
+    "PUInterpreter",
+]
+
+
+class PUOp(IntEnum):
+    HALT = 0x00
+    MODE = 0x01
+    LOADY = 0x02
+    STREAMX = 0x03
+    QUANT = 0x04
+    FPMUL = 0x05
+    FPADD = 0x06
+
+
+MODE_CODES = {"bfp8": 0, "fp32mul": 1, "fp32add": 2}
+_MODE_NAMES = {v: k for k, v in MODE_CODES.items()}
+_ARITY = {
+    PUOp.HALT: 0,
+    PUOp.MODE: 1,
+    PUOp.LOADY: 2,
+    PUOp.STREAMX: 2,
+    PUOp.QUANT: 2,
+    PUOp.FPMUL: 3,
+    PUOp.FPADD: 3,
+}
+
+
+@dataclass(frozen=True)
+class PUInstruction:
+    op: PUOp
+    operands: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != _ARITY[self.op]:
+            raise ProgramError(
+                f"{self.op.name} takes {_ARITY[self.op]} operands, "
+                f"got {len(self.operands)}"
+            )
+        for v in self.operands:
+            if not (0 <= v <= 0xFF):
+                raise ProgramError(f"operand {v} outside 8-bit field")
+
+
+def encode(instr: PUInstruction) -> int:
+    """Pack an instruction into a 32-bit word."""
+    word = int(instr.op) << 24
+    for i, v in enumerate(instr.operands):
+        word |= v << (16 - 8 * i)
+    return word
+
+
+def decode(word: int) -> PUInstruction:
+    """Unpack a 32-bit word (inverse of :func:`encode`)."""
+    if not (0 <= word < (1 << 32)):
+        raise ProgramError("instruction word outside 32 bits")
+    try:
+        op = PUOp((word >> 24) & 0xFF)
+    except ValueError:
+        raise ProgramError(f"unknown opcode {(word >> 24) & 0xFF:#x}") from None
+    n = _ARITY[op]
+    operands = tuple((word >> (16 - 8 * i)) & 0xFF for i in range(n))
+    return PUInstruction(op, operands)
+
+
+# ---------------------------------------------------------------------------
+# Assembler / disassembler
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SymbolTable:
+    """Symbolic register names -> 8-bit indices."""
+
+    names: dict[str, int] = field(default_factory=dict)
+
+    def resolve(self, name: str) -> int:
+        if name not in self.names:
+            if len(self.names) >= 256:
+                raise ProgramError("register file exhausted (256 symbols)")
+            self.names[name] = len(self.names)
+        return self.names[name]
+
+    def name_of(self, index: int) -> str:
+        for k, v in self.names.items():
+            if v == index:
+                return k
+        return f"r{index}"
+
+
+def assemble(text: str, symbols: SymbolTable | None = None) -> tuple[list[int], SymbolTable]:
+    """Assemble symbolic text into encoded words.
+
+    Lines are ``OP operand ...``; ``#`` starts a comment; blank lines are
+    ignored.  Returns ``(words, symbol_table)``.
+    """
+    symbols = symbols or SymbolTable()
+    words: list[int] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        opname = parts[0].upper()
+        try:
+            op = PUOp[opname]
+        except KeyError:
+            raise ProgramError(f"line {lineno}: unknown op {opname!r}") from None
+        args = parts[1:]
+        if op is PUOp.MODE:
+            if len(args) != 1 or args[0] not in MODE_CODES:
+                raise ProgramError(f"line {lineno}: MODE needs bfp8|fp32mul|fp32add")
+            operands: tuple[int, ...] = (MODE_CODES[args[0]],)
+        else:
+            operands = tuple(symbols.resolve(a) for a in args)
+        words.append(encode(PUInstruction(op, operands)))
+    return words, symbols
+
+
+def disassemble(words: list[int], symbols: SymbolTable | None = None) -> str:
+    lines = []
+    for w in words:
+        ins = decode(w)
+        if ins.op is PUOp.MODE:
+            lines.append(f"MODE {_MODE_NAMES[ins.operands[0]]}")
+        elif symbols is not None:
+            lines.append(
+                " ".join([ins.op.name, *(symbols.name_of(i) for i in ins.operands)])
+            )
+        else:
+            lines.append(" ".join([ins.op.name, *(f"r{i}" for i in ins.operands)]))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TensorMemory:
+    """Register-indexed object store the interpreter operates on.
+
+    Register contents by convention: :class:`BfpBlock`, ``list[BfpBlock]``
+    (an X stream), :class:`WideBlock` lists (PSU deposits), or float32
+    arrays (fp32 vectors).
+    """
+
+    slots: dict[int, object] = field(default_factory=dict)
+
+    def read(self, idx: int):
+        if idx not in self.slots:
+            raise ProgramError(f"read of empty register {idx}")
+        return self.slots[idx]
+
+    def write(self, idx: int, value: object) -> None:
+        self.slots[idx] = value
+
+
+@dataclass
+class PUInterpreter:
+    """Executes encoded instruction streams on a processing unit."""
+
+    pu: MultiModePU = field(default_factory=MultiModePU)
+    memory: TensorMemory = field(default_factory=TensorMemory)
+    engine: str = "fast"
+
+    def run(self, words: list[int], *, max_instructions: int = 100_000) -> int:
+        """Execute until HALT; returns the number of instructions retired."""
+        self._y_pair: tuple[BfpBlock, BfpBlock] | None = None
+        retired = 0
+        for w in words:
+            if retired >= max_instructions:
+                raise ProgramError("instruction budget exhausted (runaway program)")
+            ins = decode(w)
+            retired += 1
+            if ins.op is PUOp.HALT:
+                return retired
+            self._execute(ins)
+        raise ProgramError("program ended without HALT")
+
+    # ------------------------------------------------------------------
+    def _execute(self, ins: PUInstruction) -> None:
+        if ins.op is PUOp.MODE:
+            mode = [Mode.BFP_MATMUL, Mode.FP32_MUL, Mode.FP32_ADD][ins.operands[0]]
+            self.pu.stats.cycles_reconfig += self.pu.controller.set_mode(mode)
+            return
+        if ins.op is PUOp.LOADY:
+            y_hi = self.memory.read(ins.operands[0])
+            y_lo = self.memory.read(ins.operands[1])
+            if not isinstance(y_hi, BfpBlock) or not isinstance(y_lo, BfpBlock):
+                raise ProgramError("LOADY operands must be BfpBlocks")
+            self._y_pair = (y_hi, y_lo)
+            self.pu.array.load_y_pair(y_hi.mantissas, y_lo.mantissas)
+            return
+        if ins.op is PUOp.STREAMX:
+            self._stream_x(ins.operands[0], ins.operands[1])
+            return
+        if ins.op is PUOp.QUANT:
+            wides = self.memory.read(ins.operands[1])
+            if not isinstance(wides, list):
+                raise ProgramError("QUANT source must be a PSU deposit list")
+            blocks = [
+                self.pu.quantizer.quantize(w.mantissas, w.exponent) for w in wides
+            ]
+            self.memory.write(ins.operands[0], blocks)
+            return
+        if ins.op in (PUOp.FPMUL, PUOp.FPADD):
+            a = np.asarray(self.memory.read(ins.operands[1]), dtype=np.float32)
+            b = np.asarray(self.memory.read(ins.operands[2]), dtype=np.float32)
+            fn = self.pu.fp32_multiply if ins.op is PUOp.FPMUL else self.pu.fp32_add
+            self.memory.write(ins.operands[0], fn(a, b, engine=self.engine))
+            return
+        raise ProgramError(f"unhandled op {ins.op}")  # pragma: no cover
+
+    def _stream_x(self, x_idx: int, dst_idx: int) -> None:
+        self.pu.controller.require(Mode.BFP_MATMUL)
+        if self._y_pair is None:
+            raise ProgramError("STREAMX before LOADY")
+        x_blocks = self.memory.read(x_idx)
+        if not isinstance(x_blocks, list) or not all(
+            isinstance(b, BfpBlock) for b in x_blocks
+        ):
+            raise ProgramError("STREAMX source must be a list of BfpBlocks")
+        y_hi, y_lo = self._y_pair
+        if self.engine == "cycle":
+            x_man = np.stack([b.mantissas for b in x_blocks]).astype(np.int64)
+            res = self.pu.array.run_bfp8_stream(x_man)
+            z_hi, z_lo = res.z_hi, res.z_lo
+            cycles = res.cycles
+        else:
+            z_hi = np.stack(
+                [b.mantissas.astype(np.int64) @ y_hi.mantissas.astype(np.int64)
+                 for b in x_blocks]
+            )
+            z_lo = np.stack(
+                [b.mantissas.astype(np.int64) @ y_lo.mantissas.astype(np.int64)
+                 for b in x_blocks]
+            )
+            cycles = 8 * len(x_blocks) + 15
+        self.pu.stats.cycles_bfp += cycles
+        self.pu.stats.bfp_streams += 1
+        self.pu.stats.bfp_macs += 2 * len(x_blocks) * 512
+        # Deposit: accumulate into any existing wide blocks at dst.
+        existing = self.memory.slots.get(dst_idx)
+        new_hi = [
+            WideBlock(z_hi[i], x_blocks[i].exponent + y_hi.exponent)
+            for i in range(len(x_blocks))
+        ]
+        new_lo = [
+            WideBlock(z_lo[i], x_blocks[i].exponent + y_lo.exponent)
+            for i in range(len(x_blocks))
+        ]
+        fresh = new_hi + new_lo
+        if existing is None:
+            self.memory.write(dst_idx, fresh)
+        else:
+            if not isinstance(existing, list) or len(existing) != len(fresh):
+                raise ProgramError("STREAMX accumulation shape mismatch")
+            self.memory.write(
+                dst_idx, [accumulate(old, new) for old, new in zip(existing, fresh)]
+            )

@@ -1,0 +1,303 @@
+"""Full-model compiler: a Transformer into a hardware schedule.
+
+The paper's conclusion announces "an automatic compilation framework that
+provides full stack acceleration of Transformer models is underway"; this
+module builds that layer.  :func:`compile_vit` lowers a ViT configuration
+into a dependency-ordered list of :class:`Stage` objects — bfp8 matmul
+plans and fp32 vector-program invocations, including the residual adds —
+each broken into unit-schedulable chunks.  :class:`CompiledModel` then
+evaluates end-to-end latency on an ``n``-unit system (stages serialize on
+data dependencies; chunks within a stage spread across units) and produces
+the Table IV workload split *from the compiled schedule* rather than from
+analytic op counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.errors import ConfigurationError
+from repro.models.configs import ViTConfig
+from repro.perf.latency import (
+    measured_fp32_stream_cycles,
+)
+from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+from repro.runtime.compiler import MatmulPlan, plan_matmul
+from repro.runtime.instructions import OpCount
+from repro.runtime.vector_ops import (
+    build_gelu,
+    build_layernorm,
+    build_rmsnorm,
+    build_silu,
+    build_softmax,
+)
+
+__all__ = ["Stage", "CompiledModel", "compile_vit", "compile_decoder"]
+
+_FP32_STREAM_ELEMS = 4 * 128  # one full (lanes x L) stream
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One dependency-ordered step of the compiled model."""
+
+    name: str
+    kind: str  # matmul | softmax | gelu | layernorm | residual_add
+    mode: str  # bfp8 | fp32
+    chunks: int  # independent unit-schedulable pieces
+    chunk_cycles: int  # end-to-end cycles of one chunk (compute + memory)
+    ops: float  # useful ops (bfp8 ops / fp32 FLOPs, paper conventions)
+    host_ops: float = 0.0  # CPU-escape operations (division, max, ...)
+
+    def latency_cycles(self, n_units: int) -> int:
+        """Stage latency with its chunks spread over ``n_units``."""
+        if n_units <= 0:
+            raise ConfigurationError("need at least one unit")
+        waves = ceil(self.chunks / n_units)
+        return waves * self.chunk_cycles
+
+
+@dataclass
+class CompiledModel:
+    """A compiled Transformer: ordered stages + system-level evaluation."""
+
+    name: str
+    stages: list[Stage] = field(default_factory=list)
+    clock: ClockConfig = DEFAULT_CLOCK
+
+    def latency_cycles(self, n_units: int | None = None) -> int:
+        n = n_units or self.clock.n_units
+        return sum(s.latency_cycles(n) for s in self.stages)
+
+    def latency_seconds(self, n_units: int | None = None) -> float:
+        return self.latency_cycles(n_units) / self.clock.freq_hz
+
+    def ops_by_mode(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in self.stages:
+            out[s.mode] = out.get(s.mode, 0.0) + s.ops
+        return out
+
+    def latency_by_kind(self, n_units: int | None = None) -> dict[str, int]:
+        n = n_units or self.clock.n_units
+        out: dict[str, int] = {}
+        for s in self.stages:
+            out[s.kind] = out.get(s.kind, 0) + s.latency_cycles(n)
+        return out
+
+    def fp32_latency_share(self, n_units: int | None = None) -> float:
+        n = n_units or self.clock.n_units
+        total = self.latency_cycles(n)
+        fp32 = sum(s.latency_cycles(n) for s in self.stages if s.mode == "fp32")
+        return fp32 / total if total else 0.0
+
+    def unit_cycles_per_item(self) -> int:
+        """Total unit-occupancy cycles of one input (all chunks, all stages)."""
+        return sum(s.chunks * s.chunk_cycles for s in self.stages)
+
+    def throughput_items_per_s(self, n_units: int | None = None) -> float:
+        """Steady-state pipelined throughput over independent inputs.
+
+        With many independent items in flight, chunks of different items
+        fill every unit continuously: throughput is work-limited, not
+        dependency-limited — the batching regime the 15-unit system targets.
+        """
+        n = n_units or self.clock.n_units
+        occupancy = self.unit_cycles_per_item()
+        return n * self.clock.freq_hz / occupancy if occupancy else 0.0
+
+    def workload_split(self, n_units: int | None = None) -> list[dict]:
+        """Table IV-style rows derived from the compiled schedule."""
+        n = n_units or self.clock.n_units
+        groups: dict[str, dict] = {}
+        for s in self.stages:
+            key = f"{s.mode} {s.kind}"
+            g = groups.setdefault(
+                key, {"name": key, "mode": s.mode, "ops": 0.0, "cycles": 0}
+            )
+            g["ops"] += s.ops
+            g["cycles"] += s.latency_cycles(n)
+        total_ops = sum(g["ops"] for g in groups.values())
+        total_cycles = sum(g["cycles"] for g in groups.values())
+        rows = []
+        for g in groups.values():
+            rows.append(
+                dict(
+                    g,
+                    latency_s=g["cycles"] / self.clock.freq_hz,
+                    ops_pct=100.0 * g["ops"] / total_ops if total_ops else 0.0,
+                    latency_pct=100.0 * g["cycles"] / total_cycles
+                    if total_cycles else 0.0,
+                )
+            )
+        rows.sort(key=lambda r: -r["ops"])
+        return rows
+
+
+def _matmul_stage(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    copies: int,
+    mem: MemoryModel,
+) -> Stage:
+    """A (possibly head-replicated) matmul as one stage."""
+    plan: MatmulPlan = plan_matmul(m, k, n)
+    per_stream_compute = 8 * plan.stream_len + 15
+    rd, wr = mem.bfp_stream_bytes(plan.stream_len)
+    chunk_cycles = mem.stream_total_cycles("bfp8", per_stream_compute, rd, wr)
+    return Stage(
+        name=name,
+        kind="matmul",
+        mode="bfp8",
+        chunks=plan.streams * copies,
+        chunk_cycles=chunk_cycles,
+        ops=float(plan.ops * copies),
+    )
+
+
+def _vector_stage(
+    name: str,
+    kind: str,
+    elements: int,
+    per_element: OpCount,
+    *,
+    mem: MemoryModel,
+    reduction_ops_per_element: float = 0.0,
+) -> Stage:
+    """A non-linear function over ``elements`` tensor elements.
+
+    ``per_element`` comes from the compiled vector program; reductions
+    (VREDSUM) contribute ~1 extra add per element, already included in the
+    program's static count.
+    """
+    fpu_ops = elements * per_element.fpu_total + int(
+        elements * reduction_ops_per_element
+    )
+    chunks = max(1, ceil(fpu_ops / _FP32_STREAM_ELEMS))
+    chunk_cycles = measured_fp32_stream_cycles(128, mem)
+    return Stage(
+        name=name,
+        kind=kind,
+        mode="fp32",
+        chunks=chunks,
+        chunk_cycles=chunk_cycles,
+        ops=2.0 * fpu_ops,
+        host_ops=float(elements * per_element.host),
+    )
+
+
+def _residual_stage(name: str, elements: int, mem: MemoryModel) -> Stage:
+    chunks = max(1, ceil(elements / _FP32_STREAM_ELEMS))
+    return Stage(
+        name=name,
+        kind="residual_add",
+        mode="fp32",
+        chunks=chunks,
+        chunk_cycles=measured_fp32_stream_cycles(128, mem),
+        ops=2.0 * elements,
+    )
+
+
+def compile_vit(
+    cfg: ViTConfig,
+    *,
+    clock: ClockConfig = DEFAULT_CLOCK,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    exp_degree: int = 6,
+    include_head: bool = True,
+) -> CompiledModel:
+    """Lower a ViT configuration to a hardware schedule."""
+    n, d, h, m = cfg.n_tokens, cfg.dim, cfg.n_heads, cfg.mlp_hidden
+    hd = cfg.head_dim
+    softmax_pe = build_softmax(exp_degree).static_op_count()
+    gelu_pe = build_gelu(exp_degree).static_op_count()
+    ln_pe = build_layernorm().static_op_count()
+
+    model = CompiledModel(name=cfg.name, clock=clock)
+    st = model.stages
+
+    patch_in = cfg.patch_size**2 * cfg.in_chans
+    st.append(_matmul_stage("patch_embed", cfg.n_patches, patch_in, d,
+                            copies=1, mem=mem))
+
+    for layer in range(cfg.depth):
+        p = f"block{layer}."
+        st.append(_vector_stage(p + "ln1", "layernorm", n * d, ln_pe, mem=mem))
+        st.append(_matmul_stage(p + "qkv", n, d, 3 * d, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "scores", n, hd, n, copies=h, mem=mem))
+        st.append(_vector_stage(p + "softmax", "softmax", h * n * n,
+                                softmax_pe, mem=mem))
+        st.append(_matmul_stage(p + "context", n, n, hd, copies=h, mem=mem))
+        st.append(_matmul_stage(p + "proj", n, d, d, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual1", n * d, mem))
+        st.append(_vector_stage(p + "ln2", "layernorm", n * d, ln_pe, mem=mem))
+        st.append(_matmul_stage(p + "fc1", n, d, m, copies=1, mem=mem))
+        st.append(_vector_stage(p + "gelu", "gelu", n * m, gelu_pe, mem=mem))
+        st.append(_matmul_stage(p + "fc2", n, m, d, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual2", n * d, mem))
+
+    st.append(_vector_stage("final_ln", "layernorm", n * d, ln_pe, mem=mem))
+    if include_head:
+        st.append(_matmul_stage("head", 1, d, cfg.n_classes, copies=1, mem=mem))
+    return model
+
+
+def compile_decoder(
+    *,
+    vocab: int,
+    dim: int,
+    depth: int,
+    n_heads: int,
+    context: int,
+    mlp_ratio: float = 8 / 3,
+    phase: str = "prefill",
+    clock: ClockConfig = DEFAULT_CLOCK,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    exp_degree: int = 6,
+) -> CompiledModel:
+    """Lower a LLaMA-family decoder to a hardware schedule.
+
+    ``phase="prefill"`` processes the whole ``context`` at once (matmul
+    shapes like the encoder); ``phase="decode"`` is one autoregressive step
+    with a KV cache — every linear layer collapses to a single-row matmul
+    (N_X = 1 streams, the Eqn-9 worst case), which is why per-token decode
+    is dramatically less efficient on the array than prefill.
+    """
+    if phase not in ("prefill", "decode"):
+        raise ConfigurationError(f"unknown phase {phase!r}")
+    n = context if phase == "prefill" else 1
+    ctx = context
+    hd = dim // n_heads
+    m = int(dim * mlp_ratio)
+    rms_pe = build_rmsnorm().static_op_count()
+    softmax_pe = build_softmax(exp_degree).static_op_count()
+    # SwiGLU per element of the hidden dim: silu(gate) + one gating mul.
+    silu_pe = build_silu(exp_degree).static_op_count()
+    swiglu_pe = OpCount(silu_pe.fpu_mul + 1, silu_pe.fpu_add, silu_pe.host)
+
+    model = CompiledModel(name=f"decoder-{phase}", clock=clock)
+    st = model.stages
+    for layer in range(depth):
+        p = f"layer{layer}."
+        st.append(_vector_stage(p + "rmsnorm1", "rmsnorm", n * dim, rms_pe, mem=mem))
+        st.append(_matmul_stage(p + "qkv", n, dim, 3 * dim, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "scores", n, hd, ctx, copies=n_heads, mem=mem))
+        st.append(_vector_stage(p + "softmax", "softmax", n_heads * n * ctx,
+                                softmax_pe, mem=mem))
+        st.append(_matmul_stage(p + "context", n, ctx, hd, copies=n_heads, mem=mem))
+        st.append(_matmul_stage(p + "proj", n, dim, dim, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual1", n * dim, mem))
+        st.append(_vector_stage(p + "rmsnorm2", "rmsnorm", n * dim, rms_pe, mem=mem))
+        st.append(_matmul_stage(p + "gate", n, dim, m, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "up", n, dim, m, copies=1, mem=mem))
+        st.append(_vector_stage(p + "swiglu", "swiglu", n * m, swiglu_pe, mem=mem))
+        st.append(_matmul_stage(p + "down", n, m, dim, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual2", n * dim, mem))
+    st.append(_vector_stage("final_rmsnorm", "rmsnorm", n * dim, rms_pe, mem=mem))
+    st.append(_matmul_stage("lm_head", n, dim, vocab, copies=1, mem=mem))
+    return model

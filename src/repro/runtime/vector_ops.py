@@ -1,0 +1,201 @@
+"""Non-linear Transformer functions compiled to fp32 mul/add streams.
+
+The paper integrates SoftMax, GELU and LayerNorm "into basic arithmetic
+operations" on the fp32 vector personality, with division escaping to the
+host CPU.  This module holds the program builders:
+
+* ``exp``: base-2 range reduction — ``e^x = 2^k * 2^r`` with
+  ``k = floor(x*log2e)`` (host floor + exponent insertion) and ``2^r``
+  evaluated by a degree-6 polynomial in Horner form (FPU mul/add);
+* ``softmax``: max-subtract (host max), exp, FPU tree-sum, host divide;
+* ``gelu``: the tanh formulation with ``tanh(z) = 1 - 2/(e^{2z}+1)``
+  (FPU exp + host reciprocal);
+* ``layernorm``: FPU mean/variance accumulation (multiplying by ``1/n`` is
+  an FPU multiply), host rsqrt, FPU scale and shift.
+
+Each builder returns a validated :class:`Program`; the per-element op
+counts drive the Table IV workload split.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.instructions import OpCode, Program
+
+__all__ = [
+    "exp2_poly_coeffs",
+    "build_exp",
+    "build_softmax",
+    "build_gelu",
+    "build_layernorm",
+    "build_rmsnorm",
+    "build_silu",
+    "build_swiglu",
+    "NONLINEAR_BUILDERS",
+]
+
+LOG2E = math.log2(math.e)
+
+# Minimax-flavoured coefficients for 2^r on r in [0, 1): the Taylor series
+# of 2^r in ln2 powers, accurate to ~1e-7 at degree 6 — comfortably inside
+# the sliced-multiply error floor (2^-22 relative).
+_EXP2_DEGREE = 6
+
+
+def exp2_poly_coeffs(degree: int = _EXP2_DEGREE) -> list[float]:
+    """Coefficients c_i of ``2^r ~ sum c_i r^i`` (Taylor in ln2)."""
+    return [math.log(2.0) ** i / math.factorial(i) for i in range(degree + 1)]
+
+
+def build_exp(degree: int = _EXP2_DEGREE) -> Program:
+    """``out = exp(x)`` via base-2 range reduction + Horner polynomial."""
+    p = Program("exp", inputs=["x"])
+    p.emit(OpCode.VMULI, "y", "x", imm=LOG2E)  # y = x * log2(e)
+    p.emit(OpCode.HFLOOR, "k", "y")  # k = floor(y)            [host]
+    p.emit(OpCode.VSUB, "r", "y", "k")  # r = y - k in [0, 1)
+    coeffs = exp2_poly_coeffs(degree)
+    p.emit(OpCode.VMULI, "acc", "r", imm=coeffs[-1])  # Horner seed: c_n * r
+    p.emit(OpCode.VADDI, "acc", "acc", imm=coeffs[-2])
+    for c in reversed(coeffs[:-2]):
+        p.emit(OpCode.VMUL, "acc", "acc", "r")
+        p.emit(OpCode.VADDI, "acc", "acc", imm=c)
+    p.emit(OpCode.HEXP2I, "scale", "k")  # 2^k  [host exponent insertion]
+    p.emit(OpCode.VMUL, "out", "acc", "scale")
+    p.validate()
+    return p
+
+
+def build_softmax(degree: int = _EXP2_DEGREE) -> Program:
+    """Row-wise ``softmax(x)`` over the trailing axis."""
+    p = Program("softmax", inputs=["x"])
+    p.emit(OpCode.HMAX, "m", "x")  # row max, keepdims          [host]
+    p.emit(OpCode.VSUB, "z", "x", "m")
+    _inline(p, build_exp(degree), {"x": "z"}, prefix="e", out="ez")
+    p.emit(OpCode.VREDSUM, "s", "ez")  # row sum on the FPU add tree
+    p.emit(OpCode.HDIV, "out", "ez", "s")  # normalize             [host]
+    p.validate()
+    return p
+
+
+def build_gelu(degree: int = _EXP2_DEGREE) -> Program:
+    """tanh-form GELU: ``0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))``."""
+    c = math.sqrt(2.0 / math.pi)
+    p = Program("gelu", inputs=["x"])
+    p.emit(OpCode.VMUL, "x2", "x", "x")
+    p.emit(OpCode.VMUL, "x3", "x2", "x")
+    p.emit(OpCode.VMULI, "t", "x3", imm=0.044715)
+    p.emit(OpCode.VADD, "t", "t", "x")
+    p.emit(OpCode.VMULI, "z", "t", imm=c)  # z = sqrt(2/pi)(x + 0.044715 x^3)
+    # tanh(z) = 1 - 2 / (exp(2z) + 1)
+    p.emit(OpCode.VMULI, "z2", "z", imm=2.0)
+    p.emit(OpCode.HCLAMP, "z2", "z2", imm=(-60.0, 60.0))  # avoid fp32 overflow
+    _inline(p, build_exp(degree), {"x": "z2"}, prefix="g", out="e2z")
+    p.emit(OpCode.VADDI, "den", "e2z", imm=1.0)
+    p.emit(OpCode.HRECIP, "inv", "den")  # 1/(e^{2z}+1)            [host]
+    p.emit(OpCode.VMULI, "two_inv", "inv", imm=-2.0)
+    p.emit(OpCode.VADDI, "tanh", "two_inv", imm=1.0)
+    p.emit(OpCode.VADDI, "one_p", "tanh", imm=1.0)
+    p.emit(OpCode.VMULI, "half_x", "x", imm=0.5)
+    p.emit(OpCode.VMUL, "out", "half_x", "one_p")
+    p.validate()
+    return p
+
+
+def build_layernorm() -> Program:
+    """Row-wise LayerNorm with affine parameters ``gamma``/``beta``.
+
+    ``1/n`` multiplies run on the FPU; the inverse square root of the
+    variance is a host op (no divide/sqrt datapath).
+    """
+    p = Program("layernorm", inputs=["x", "gamma", "beta", "inv_n", "eps"])
+    p.emit(OpCode.VREDSUM, "s", "x")
+    p.emit(OpCode.VMUL, "mean", "s", "inv_n")
+    p.emit(OpCode.VSUB, "c", "x", "mean")
+    p.emit(OpCode.VMUL, "c2", "c", "c")
+    p.emit(OpCode.VREDSUM, "vs", "c2")
+    p.emit(OpCode.VMUL, "var", "vs", "inv_n")
+    p.emit(OpCode.VADD, "var_e", "var", "eps")
+    p.emit(OpCode.HRSQRT, "inv_std", "var_e")  # 1/sqrt(var+eps)    [host]
+    p.emit(OpCode.VMUL, "norm", "c", "inv_std")
+    p.emit(OpCode.VMUL, "scaled", "norm", "gamma")
+    p.emit(OpCode.VADD, "out", "scaled", "beta")
+    p.validate()
+    return p
+
+
+def build_rmsnorm() -> Program:
+    """RMSNorm (LLaMA's normalizer): ``x / sqrt(mean(x^2)+eps) * gamma``.
+
+    Same structure as LayerNorm minus the mean subtraction: squared
+    accumulation and scaling on the FPU, the inverse square root on the
+    host.  Added post-publication non-linearities like this are the reason
+    the paper wants a programmable fp32 personality.
+    """
+    p = Program("rmsnorm", inputs=["x", "gamma", "inv_n", "eps"])
+    p.emit(OpCode.VMUL, "x2", "x", "x")
+    p.emit(OpCode.VREDSUM, "s", "x2")
+    p.emit(OpCode.VMUL, "ms", "s", "inv_n")
+    p.emit(OpCode.VADD, "ms_e", "ms", "eps")
+    p.emit(OpCode.HRSQRT, "inv", "ms_e")  # 1/sqrt                [host]
+    p.emit(OpCode.VMUL, "norm", "x", "inv")
+    p.emit(OpCode.VMUL, "out", "norm", "gamma")
+    p.validate()
+    return p
+
+
+def build_silu(degree: int = _EXP2_DEGREE) -> Program:
+    """SiLU/Swish: ``x * sigmoid(x)`` — the GLU-family activation.
+
+    The paper motivates run-time programmability with exactly this kind of
+    newly introduced non-linearity (Section I, refs [9][10]): no hardware
+    change is needed, only a new program.  ``sigmoid(x) = 1/(e^{-x}+1)``
+    with the exponential on the FPU and the reciprocal on the host.
+    """
+    p = Program("silu", inputs=["x"])
+    p.emit(OpCode.VMULI, "nx", "x", imm=-1.0)
+    p.emit(OpCode.HCLAMP, "nx", "nx", imm=(-60.0, 60.0))
+    _inline(p, build_exp(degree), {"x": "nx"}, prefix="s", out="enx")
+    p.emit(OpCode.VADDI, "den", "enx", imm=1.0)
+    p.emit(OpCode.HRECIP, "sig", "den")  # sigmoid                [host]
+    p.emit(OpCode.VMUL, "out", "x", "sig")
+    p.validate()
+    return p
+
+
+def build_swiglu(degree: int = _EXP2_DEGREE) -> Program:
+    """SwiGLU gate: ``silu(a) * b`` over paired inputs (LLaMA-style MLP).
+
+    Demonstrates composing programs: the same array that serves GELU for
+    DeiT serves SwiGLU for a LLaMA-family model with zero hardware change.
+    """
+    p = Program("swiglu", inputs=["a", "b"])
+    _inline(p, build_silu(degree), {"x": "a"}, prefix="g", out="gate")
+    p.emit(OpCode.VMUL, "out", "gate", "b")
+    p.validate()
+    return p
+
+
+def _inline(
+    outer: Program, inner: Program, bind: dict[str, str], *, prefix: str, out: str
+) -> None:
+    """Inline ``inner`` into ``outer`` with register renaming."""
+    rename = dict(bind)
+    for ins in inner.instrs:
+        a = rename.get(ins.a, f"{prefix}.{ins.a}")
+        b = None if ins.b is None else rename.get(ins.b, f"{prefix}.{ins.b}")
+        dst = out if ins.dst == inner.output else f"{prefix}.{ins.dst}"
+        rename.setdefault(ins.dst, dst)
+        rename[ins.dst] = dst
+        outer.instrs.append(type(ins)(ins.op, dst, a, b, ins.imm))
+
+
+NONLINEAR_BUILDERS = {
+    "exp": build_exp,
+    "softmax": build_softmax,
+    "gelu": build_gelu,
+    "layernorm": build_layernorm,
+    "rmsnorm": build_rmsnorm,
+    "silu": build_silu,
+    "swiglu": build_swiglu,
+}

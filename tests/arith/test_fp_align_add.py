@@ -1,0 +1,77 @@
+"""Tests for fp32 align-shift-add (Eqn 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.fp_align_add import aligned_add
+from repro.errors import HardwareContractError, SpecialValueError
+
+f32 = st.floats(
+    min_value=2.0**-80, max_value=2.0**80, allow_nan=False, width=32
+).map(np.float32)
+signed_f32 = st.builds(lambda m, s: np.float32(-m if s else m), f32, st.booleans())
+
+
+def _ulp(v: float) -> float:
+    return float(np.spacing(np.float32(abs(v)))) if v else 2.0**-149
+
+
+class TestAlignedAdd:
+    @given(signed_f32, signed_f32)
+    def test_two_ulp_bound(self, x, y):
+        """Alignment + normalization truncation cost at most 2 ulp."""
+        exact = float(x) + float(y)
+        got = float(aligned_add(x, y))
+        tol = 2 * max(_ulp(exact), _ulp(got))
+        assert abs(got - exact) <= tol
+
+    @given(signed_f32)
+    def test_add_zero_is_identity(self, x):
+        assert float(aligned_add(x, np.float32(0.0))) == float(x)
+        assert float(aligned_add(np.float32(0.0), x)) == float(x)
+
+    @given(signed_f32)
+    def test_x_plus_minus_x_is_zero(self, x):
+        assert float(aligned_add(x, np.float32(-x))) == 0.0
+
+    def test_equal_exponent_exact(self):
+        assert float(aligned_add(np.float32(1.5), np.float32(1.25))) == 2.75
+
+    def test_carry_out_normalization(self):
+        # 1.5 + 1.5 = 3.0 needs the right-shift-one path
+        assert float(aligned_add(np.float32(1.5), np.float32(1.5))) == 3.0
+
+    def test_cancellation_normalizes_left(self):
+        out = float(aligned_add(np.float32(1.0 + 2**-20), np.float32(-1.0)))
+        assert out == pytest.approx(2.0**-20, rel=1e-6)
+
+    def test_large_alignment_distance(self):
+        big, tiny = np.float32(1e20), np.float32(1e-20)
+        assert float(aligned_add(big, tiny)) == pytest.approx(1e20, rel=1e-6)
+
+    def test_truncation_is_toward_minus_infinity(self):
+        # Arithmetic shift on two's complement: the discarded fraction of a
+        # negative operand rounds toward -inf.
+        x = np.float32(2.0)
+        y = np.float32(-np.float32(2.0**-23))  # shifts out partially
+        got = float(aligned_add(x, y))
+        exact = float(x) + float(y)
+        assert got <= exact + 1e-12
+
+    def test_overflow_raises(self):
+        big = np.float32(3.0e38)
+        with pytest.raises(HardwareContractError):
+            aligned_add(big, big)
+
+    def test_special_values_raise(self):
+        with pytest.raises(SpecialValueError):
+            aligned_add(np.float32(np.inf), np.float32(1.0))
+
+    def test_vectorized_matches_scalar(self, rng):
+        x = (rng.normal(size=100) * np.exp2(rng.integers(-10, 10, 100))).astype(np.float32)
+        y = (rng.normal(size=100) * np.exp2(rng.integers(-10, 10, 100))).astype(np.float32)
+        vec = aligned_add(x, y)
+        for i in range(0, 100, 13):
+            assert vec[i] == aligned_add(x[i], y[i])

@@ -1,0 +1,119 @@
+"""Tests for sliced fp32 multiplication (Eqn 5, Fig. 5b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.fp_sliced import (
+    FP32_MUL_TERMS,
+    accumulator_value,
+    sliced_multiply,
+    split_preshift,
+)
+from repro.errors import HardwareContractError, SpecialValueError
+
+man24 = st.integers(1 << 23, (1 << 24) - 1)
+f32 = st.floats(
+    min_value=2.0**-60, max_value=2.0**60, allow_nan=False, width=32
+).map(np.float32)
+signed_f32 = st.builds(lambda m, s: np.float32(-m if s else m), f32, st.booleans())
+
+
+class TestTermTable:
+    def test_eight_terms(self):
+        assert len(FP32_MUL_TERMS) == 8
+
+    def test_least_significant_product_omitted(self):
+        assert all((t.x_slice, t.y_slice) != (0, 0) for t in FP32_MUL_TERMS)
+
+    def test_relative_shifts(self):
+        shifts = sorted(t.relative_shift for t in FP32_MUL_TERMS)
+        assert shifts == [0, 0, 8, 8, 8, 16, 16, 24]
+
+    def test_shift_matches_slice_weights(self):
+        for t in FP32_MUL_TERMS:
+            assert t.relative_shift == 8 * (t.x_slice + t.y_slice) - 8
+
+    def test_preshift_fits_dsp_ports(self):
+        """Pre-shifted slices must fit the 27x18 multiplier (Section II-D)."""
+        for t in FP32_MUL_TERMS:
+            assert 8 + t.x_preshift <= 26  # signed 27-bit port
+            assert 8 + t.y_preshift <= 17  # signed 18-bit port
+
+    def test_rows_are_unique(self):
+        assert sorted(t.row for t in FP32_MUL_TERMS) == list(range(8))
+
+    def test_split_preshift_errors(self):
+        with pytest.raises(Exception):
+            split_preshift(-1)
+        with pytest.raises(HardwareContractError):
+            split_preshift(40)
+
+
+class TestAccumulator:
+    @given(man24, man24)
+    def test_accumulator_is_product_minus_lsp(self, mx, my):
+        """acc == (mx*my - x0*y0) >> 8 exactly."""
+        acc = int(accumulator_value(np.int64(mx), np.int64(my)))
+        x0, y0 = mx & 0xFF, my & 0xFF
+        assert acc == (mx * my - x0 * y0) >> 8
+        assert (mx * my - x0 * y0) % 256 == 0
+
+    @given(man24, man24)
+    def test_accumulator_fits_48_bits(self, mx, my):
+        acc = int(accumulator_value(np.int64(mx), np.int64(my)))
+        assert 0 < acc < (1 << 40)
+
+
+class TestSlicedMultiply:
+    @given(signed_f32, signed_f32)
+    def test_relative_error_bound(self, x, y):
+        """Truncation + omitted LSP stay within 1 ulp (2^-23 relative)."""
+        exact = float(x) * float(y)
+        got = float(sliced_multiply(x, y))
+        assert abs(got - exact) <= abs(exact) * 2.0**-22
+
+    @given(signed_f32, signed_f32)
+    def test_result_never_overshoots(self, x, y):
+        """Truncation means |result| <= |exact product| always."""
+        exact = abs(float(x) * float(y))
+        assert abs(float(sliced_multiply(x, y))) <= exact * (1 + 1e-12)
+
+    def test_signs(self):
+        a = np.float32(3.0)
+        assert float(sliced_multiply(a, np.float32(-2.0))) == -6.0
+        assert float(sliced_multiply(-a, np.float32(-2.0))) == 6.0
+
+    def test_exact_powers_of_two(self):
+        assert float(sliced_multiply(np.float32(4.0), np.float32(0.5))) == 2.0
+
+    def test_zero_operands(self):
+        assert float(sliced_multiply(np.float32(0.0), np.float32(5.0))) == 0.0
+        assert float(sliced_multiply(np.float32(7.0), np.float32(0.0))) == 0.0
+
+    def test_underflow_flushes_to_zero(self):
+        tiny = np.float32(2.0**-100)
+        assert float(sliced_multiply(tiny, tiny)) == 0.0
+
+    def test_overflow_raises(self):
+        big = np.float32(2.0**100)
+        with pytest.raises(HardwareContractError):
+            sliced_multiply(big, big)
+
+    def test_special_values_raise(self):
+        with pytest.raises(SpecialValueError):
+            sliced_multiply(np.float32(np.nan), np.float32(1.0))
+
+    def test_vectorized_matches_scalar(self, rng):
+        x = rng.normal(size=200).astype(np.float32)
+        y = rng.normal(size=200).astype(np.float32)
+        vec = sliced_multiply(x, y)
+        for i in range(0, 200, 17):
+            assert vec[i] == sliced_multiply(x[i], y[i])
+
+    def test_broadcasting(self, rng):
+        x = rng.normal(size=(3, 1)).astype(np.float32)
+        y = rng.normal(size=(1, 4)).astype(np.float32)
+        out = sliced_multiply(x, y)
+        assert out.shape == (3, 4)

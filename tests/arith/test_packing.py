@@ -1,0 +1,85 @@
+"""Tests for the combined-MAC packing (2 MACs / DSP48E2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.packing import (
+    PACK_SHIFT,
+    check_accumulation_contract,
+    max_safe_terms,
+    pack_pair,
+    unpack_accumulator,
+)
+from repro.errors import HardwareContractError
+
+int8c = st.integers(-127, 127)  # quantizer contract: never -128
+
+
+class TestPackUnpack:
+    @given(st.lists(st.tuples(int8c, int8c, int8c), min_size=1, max_size=8))
+    def test_accumulated_products_unpack_exactly(self, terms):
+        """The core invariant of Section II-B: up to 8 accumulated packed
+        products separate exactly into the two running sums."""
+        acc = 0
+        for x, y_hi, y_lo in terms:
+            acc += x * int(pack_pair(np.int64(y_hi), np.int64(y_lo)))
+        hi, lo = unpack_accumulator(np.int64(acc), len(terms))
+        want_hi = sum(x * y for x, y, _ in terms)
+        want_lo = sum(x * y for x, _, y in terms)
+        assert int(hi) == want_hi and int(lo) == want_lo
+
+    def test_worst_case_eight_terms(self):
+        """8 x 127 x (-127) is the exact worst case and still unpacks."""
+        acc = 0
+        for _ in range(8):
+            acc += 127 * int(pack_pair(np.int64(-127), np.int64(-127)))
+        hi, lo = unpack_accumulator(np.int64(acc), 8)
+        assert int(hi) == int(lo) == 8 * 127 * -127
+
+    def test_vectorized(self):
+        rng = np.random.default_rng(0)
+        y_hi = rng.integers(-127, 128, 100)
+        y_lo = rng.integers(-127, 128, 100)
+        xs = rng.integers(-127, 128, (8, 100))
+        acc = (xs[:, :] * pack_pair(y_hi, y_lo)[None, :]).sum(axis=0)
+        hi, lo = unpack_accumulator(acc, 8)
+        assert np.array_equal(hi, (xs * y_hi).sum(0))
+        assert np.array_equal(lo, (xs * y_lo).sum(0))
+
+
+class TestContracts:
+    def test_max_safe_terms(self):
+        assert max_safe_terms(127) == 8
+        assert max_safe_terms(128) == 7  # why -128 must be excluded
+
+    def test_nine_terms_rejected(self):
+        with pytest.raises(HardwareContractError):
+            check_accumulation_contract(9, 127)
+
+    def test_eight_full_scale_rejected(self):
+        with pytest.raises(HardwareContractError):
+            check_accumulation_contract(8, 128)
+
+    def test_eight_clamped_accepted(self):
+        check_accumulation_contract(8, 127)
+
+    def test_pack_range_checks(self):
+        with pytest.raises(HardwareContractError):
+            pack_pair(np.int64(200), np.int64(0))
+        with pytest.raises(HardwareContractError):
+            pack_pair(np.int64(0), np.int64(-129))
+
+    def test_unpack_validates_contract(self):
+        with pytest.raises(HardwareContractError):
+            unpack_accumulator(np.int64(0), 9)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            check_accumulation_contract(-1)
+
+    def test_pack_shift_fits_dsp_port(self):
+        # packed = y_hi * 2^18 + y_lo must fit the 27-bit A:D path
+        worst = 127 * (1 << PACK_SHIFT) + 127
+        assert worst < (1 << 26)

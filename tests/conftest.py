@@ -1,0 +1,33 @@
+"""Shared test configuration: hypothesis profiles and common fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def finite_f32(rng: np.random.Generator, shape, scale_range=(-20, 20)):
+    """Random float32 values with a wide but safe exponent spread."""
+    mant = rng.normal(size=shape)
+    exps = rng.integers(scale_range[0], scale_range[1], size=shape)
+    return (mant * np.exp2(exps)).astype(np.float32)

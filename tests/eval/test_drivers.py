@@ -1,0 +1,89 @@
+"""Tests for the per-table/figure experiment drivers."""
+
+import pytest
+
+from repro.eval import bitwidth, fig6, fig7, table1, table2, table3, table4
+
+
+class TestTable1:
+    def test_derived_matrix_matches_paper(self):
+        assert table1.shared_operations() == table1.PAPER_TABLE1
+
+    def test_report(self):
+        out = table1.run()
+        assert "Matches the paper's Table I: True" in out
+
+
+class TestTable2:
+    def test_report_contains_totals(self):
+        out = table2.run()
+        assert "7348" in out and "10329" in out and "57.5" in out
+        assert "10.23% LUT, 11.77% FF" in out
+
+
+class TestFig6:
+    def test_normalized_table(self):
+        norm = fig6.normalized_utilization()
+        assert norm["int8"]["lut"] == 1.0
+        assert norm["ours"]["dsp"] == 1.0
+        assert norm["indiv"]["dsp"] == pytest.approx(1.25)
+
+    def test_report(self):
+        out = fig6.run()
+        assert "ours" in out and "indiv" in out
+
+
+class TestFig7:
+    def test_series_shapes(self):
+        bfp = fig7.bfp_series()
+        assert len(bfp["theoretical_GOPS"]) == len(fig7.BFP_SWEEP)
+        assert all(m < t for m, t in zip(bfp["measured_GOPS"],
+                                         bfp["theoretical_GOPS"]))
+        fp = fig7.fp32_series()
+        ratios = fp["measured/theoretical"]
+        assert ratios == sorted(ratios)
+
+    def test_report_with_cycle_verification(self):
+        out = fig7.run(verify_cycles=True)
+        assert "33.88" in out
+
+
+class TestTable3:
+    def test_report(self):
+        out = table3.run()
+        assert "Ours (paper)" in out and "Ours (model)" in out
+        assert "2052.1" in out
+
+
+class TestTable4:
+    def test_paper_reproduction_report(self):
+        out = table4.run()
+        assert "1.201" in out  # paper's bfp8 latency reproduced
+        assert "9.68" in out  # softmax latency
+        assert "fp32 share of latency" in out
+
+    def test_paper_mode_latencies(self):
+        report = table4.reproduce_paper_table()
+        assert report.total_latency_s == pytest.approx(14.70e-3, rel=0.01)
+
+
+class TestBitwidth:
+    def test_sqnr_table_structure(self):
+        rows = bitwidth.sqnr_table(shape=(64, 64), seed=1)
+        assert len(rows) == 3 * len(bitwidth.SWEEP_BITS)
+
+    def test_bfp_wins_on_outliers_at_every_width(self):
+        rows = bitwidth.sqnr_table(shape=(128, 128), seed=2)
+        for r in rows:
+            if r["distribution"] in ("heavy-tailed", "outlier"):
+                assert r["bfp_sqnr_db"] > r["int_sqnr_db"] + 5.0
+
+    def test_gap_small_on_gaussian(self):
+        rows = bitwidth.sqnr_table(shape=(128, 128), seed=3)
+        for r in rows:
+            if r["distribution"] == "gaussian":
+                assert abs(r["bfp_sqnr_db"] - r["int_sqnr_db"]) < 5.0
+
+    def test_report_without_training(self):
+        out = bitwidth.run(include_model_sweep=False)
+        assert "SQNR" in out

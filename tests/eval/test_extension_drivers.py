@@ -1,0 +1,42 @@
+"""Tests for the extension-study drivers (half precision, sensitivity)."""
+
+import pytest
+
+from repro.eval import halfprec
+
+
+class TestHalfprecDriver:
+    def test_nonlinear_accuracy_rows(self):
+        rows = halfprec.nonlinear_accuracy(seed=3)
+        by = {r["precision"]: r for r in rows}
+        assert set(by) == {"fp32", "bf16", "fp16"}
+        assert by["fp32"]["softmax_max_err"] < by["bf16"]["softmax_max_err"]
+
+    def test_throughput_rows(self):
+        rows = halfprec.throughput_gain()
+        by = {r["precision"]: r for r in rows}
+        assert by["bf16"]["peak_gflops"] == pytest.approx(4.8)
+        assert by["fp32"]["lanes"] == 4 and by["bf16"]["lanes"] == 8
+
+    def test_deit_latency_projection(self):
+        lat = halfprec.deit_latency_with_half("bf16")
+        assert lat["speedup"] > 1.2
+        assert lat["boosted_ms"] < lat["baseline_ms"]
+        assert lat["fp32_share_after"] < lat["fp32_share_before"]
+
+    def test_report(self):
+        out = halfprec.run()
+        assert "bf16" in out and "fp16" in out
+
+
+class TestSensitivityDriver:
+    def test_quick_run(self):
+        from repro.eval.sensitivity import run_on_trained_model
+
+        acc, rows = run_on_trained_model(
+            n_samples=300, epochs=2, dim=16, depth=1, seed=1,
+            schemes=[("bfp", 8)],
+        )
+        assert 0.0 <= acc <= 1.0
+        assert len(rows) == 5
+        assert all(r.logit_rmse >= 0 for r in rows)

@@ -1,0 +1,101 @@
+"""Property tests for the mantissa-bitwidth parameterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arith.bfp_matmul import bfp_matmul_emulate
+from repro.errors import ConfigurationError
+from repro.formats.bfp8 import quantize_block, quantize_tiles
+from repro.formats.blocking import BfpMatrix
+from repro.formats.int8q import quantize_intn
+
+tiles = hnp.arrays(np.float64, (8, 8), elements=st.floats(-1e3, 1e3,
+                                                          allow_nan=False))
+bits = st.integers(2, 8)
+
+
+class TestQuantizerBitwidth:
+    @given(tiles, bits)
+    @settings(max_examples=40)
+    def test_mantissa_range(self, x, b):
+        blk = quantize_block(x, man_bits=b)
+        lim = (1 << (b - 1)) - 1
+        assert int(np.abs(blk.mantissas).max()) <= lim
+
+    @given(tiles, bits)
+    @settings(max_examples=40)
+    def test_error_bound_scales_with_bits(self, x, b):
+        blk = quantize_block(x, man_bits=b)
+        step = 2.0 ** blk.exponent
+        assert np.abs(blk.decode() - x).max() <= step + 1e-12
+
+    @given(tiles)
+    @settings(max_examples=25)
+    def test_more_bits_never_worse(self, x):
+        errs = []
+        for b in (4, 6, 8):
+            blk = quantize_block(x, man_bits=b)
+            errs.append(np.abs(blk.decode() - x).max())
+        assert errs[0] >= errs[1] >= errs[2]
+
+    @given(tiles, bits)
+    @settings(max_examples=25)
+    def test_tiles_match_scalar_at_any_width(self, x, b):
+        man, exp = quantize_tiles(x[None], man_bits=b)
+        ref = quantize_block(x, man_bits=b)
+        assert exp[0] == ref.exponent
+        assert np.array_equal(man[0], ref.mantissas.astype(np.int16))
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            quantize_block(np.zeros((8, 8)), man_bits=1)
+        with pytest.raises(ConfigurationError):
+            quantize_block(np.zeros((8, 8)), man_bits=9)
+
+
+class TestMatmulBitwidth:
+    @given(st.integers(2, 8), st.integers(0, 500))
+    @settings(max_examples=15)
+    def test_emulate_runs_at_any_width(self, b, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(12, 16))
+        w = rng.normal(size=(16, 9))
+        out = bfp_matmul_emulate(a, w, man_bits=b)
+        assert out.shape == (12, 9)
+        assert np.isfinite(out).all()
+
+    def test_error_shrinks_with_bits(self, rng):
+        a = rng.normal(size=(24, 32))
+        w = rng.normal(size=(32, 24))
+        ref = a @ w
+        errs = [
+            np.abs(bfp_matmul_emulate(a, w, man_bits=b) - ref).max()
+            for b in (4, 6, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_from_dense_roundtrip_bits(self, rng):
+        x = rng.normal(size=(20, 20))
+        for b in (4, 8):
+            bm = BfpMatrix.from_dense(x, man_bits=b)
+            lim = (1 << (b - 1)) - 1
+            assert int(np.abs(bm.mantissas).max()) <= lim
+
+
+class TestIntNBitwidth:
+    @given(st.integers(2, 8), st.integers(0, 500))
+    @settings(max_examples=25)
+    def test_range_and_bound(self, b, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=50) * 10
+        q = quantize_intn(x, b)
+        lim = (1 << (b - 1)) - 1
+        assert int(np.abs(q.values).max()) <= lim
+        assert np.abs(q.decode() - x).max() <= q.scale / 2 + 1e-12
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize_intn(np.ones(4), 1)

@@ -1,0 +1,70 @@
+"""Tests for matrix <-> block tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.formats.blocking import BfpMatrix, pad_to_blocks
+
+dims = st.integers(1, 40)
+
+
+class TestPadding:
+    @given(dims, dims)
+    def test_padded_shape_multiple_of_block(self, m, n):
+        x = np.ones((m, n))
+        p = pad_to_blocks(x)
+        assert p.shape[0] % 8 == 0 and p.shape[1] % 8 == 0
+        assert p.shape[0] - m < 8 and p.shape[1] - n < 8
+        assert np.array_equal(p[:m, :n], x)
+        assert p[m:, :].sum() == 0 and p[:, n:].sum() == 0
+
+    def test_exact_multiple_is_identity(self):
+        x = np.ones((16, 24))
+        assert pad_to_blocks(x).shape == (16, 24)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            pad_to_blocks(np.zeros(5))
+
+
+class TestBfpMatrix:
+    @given(dims, dims)
+    def test_roundtrip_shape_and_bound(self, m, n):
+        rng = np.random.default_rng(m * 100 + n)
+        x = rng.normal(size=(m, n))
+        bm = BfpMatrix.from_dense(x)
+        back = bm.to_dense()
+        assert back.shape == (m, n)
+        # Per-block error bound: one step of that block's exponent.
+        steps = np.exp2(bm.exponents.astype(float)).max()
+        assert np.abs(back - x).max() <= steps
+
+    def test_block_grid(self):
+        bm = BfpMatrix.from_dense(np.ones((17, 9)))
+        assert bm.block_grid == (3, 2)
+        assert bm.block_shape == (8, 8)
+        blk = bm.block(0, 0)
+        assert blk.shape == (8, 8)
+
+    def test_padding_blocks_are_zero(self):
+        bm = BfpMatrix.from_dense(np.ones((8, 9)))
+        edge = bm.block(0, 1)
+        assert (edge.mantissas[:, 1:] == 0).all()
+
+    def test_quantization_error_helper(self):
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        bm = BfpMatrix.from_dense(x)
+        assert bm.quantization_error(x) == pytest.approx(
+            np.abs(bm.to_dense() - x).max()
+        )
+        with pytest.raises(ConfigurationError):
+            bm.quantization_error(np.zeros((3, 3)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            BfpMatrix.from_dense(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            BfpMatrix(np.zeros((2, 2, 8, 8), np.int16), np.zeros((3, 3), np.int16), (16, 16))

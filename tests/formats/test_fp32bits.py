@@ -1,0 +1,130 @@
+"""Tests for fp32 bit-level views."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SpecialValueError
+from repro.formats import fp32bits
+
+normal_floats = st.floats(
+    min_value=2.0**-126,
+    max_value=2.0**127,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+signed_normals = st.builds(
+    lambda m, s: np.float32(-m if s else m), normal_floats, st.booleans()
+)
+
+
+class TestDecomposeCompose:
+    @given(hnp.arrays(np.float32, st.integers(1, 40), elements=signed_normals))
+    def test_roundtrip_normals(self, x):
+        s, e, m = fp32bits.decompose(x)
+        assert np.array_equal(fp32bits.compose(s, e, m), x)
+
+    def test_value_identity(self):
+        x = np.float32(1.5)
+        s, e, m = fp32bits.decompose(x)
+        assert s == 0 and e == 127 and m == 3 << 22
+        assert float(m * 2.0 ** (e - 127 - 23)) == 1.5
+
+    def test_zero(self):
+        s, e, m = fp32bits.decompose(np.float32(0.0))
+        assert (s, e, m) == (0, 0, 0)
+        s, e, m = fp32bits.decompose(np.float32(-0.0))
+        assert (s, e, m) == (1, 0, 0)
+
+    def test_denormals_flush_to_zero(self):
+        tiny = np.float32(1e-40)  # denormal
+        s, e, m = fp32bits.decompose(tiny)
+        assert e == 0 and m == 0
+        out = fp32bits.flush_denormals(np.array([tiny, -tiny, 1.0], np.float32))
+        assert out[0] == 0.0 and out[1] == 0.0 and out[2] == 1.0
+        assert np.signbit(out[1])
+
+    def test_mantissa_normalized_range(self):
+        x = np.linspace(-100, 100, 999).astype(np.float32)
+        _, e, m = fp32bits.decompose(x)
+        nz = m != 0
+        assert (m[nz] >= 1 << 23).all() and (m[nz] < 1 << 24).all()
+
+    def test_special_values_raise(self):
+        with pytest.raises(SpecialValueError):
+            fp32bits.decompose(np.array([1.0, np.nan], np.float32))
+        with pytest.raises(SpecialValueError):
+            fp32bits.decompose(np.array([np.inf], np.float32))
+
+    def test_special_values_propagate(self):
+        s, e, m = fp32bits.decompose(
+            np.array([np.inf], np.float32), special_values="propagate"
+        )
+        assert e[0] == 255
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            fp32bits.decompose(np.float32(1.0), special_values="bogus")
+
+    def test_compose_underflow_flushes(self):
+        out = fp32bits.compose(
+            np.uint32(0), np.int64(0), np.int64(1 << 23), strict=False
+        )
+        assert out == 0.0
+
+    def test_compose_overflow_strict_raises(self):
+        with pytest.raises(OverflowError):
+            fp32bits.compose(np.uint32(0), np.int64(255), np.int64(1 << 23))
+
+    def test_compose_overflow_nonstrict_inf(self):
+        out = fp32bits.compose(
+            np.uint32(1), np.int64(300), np.int64(1 << 23), strict=False
+        )
+        assert np.isinf(out) and out < 0
+
+    def test_compose_rejects_denormalized_mantissa(self):
+        with pytest.raises(ValueError):
+            fp32bits.compose(np.uint32(0), np.int64(100), np.int64(5))
+
+    def test_compose_rejects_out_of_range_mantissa(self):
+        with pytest.raises(ValueError):
+            fp32bits.compose(np.uint32(0), np.int64(100), np.int64(1 << 24))
+
+
+class TestSlices:
+    @given(st.integers(0, (1 << 24) - 1))
+    def test_roundtrip(self, man):
+        m = np.int64(man)
+        sl = fp32bits.mantissa_slices(m)
+        assert sl.shape[-1] == 3
+        assert fp32bits.slices_to_mantissa(sl) == man
+
+    def test_slice_values(self):
+        sl = fp32bits.mantissa_slices(np.int64(0xABCDEF))
+        assert list(sl) == [0xEF, 0xCD, 0xAB]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fp32bits.mantissa_slices(np.int64(1 << 24))
+        with pytest.raises(ValueError):
+            fp32bits.mantissa_slices(np.int64(-1))
+
+    def test_slices_to_mantissa_validates(self):
+        with pytest.raises(ValueError):
+            fp32bits.slices_to_mantissa(np.array([1, 2], np.int64))
+        with pytest.raises(ValueError):
+            fp32bits.slices_to_mantissa(np.array([0, 0, 300], np.int64))
+
+
+class TestSignedMantissa:
+    def test_fusion(self):
+        m = np.array([5, 7], np.int64)
+        s = np.array([0, 1], np.uint8)
+        assert list(fp32bits.signed_mantissa(s, m)) == [5, -7]
+
+    def test_is_special_mask(self):
+        x = np.array([1.0, np.nan, np.inf, -np.inf, 0.0], np.float32)
+        assert list(fp32bits.is_special(x)) == [False, True, True, True, False]

@@ -1,0 +1,115 @@
+"""Tests for the bf16/fp16 extension formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.fp_sliced_half import (
+    half_lane_count,
+    half_rows_per_result,
+    sliced_multiply_half,
+)
+from repro.errors import ConfigurationError
+from repro.formats.halfprec import (
+    BF16,
+    FP16,
+    HALF_FORMATS,
+    compose_half,
+    decompose_half,
+    quantize_half,
+)
+
+f32 = st.floats(min_value=2.0**-10, max_value=2.0**10, allow_nan=False,
+                width=32)
+signed = st.builds(lambda m, s: np.float32(-m if s else m), f32, st.booleans())
+
+
+class TestFormats:
+    def test_field_definitions(self):
+        assert BF16.bias == 127 and BF16.n_slices == 1
+        assert FP16.bias == 15 and FP16.n_slices == 2
+        assert BF16.n_partial_products == 1
+        assert FP16.n_partial_products == 4
+
+    def test_fp16_matches_numpy_float16_grid(self):
+        """Our fp16 quantizer agrees with IEEE binary16 (RNE) on normals."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2000).astype(np.float32)
+        ours = quantize_half(x, FP16)
+        numpy16 = x.astype(np.float16).astype(np.float32)
+        assert np.allclose(ours, numpy16, rtol=0, atol=0)
+
+    def test_bf16_matches_rounded_truncation(self):
+        x = np.float32(1.0 + 2**-9)  # below bf16 resolution
+        assert quantize_half(x, BF16) == 1.0
+
+    @given(signed, st.sampled_from(["bf16", "fp16"]))
+    @settings(max_examples=60)
+    def test_quantize_error_bound(self, v, fmt_name):
+        fmt = HALF_FORMATS[fmt_name]
+        q = float(quantize_half(np.float32(v), fmt))
+        assert abs(q - float(v)) <= abs(float(v)) * 2.0 ** (-(fmt.man_bits - 1))
+
+    @given(signed, st.sampled_from(["bf16", "fp16"]))
+    @settings(max_examples=60)
+    def test_decompose_compose_roundtrip(self, v, fmt_name):
+        fmt = HALF_FORMATS[fmt_name]
+        q = quantize_half(np.float32(v), fmt)
+        s, e, m = decompose_half(q, fmt)
+        assert np.array_equal(compose_half(s, e, m, fmt), q)
+
+    def test_decompose_rejects_off_grid(self):
+        with pytest.raises(ConfigurationError):
+            decompose_half(np.float32(1.0 + 2**-20), BF16)
+
+    def test_overflow_saturates(self):
+        big = np.float32(1e30)
+        q = float(quantize_half(big, FP16))
+        assert q == pytest.approx(65504, rel=0.01)  # fp16 max finite-ish
+
+    def test_underflow_flushes(self):
+        assert float(quantize_half(np.float32(1e-8), FP16)) == 0.0
+
+
+class TestSlicedMultiplyHalf:
+    @given(signed, signed, st.sampled_from(["bf16", "fp16"]))
+    @settings(max_examples=60)
+    def test_error_bound(self, a, b, fmt_name):
+        fmt = HALF_FORMATS[fmt_name]
+        out = float(sliced_multiply_half(np.float32(a), np.float32(b), fmt))
+        qa = float(quantize_half(np.float32(a), fmt))
+        qb = float(quantize_half(np.float32(b), fmt))
+        exact = qa * qb
+        if abs(exact) > fmt.max_finite:
+            assert abs(out) == pytest.approx(fmt.max_finite, rel=1e-6)
+            return
+        # One truncating normalization past the exact slice product.
+        assert abs(out - exact) <= abs(exact) * 2.0 ** (-(fmt.man_bits - 1))
+
+    def test_zero(self):
+        assert float(sliced_multiply_half(np.float32(0), np.float32(3), BF16)) == 0.0
+
+    def test_signs(self):
+        out = sliced_multiply_half(np.float32(-2.0), np.float32(3.0), BF16)
+        assert float(out) == -6.0
+
+    def test_overflow_saturates_not_raises(self):
+        big = np.float32(60000.0)
+        out = float(sliced_multiply_half(big, big, FP16))
+        assert out == pytest.approx(65504, rel=0.01)
+
+
+class TestLaneModel:
+    def test_rows_per_result(self):
+        assert half_rows_per_result(BF16) == 1
+        assert half_rows_per_result(FP16) == 4
+
+    def test_lane_counts_bandwidth_bound(self):
+        assert half_lane_count(BF16) == 8
+        assert half_lane_count(FP16) == 8
+
+    def test_throughput_doubles_fp32(self):
+        from repro.perf.throughput import fp32_peak_flops, half_peak_flops
+
+        assert half_peak_flops("bf16") == pytest.approx(2 * fp32_peak_flops())

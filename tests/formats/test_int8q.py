@@ -1,0 +1,67 @@
+"""Tests for the int8 per-tensor baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.formats.int8q import Int8Tensor, int8_matmul, quantize_int8
+
+tensors = hnp.arrays(
+    np.float64, st.tuples(st.integers(1, 10), st.integers(1, 10)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+class TestQuantize:
+    @given(tensors)
+    def test_error_bounded_by_half_scale(self, x):
+        q = quantize_int8(x)
+        assert np.abs(q.decode() - x).max() <= q.scale / 2 + 1e-12
+
+    @given(tensors)
+    def test_values_in_range(self, x):
+        q = quantize_int8(x)
+        assert q.values.min() >= -127 and q.values.max() <= 127
+
+    def test_zero_tensor(self):
+        q = quantize_int8(np.zeros((3, 3)))
+        assert q.scale == 1.0 and (q.values == 0).all()
+
+    def test_percentile_clipping(self):
+        x = np.ones(1000)
+        x[0] = 1000.0  # outlier
+        q_full = quantize_int8(x)
+        q_clip = quantize_int8(x, percentile=99.0)
+        # Clipped calibration resolves the bulk of the data much better.
+        assert np.abs(q_clip.decode()[1:] - 1.0).max() < np.abs(
+            q_full.decode()[1:] - 1.0
+        ).max()
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            quantize_int8(np.array([1.0, np.nan]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Int8Tensor(np.array([200], np.int16), 1.0)
+        with pytest.raises(ConfigurationError):
+            Int8Tensor(np.array([1], np.int8), -1.0)
+
+
+class TestMatmul:
+    def test_exact_integer_accumulation(self):
+        a = Int8Tensor(np.array([[100, 100]], np.int8), 1.0)
+        b = Int8Tensor(np.array([[100], [100]], np.int8), 1.0)
+        out = int8_matmul(a, b)
+        assert out[0, 0] == 20000.0  # would overflow int16, exact in wide acc
+
+    @given(tensors)
+    def test_matches_dequantized_product(self, x):
+        y = x.T.copy()
+        qa, qb = quantize_int8(x), quantize_int8(y)
+        out = int8_matmul(qa, qb)
+        ref = qa.decode() @ qb.decode()
+        assert np.allclose(out, ref, rtol=1e-12, atol=1e-9)

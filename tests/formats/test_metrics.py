@@ -1,0 +1,78 @@
+"""Tests for the SQNR metrics and test distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.formats.metrics import (
+    DISTRIBUTIONS,
+    bfp_sqnr_db,
+    intn_sqnr_db,
+    sample_distribution,
+    sqnr_db,
+)
+
+
+class TestSqnr:
+    def test_exact_is_infinite(self, rng):
+        x = rng.normal(size=(8, 8))
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_zero_signal(self):
+        assert sqnr_db(np.zeros((2, 2)), np.ones((2, 2))) == float("-inf")
+
+    def test_known_value(self):
+        ref = np.ones(100)
+        noisy = ref + 0.1  # SNR = 1 / 0.01 = 100 -> 20 dB
+        assert sqnr_db(ref, noisy) == pytest.approx(20.0)
+
+    def test_more_bits_better(self, rng):
+        x = rng.normal(size=(64, 64))
+        assert bfp_sqnr_db(x, 4) < bfp_sqnr_db(x, 6) < bfp_sqnr_db(x, 8)
+        assert intn_sqnr_db(x, 4) < intn_sqnr_db(x, 6) < intn_sqnr_db(x, 8)
+
+    def test_roughly_six_db_per_bit(self, rng):
+        x = rng.normal(size=(128, 128))
+        gain = bfp_sqnr_db(x, 8) - bfp_sqnr_db(x, 6)
+        assert 9.0 < gain < 15.0  # ~6 dB per bit over two bits
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            bfp_sqnr_db(np.zeros(8))
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", DISTRIBUTIONS)
+    def test_shapes(self, name, rng):
+        x = sample_distribution(name, (16, 16), rng)
+        assert x.shape == (16, 16)
+        assert np.isfinite(x).all()
+
+    def test_outliers_present(self, rng):
+        x = sample_distribution("outlier", (512, 512), rng)
+        assert np.abs(x).max() > 20.0  # 100x spikes over a unit Gaussian
+
+    def test_unknown(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_distribution("cauchy", (2, 2), rng)
+
+    def test_outlier_containment_structure(self, rng):
+        """An outlier degrades only its own block in bfp, everything in int.
+
+        Construct a tensor with a single huge element and measure the
+        reconstruction error of the *bulk* (everything outside the
+        outlier's 8x8 block): block-fp keeps it at its own fine scale,
+        per-tensor int8 rescales it with the outlier's coarse grid.
+        """
+        from repro.formats.blocking import BfpMatrix
+        from repro.formats.int8q import quantize_int8
+
+        x = rng.normal(size=(64, 64))
+        x[0, 0] = 1e4
+        bfp_err = np.abs(BfpMatrix.from_dense(x).to_dense() - x)
+        int_err = np.abs(
+            quantize_int8(x).decode().reshape(x.shape) - x
+        )
+        bulk = np.ones_like(x, dtype=bool)
+        bulk[:8, :8] = False  # exclude the outlier's block entirely
+        assert bfp_err[bulk].max() * 100 < int_err[bulk].max()

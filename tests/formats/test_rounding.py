@@ -1,0 +1,87 @@
+"""Tests for integer shift-rounding helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formats.rounding import shift_right
+
+ints = st.integers(-(1 << 46), (1 << 46) - 1)
+shifts = st.integers(0, 50)
+
+
+class TestTruncate:
+    @given(ints, shifts)
+    def test_matches_floor_division(self, x, n):
+        out = int(shift_right(np.int64(x), n, "truncate"))
+        assert out == x >> min(n, 63)
+
+    def test_saturates_large_shifts(self):
+        assert int(shift_right(np.int64(100), 64, "truncate")) == 0
+        assert int(shift_right(np.int64(-100), 64, "truncate")) == -1
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            shift_right(np.int64(1), -1)
+
+
+class TestNearestEven:
+    @given(ints, st.integers(1, 40))
+    def test_within_half_ulp(self, x, n):
+        out = int(shift_right(np.int64(x), n, "nearest_even"))
+        assert abs(out - x / 2**n) <= 0.5
+
+    @given(ints, st.integers(1, 40))
+    def test_ties_to_even(self, x, n):
+        # Construct an exact tie: (2k+1) * 2^(n-1)
+        tie = (2 * (x >> 10) + 1) << (n - 1)
+        if abs(tie) >= 1 << 62:
+            return
+        out = int(shift_right(np.int64(tie), n, "nearest_even"))
+        assert out % 2 == 0
+
+    def test_examples(self):
+        assert int(shift_right(np.int64(5), 1, "nearest_even")) == 2  # 2.5 -> 2
+        assert int(shift_right(np.int64(7), 1, "nearest_even")) == 4  # 3.5 -> 4
+        assert int(shift_right(np.int64(-5), 1, "nearest_even")) == -2
+
+
+class TestNearestAway:
+    def test_examples(self):
+        assert int(shift_right(np.int64(5), 1, "nearest_away")) == 3  # 2.5 -> 3
+        assert int(shift_right(np.int64(-5), 1, "nearest_away")) == -3
+
+    @given(ints, st.integers(1, 40))
+    def test_within_half_ulp(self, x, n):
+        out = int(shift_right(np.int64(x), n, "nearest_away"))
+        assert abs(out - x / 2**n) <= 0.5
+
+
+class TestStochastic:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            shift_right(np.int64(5), 1, "stochastic")
+
+    def test_unbiased_in_expectation(self):
+        rng = np.random.default_rng(0)
+        x = np.full(20000, 5, dtype=np.int64)  # 5/4 = 1.25
+        out = shift_right(x, 2, "stochastic", rng=rng)
+        assert set(np.unique(out)) <= {1, 2}
+        assert abs(out.mean() - 1.25) < 0.02
+
+    def test_exact_values_unchanged(self):
+        rng = np.random.default_rng(0)
+        out = shift_right(np.full(100, 8, np.int64), 2, "stochastic", rng=rng)
+        assert (out == 2).all()
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        shift_right(np.int64(1), 1, "round_up")  # type: ignore[arg-type]
+
+
+def test_elementwise_shift_amounts():
+    x = np.array([16, 16, 16], np.int64)
+    n = np.array([0, 2, 4], np.int64)
+    assert list(shift_right(x, n, "truncate")) == [16, 4, 1]

@@ -1,0 +1,130 @@
+"""Tests for the dual-format X/Y buffers (Fig. 4 data layout)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, HardwareContractError
+from repro.formats import fp32bits
+from repro.formats.bfp8 import BfpBlock
+from repro.hw.buffers import (
+    FP32_LANES,
+    MAX_FP32_STREAM,
+    MAX_X_BLOCKS,
+    XBuffer,
+    YBuffer,
+)
+
+
+def _blocks(rng, n):
+    return [
+        BfpBlock(rng.integers(-127, 128, (8, 8)).astype(np.int8), int(e))
+        for e in rng.integers(-100, 100, n)
+    ]
+
+
+class TestXBufferBfp:
+    def test_roundtrip_rows(self, rng):
+        blocks = _blocks(rng, 5)
+        buf = XBuffer()
+        buf.load_bfp_blocks(blocks)
+        for b_idx, blk in enumerate(blocks):
+            for row in range(8):
+                vals, exp = buf.read_bfp_row(b_idx, row)
+                assert np.array_equal(vals, blk.mantissas[row].astype(np.int64))
+                assert exp == blk.exponent
+
+    def test_bram_count(self):
+        assert XBuffer().n_brams == 17
+        assert YBuffer().n_brams == 33
+
+    def test_capacity_limit(self, rng):
+        buf = XBuffer()
+        with pytest.raises(HardwareContractError):
+            buf.load_bfp_blocks(_blocks(rng, MAX_X_BLOCKS + 1))
+
+    def test_max_capacity_accepted(self, rng):
+        buf = XBuffer()
+        buf.load_bfp_blocks(_blocks(rng, MAX_X_BLOCKS))
+        assert buf.n_blocks == MAX_X_BLOCKS
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XBuffer().load_bfp_blocks([])
+
+    def test_mode_enforcement(self, rng):
+        buf = XBuffer()
+        with pytest.raises(HardwareContractError):
+            buf.read_bfp_row(0, 0)
+        buf.load_fp32(np.ones((4, 4), np.float32))
+        with pytest.raises(HardwareContractError):
+            buf.read_bfp_row(0, 0)
+
+
+class TestXBufferFp32:
+    @given(st.lists(st.floats(min_value=2.0**-100, max_value=2.0**100,
+                              allow_nan=False, width=32),
+                    min_size=4, max_size=20))
+    def test_roundtrip_values(self, vals):
+        vals = (vals * 4)[: 4 * (len(vals))]
+        arr = np.array(vals[: 4 * (len(vals) // 4)], np.float32).reshape(4, -1)
+        if arr.shape[1] == 0:
+            return
+        buf = XBuffer()
+        buf.load_fp32(arr)
+        s_ref, e_ref, m_ref = fp32bits.decompose(arr)
+        for lane in range(4):
+            for pos in range(arr.shape[1]):
+                s, e, m = buf.read_fp32(lane, pos)
+                assert (s, e, m) == (
+                    int(s_ref[lane, pos]), int(e_ref[lane, pos]), int(m_ref[lane, pos])
+                )
+
+    def test_sign_packed_in_top_slice(self):
+        buf = XBuffer()
+        arr = np.array([[-1.5], [1.5], [0.0], [-0.0]], np.float32)
+        buf.load_fp32(arr)
+        assert buf.read_fp32(0, 0)[0] == 1
+        assert buf.read_fp32(1, 0)[0] == 0
+        assert buf.read_fp32(2, 0) == (0, 0, 0)  # zero encodes as exp 0
+
+    def test_stream_length_limit(self):
+        buf = XBuffer()
+        with pytest.raises(HardwareContractError):
+            buf.load_fp32(np.ones((4, MAX_FP32_STREAM + 1), np.float32))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            XBuffer().load_fp32(np.ones((3, 4), np.float32))
+        with pytest.raises(ConfigurationError):
+            XBuffer().load_fp32(np.ones((4, 0), np.float32))
+
+    def test_read_bounds(self):
+        buf = XBuffer()
+        buf.load_fp32(np.ones((4, 2), np.float32))
+        with pytest.raises(HardwareContractError):
+            buf.read_fp32(0, 2)
+        with pytest.raises(HardwareContractError):
+            buf.read_fp32(FP32_LANES, 0)
+
+
+class TestYBuffer:
+    def test_pair_roundtrip(self, rng):
+        y_hi, y_lo = _blocks(rng, 2)
+        buf = YBuffer()
+        buf.load_bfp_pair(y_hi, y_lo)
+        for row in range(8):
+            hi, lo, e_hi, e_lo = buf.read_bfp_pair_row(row)
+            assert np.array_equal(hi, y_hi.mantissas[row].astype(np.int64))
+            assert np.array_equal(lo, y_lo.mantissas[row].astype(np.int64))
+            assert (e_hi, e_lo) == (y_hi.exponent, y_lo.exponent)
+
+    def test_mode_enforcement(self):
+        with pytest.raises(HardwareContractError):
+            YBuffer().read_bfp_pair_row(0)
+
+    def test_fp32_uses_bank_zero(self):
+        buf = YBuffer()
+        buf.load_fp32(np.full((4, 3), 2.0, np.float32))
+        assert buf.read_fp32(3, 2) == (0, 128, 1 << 23)

@@ -1,0 +1,53 @@
+"""Co-simulation: the vectorized array must be bit-identical to 64 scalar
+port-level PE models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import fp32bits
+from repro.hw.cosim import ScalarArray
+from repro.hw.systolic import SystolicArray
+
+
+class TestBfp8CoSim:
+    @given(st.integers(1, 4), st.integers(0, 2000))
+    @settings(max_examples=8)
+    def test_bit_identical_products_and_cycles(self, n_blocks, seed):
+        rng = np.random.default_rng(seed)
+        y_hi = rng.integers(-127, 128, (8, 8))
+        y_lo = rng.integers(-127, 128, (8, 8))
+        x = rng.integers(-127, 128, (n_blocks, 8, 8))
+
+        vec = SystolicArray()
+        vec.load_y_pair(y_hi, y_lo)
+        v = vec.run_bfp8_stream(x)
+
+        s_hi, s_lo, s_cycles = ScalarArray().run_bfp8_stream(x, y_hi, y_lo)
+        assert np.array_equal(v.z_hi, s_hi)
+        assert np.array_equal(v.z_lo, s_lo)
+        assert v.cycles == s_cycles
+
+    def test_extreme_values(self):
+        y = np.full((8, 8), 127)
+        x = np.full((2, 8, 8), -127)
+        vec = SystolicArray()
+        vec.load_y_pair(y, -y)
+        v = vec.run_bfp8_stream(x)
+        s_hi, s_lo, _ = ScalarArray().run_bfp8_stream(x, y, -y)
+        assert np.array_equal(v.z_hi, s_hi)
+        assert np.array_equal(v.z_lo, s_lo)
+
+
+class TestFp32CoSim:
+    @given(st.integers(1, 6), st.integers(0, 2000))
+    @settings(max_examples=8)
+    def test_cascade_accumulators_bit_identical(self, L, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, L)).astype(np.float32)
+        y = rng.normal(size=(4, L)).astype(np.float32)
+        sx, ex, mx = fp32bits.decompose(x)
+        sy, ey, my = fp32bits.decompose(y)
+        vec = SystolicArray().run_fp32_mul_stream(mx, my, sx, sy, ex, ey)
+        scalar = ScalarArray().run_fp32_mul_accumulators(mx, my)
+        assert np.array_equal(vec.accumulators, scalar)

@@ -1,0 +1,68 @@
+"""Tests for the DSP48E2 slice model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareContractError
+from repro.hw.dsp48e2 import DSP48E2, wrap48
+
+
+class TestWrap48:
+    def test_identity_in_range(self):
+        assert wrap48(12345) == 12345
+        assert wrap48(-12345) == -12345
+
+    def test_wraps_at_boundary(self):
+        assert wrap48((1 << 47)) == -(1 << 47)
+        assert wrap48(-(1 << 47) - 1) == (1 << 47) - 1
+
+    def test_vectorized(self):
+        x = np.array([0, (1 << 47), -(1 << 47) - 1], dtype=np.int64)
+        out = wrap48(x)
+        assert list(out) == [0, -(1 << 47), (1 << 47) - 1]
+
+
+class TestDSP48E2:
+    def test_multiply(self):
+        dsp = DSP48E2()
+        assert dsp.cycle(7, -3) == -21
+
+    def test_accumulate(self):
+        dsp = DSP48E2()
+        dsp.cycle(2, 3)
+        assert dsp.cycle(4, 5, accumulate=True) == 26
+
+    def test_c_port(self):
+        dsp = DSP48E2()
+        assert dsp.cycle(2, 3, c=100) == 106
+
+    def test_cascade(self):
+        a, b = DSP48E2(), DSP48E2()
+        a.cycle(3, 3)
+        assert b.cycle(2, 2, pcin=a.pcout) == 13
+
+    def test_port_width_violations(self):
+        dsp = DSP48E2()
+        with pytest.raises(HardwareContractError):
+            dsp.cycle(1 << 26, 1)
+        with pytest.raises(HardwareContractError):
+            dsp.cycle(1, 1 << 17)
+        with pytest.raises(HardwareContractError):
+            dsp.cycle(-(1 << 26) - 1, 1)
+
+    def test_c_and_pcin_conflict(self):
+        dsp = DSP48E2()
+        with pytest.raises(HardwareContractError):
+            dsp.cycle(1, 1, c=1, pcin=1)
+
+    def test_wraparound_semantics(self):
+        dsp = DSP48E2()
+        dsp.p = (1 << 47) - 1
+        out = dsp.cycle(1, 1, accumulate=True)
+        assert out == -(1 << 47)
+
+    def test_reset(self):
+        dsp = DSP48E2()
+        dsp.cycle(5, 5)
+        dsp.reset()
+        assert dsp.p == 0 and dsp.pcout == 0

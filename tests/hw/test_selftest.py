@@ -1,0 +1,51 @@
+"""Tests for the hardware self-test API."""
+
+import pytest
+
+from repro.hw.selftest import run_self_test
+
+
+class TestSelfTest:
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_passes_across_seeds(self, seed):
+        report = run_self_test(seed)
+        assert report.passed == 4
+        assert report.seed == seed
+
+    def test_check_names(self):
+        report = run_self_test(1)
+        joined = " ".join(report.checks)
+        assert "co-sim" in joined
+        assert "oracle" in joined
+        assert "bounds" in joined
+
+
+class TestPipelineThroughput:
+    def test_throughput_scales_with_units(self):
+        from repro.models.configs import DEIT_TINY
+        from repro.runtime.scheduler import compile_vit
+
+        m = compile_vit(DEIT_TINY)
+        t1 = m.throughput_items_per_s(1)
+        t15 = m.throughput_items_per_s(15)
+        assert t15 == pytest.approx(15 * t1)
+
+    def test_pipelined_beats_latency_bound(self):
+        """Batching hides stage-dependency stalls: steady-state throughput
+        exceeds 1/latency for the same unit count."""
+        from repro.models.configs import DEIT_SMALL
+        from repro.runtime.scheduler import compile_vit
+
+        m = compile_vit(DEIT_SMALL)
+        latency_bound = 1.0 / m.latency_seconds(15)
+        assert m.throughput_items_per_s(15) > latency_bound
+
+    def test_occupancy_accounting(self):
+        from repro.runtime.scheduler import CompiledModel, Stage
+
+        cm = CompiledModel("t")
+        cm.stages.append(Stage("a", "matmul", "bfp8", chunks=3,
+                               chunk_cycles=100, ops=1.0))
+        cm.stages.append(Stage("b", "gelu", "fp32", chunks=2,
+                               chunk_cycles=50, ops=1.0))
+        assert cm.unit_cycles_per_item() == 400

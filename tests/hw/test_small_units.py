@@ -1,0 +1,233 @@
+"""Tests for the small hardware blocks: PE, EU, shifter, ACC, BRAM, converter,
+quantizer, controller."""
+
+import numpy as np
+import pytest
+
+from repro.arith.bfp_matmul import WideBlock, requantize_wide
+from repro.arith.fp_sliced import FP32_MUL_TERMS
+from repro.errors import HardwareContractError
+from repro.hw.accumulator import PSU_DEPTH, ColumnAccumulator
+from repro.hw.bram import BRAM18_BYTES, Bram18
+from repro.hw.controller import RECONFIG_CYCLES, Controller, Mode
+from repro.hw.exponent_unit import ExponentUnit
+from repro.hw.layout_converter import LayoutConverter
+from repro.hw.pe import PE
+from repro.hw.quantizer import OutputQuantizer
+from repro.hw.shifter import AlignmentShifter, Normalizer
+
+
+class TestPE:
+    def test_bfp8_step(self):
+        pe = PE(0, 0)
+        pe.configure("bfp8")
+        pe.load_y(10, -20)
+        x_out, psum = pe.step_bfp8(3, 0)
+        assert x_out == 3
+        from repro.arith.packing import unpack_accumulator
+
+        hi, lo = unpack_accumulator(np.int64(psum), 1)
+        assert int(hi) == 30 and int(lo) == -60
+
+    def test_bfp8_psum_chain(self):
+        pe = PE(0, 0)
+        pe.configure("bfp8")
+        pe.load_y(1, 1)
+        _, p1 = pe.step_bfp8(5, 0)
+        _, p2 = pe.step_bfp8(7, p1)
+        from repro.arith.packing import unpack_accumulator
+
+        hi, lo = unpack_accumulator(np.int64(p2), 2)
+        assert int(hi) == 12 and int(lo) == 12
+
+    def test_fp32_mul_preshift(self):
+        pe = PE(1, 0)
+        pe.configure("fp32_mul", x_preshift=4, y_preshift=4)
+        out = pe.step_fp32_mul(0x12, 0x34, 0)
+        assert out == (0x12 << 4) * (0x34 << 4)
+
+    def test_mode_enforcement(self):
+        pe = PE(0, 0)
+        pe.configure("fp32_mul")
+        with pytest.raises(HardwareContractError):
+            pe.step_bfp8(1, 0)
+        pe.configure("bfp8")
+        with pytest.raises(HardwareContractError):
+            pe.step_fp32_mul(1, 1, 0)
+
+    def test_operand_range_checks(self):
+        pe = PE(0, 0)
+        pe.configure("bfp8")
+        with pytest.raises(HardwareContractError):
+            pe.step_bfp8(200, 0)
+        pe.configure("fp32_mul")
+        with pytest.raises(HardwareContractError):
+            pe.step_fp32_mul(300, 0, 0)
+
+
+class TestExponentUnit:
+    def test_add(self):
+        assert ExponentUnit().add(-5, 7) == 2
+
+    def test_align(self):
+        eu = ExponentUnit()
+        assert eu.align(4, 1) == (4, 0, 3)
+        assert eu.align(1, 4) == (4, 3, 0)
+        assert eu.align(2, 2) == (2, 0, 0)
+
+    def test_width_contract(self):
+        with pytest.raises(HardwareContractError):
+            ExponentUnit().add(400, 400)
+
+
+class TestShifterNormalizer:
+    def test_truncating_shift(self):
+        s = AlignmentShifter()
+        assert s.shift(-7, 1) == -4  # arithmetic shift toward -inf
+        assert s.shift(7, 1) == 3
+
+    def test_max_shift_saturation(self):
+        s = AlignmentShifter(max_shift=4)
+        assert s.shift(256, 100) == 16
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(HardwareContractError):
+            AlignmentShifter().shift(1, -1)
+
+    def test_normalizer_right(self):
+        n = Normalizer()
+        man, sh = n.normalize(1 << 30)
+        assert man == 1 << 23 and sh == 7
+
+    def test_normalizer_left(self):
+        n = Normalizer()
+        man, sh = n.normalize(3)
+        assert sh == -22 and man == 3 << 22
+
+    def test_normalizer_zero(self):
+        assert Normalizer().normalize(0) == (0, 0)
+
+    def test_normalizer_rejects_negative(self):
+        with pytest.raises(HardwareContractError):
+            Normalizer().normalize(-1)
+
+
+class TestColumnAccumulator:
+    def test_first_write(self):
+        acc = ColumnAccumulator()
+        acc.accumulate(0, 100, 3)
+        assert acc.read(0) == (100, 3)
+
+    def test_aligned_accumulate(self):
+        acc = ColumnAccumulator()
+        acc.accumulate(0, 100, 4)
+        acc.accumulate(0, 64, 0)  # shifted right by 4 -> 4
+        assert acc.read(0) == (104, 4)
+
+    def test_occupancy_and_clear(self):
+        acc = ColumnAccumulator()
+        acc.accumulate(0, 1, 0)
+        acc.accumulate(5, 1, 0)
+        assert acc.occupancy() == 2
+        acc.clear()
+        assert acc.occupancy() == 0
+
+    def test_address_bounds(self):
+        acc = ColumnAccumulator()
+        with pytest.raises(HardwareContractError):
+            acc.accumulate(PSU_DEPTH, 0, 0)
+
+    def test_invalid_read(self):
+        with pytest.raises(HardwareContractError):
+            ColumnAccumulator().read(0)
+
+    def test_overflow_guard(self):
+        acc = ColumnAccumulator()
+        acc.accumulate(0, (1 << 46), 0)
+        with pytest.raises(HardwareContractError):
+            acc.accumulate(0, (1 << 46), 0)
+
+
+class TestBram:
+    def test_write_read(self):
+        b = Bram18()
+        b.write(0, 200)  # stored as signed byte
+        assert b.read(0) == -56
+
+    def test_block_ops(self):
+        b = Bram18()
+        b.write_block(10, np.arange(8))
+        assert list(b.read_block(10, 8)) == list(range(8))
+
+    def test_bounds(self):
+        b = Bram18()
+        with pytest.raises(HardwareContractError):
+            b.read(BRAM18_BYTES)
+        with pytest.raises(HardwareContractError):
+            b.write_block(BRAM18_BYTES - 2, np.zeros(4))
+
+    def test_value_range(self):
+        with pytest.raises(HardwareContractError):
+            Bram18().write(0, 300)
+
+
+class TestLayoutConverter:
+    def test_row_mapping_matches_terms(self):
+        lc = LayoutConverter()
+        man_x, man_y = 0xABCDEF, 0x987654
+        ops = lc.map_pair(man_x, man_y)
+        sx = [man_x & 0xFF, (man_x >> 8) & 0xFF, (man_x >> 16) & 0xFF]
+        sy = [man_y & 0xFF, (man_y >> 8) & 0xFF, (man_y >> 16) & 0xFF]
+        for t in FP32_MUL_TERMS:
+            assert ops.x_slices[t.row] == sx[t.x_slice]
+            assert ops.y_slices[t.row] == sy[t.y_slice]
+
+    def test_preshift_schedule(self):
+        sched = LayoutConverter.preshift_schedule()
+        assert len(sched) == 8
+        assert all(x + y == t.relative_shift
+                   for (x, y), t in zip(sched, FP32_MUL_TERMS))
+
+    def test_range_check(self):
+        with pytest.raises(HardwareContractError):
+            LayoutConverter().map_pair(1 << 24, 0)
+
+
+class TestQuantizer:
+    def test_matches_oracle(self, rng):
+        q = OutputQuantizer()
+        man = rng.integers(-(1 << 20), 1 << 20, (8, 8))
+        blk = q.quantize(man, 3)
+        ref = requantize_wide(WideBlock(man, 3))
+        assert np.array_equal(blk.mantissas, ref.mantissas)
+        assert blk.exponent == ref.exponent
+        assert q.blocks_quantized == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(HardwareContractError):
+            OutputQuantizer().quantize(np.zeros(8), 0)
+
+
+class TestController:
+    def test_mode_switch_charges_reconfig(self):
+        c = Controller()
+        charged = c.set_mode(Mode.BFP_MATMUL)
+        assert charged == RECONFIG_CYCLES
+        assert c.reconfigurations == 1
+        assert c.set_mode(Mode.BFP_MATMUL) == 0  # no-op
+
+    def test_charge_accounting(self):
+        c = Controller()
+        c.set_mode(Mode.FP32_MUL)
+        c.charge(100)
+        assert c.cycles_by_mode["fp32_mul"] == 100
+        assert c.cycles_total == 100 + RECONFIG_CYCLES
+
+    def test_require(self):
+        c = Controller()
+        with pytest.raises(HardwareContractError):
+            c.require(Mode.FP32_ADD)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(HardwareContractError):
+            Controller().charge(-1)

@@ -1,0 +1,26 @@
+"""Smoke test for the ``python -m repro`` command-line entry point."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def test_cli_fast_report(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--out", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    out = proc.stdout
+    # Every fast table/figure appears in the combined report.
+    for marker in (
+        "Table I", "Table II", "Fig. 6", "Fig. 7", "Table III", "Table IV",
+        "Bitwidth sweep", "Half-precision",
+    ):
+        assert marker in out, marker
+    written = {p.name for p in Path(tmp_path).glob("*.txt")}
+    assert "table2_hardware_utilization.txt" in written
+    assert "fig7_throughput.txt" in written
+    assert len(written) == 8

@@ -1,0 +1,60 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Slow examples (training studies) are exercised via their quick paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "bfp8 MatMul" in out
+        assert "GOPS" in out
+
+    def test_vit_inference(self):
+        out = _run("vit_inference.py")
+        assert "deit-small" in out
+        assert "fp32 share of latency" in out
+
+    def test_nonlinear_on_fpu(self):
+        out = _run("nonlinear_on_fpu.py")
+        assert "softmax on the FPU" in out
+        assert "GELU" in out
+
+    def test_design_space(self):
+        out = _run("design_space.py")
+        assert "array geometry sweep" in out
+        assert "clock sweep" in out
+
+    def test_compile_deit(self):
+        out = _run("compile_deit.py")
+        assert "deit-small" in out
+        assert "unit scaling" in out
+
+    def test_accuracy_study_quick(self):
+        out = _run("accuracy_study.py", "--quick", timeout=400)
+        assert "bfp8-mixed" in out
+
+    @pytest.mark.slow
+    def test_llm_decoder(self):
+        out = _run("llm_decoder.py", timeout=500)
+        assert "bfp8-mixed" in out
+        assert "rmsnorm" in out

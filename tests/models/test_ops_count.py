@@ -1,0 +1,76 @@
+"""Tests for the analytic operation counts (Table IV inputs)."""
+
+import pytest
+
+from repro.models.configs import DEIT_SMALL, DEIT_TINY
+from repro.models.ops_count import (
+    PAPER_TABLE4_OPS,
+    count_linear_macs,
+    count_nonlinear_elements,
+    nonlinear_flops_per_element,
+    table4_partitions,
+)
+
+
+class TestLinearCounts:
+    def test_deit_small_hand_computed(self):
+        """Cross-check each term against a by-hand derivation (N=197,
+        d=384, h=6, m=1536, L=12)."""
+        lin = count_linear_macs(DEIT_SMALL)
+        n, d, m, L = 197, 384, 1536, 12
+        assert lin.qkv == L * n * d * 3 * d
+        assert lin.attn_scores == L * n * n * d
+        assert lin.attn_context == L * n * n * d
+        assert lin.attn_proj == L * n * d * d
+        assert lin.mlp == L * 2 * n * d * m
+        assert lin.patch_embed == 196 * (16 * 16 * 3) * d
+        assert lin.head == d * 1000
+
+    def test_deit_small_total_near_published(self):
+        """DeiT-Small is commonly quoted at ~4.6 GMACs for 224x224."""
+        lin = count_linear_macs(DEIT_SMALL)
+        assert lin.total == pytest.approx(4.6e9, rel=0.02)
+
+    def test_batch_scaling(self):
+        one = count_linear_macs(DEIT_SMALL, batch=1)
+        four = count_linear_macs(DEIT_SMALL, batch=4)
+        assert four.total == 4 * one.total
+
+    def test_tiny_smaller_than_small(self):
+        assert count_linear_macs(DEIT_TINY).total < count_linear_macs(DEIT_SMALL).total
+
+
+class TestNonlinearCounts:
+    def test_element_counts(self):
+        nl = count_nonlinear_elements(DEIT_SMALL)
+        assert nl.softmax == 12 * 6 * 197 * 197
+        assert nl.gelu == 12 * 197 * 1536
+        assert nl.layernorm == 12 * 2 * 197 * 384
+
+    def test_per_element_flops_from_programs(self):
+        per = nonlinear_flops_per_element()
+        # Softmax needs exp -> far more work per element than layernorm.
+        assert per["softmax"].fpu_total > per["layernorm"].fpu_total
+        assert per["gelu"].fpu_total > per["softmax"].fpu_total
+        assert all(c.host > 0 for c in per.values())
+
+
+class TestTable4Partitions:
+    def test_paper_counts_mode(self):
+        parts = table4_partitions(DEIT_SMALL, use_paper_counts=True)
+        assert {p.name: p.ops for p in parts} == PAPER_TABLE4_OPS
+
+    def test_analytic_mode_shape(self):
+        parts = table4_partitions(DEIT_SMALL)
+        by = {p.name: p for p in parts}
+        assert by["bfp8 MatMul"].mode == "bfp8"
+        total = sum(p.ops for p in parts)
+        fp32 = sum(p.ops for p in parts if p.mode == "fp32")
+        # fp32 is a small sliver of the total operations (paper: 1.35%).
+        assert fp32 / total < 0.05
+
+    def test_matmul_ops_are_double_macs(self):
+        parts = table4_partitions(DEIT_SMALL)
+        lin = count_linear_macs(DEIT_SMALL)
+        by = {p.name: p for p in parts}
+        assert by["bfp8 MatMul"].ops == 2.0 * lin.encoder

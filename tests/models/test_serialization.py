@@ -1,0 +1,70 @@
+"""Tests for weight save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.decoder import TinyLM
+from repro.models.serialization import (
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_dict,
+)
+from repro.models.vit import SequenceClassifier
+
+
+class TestStateDict:
+    def test_roundtrip_in_memory(self, rng):
+        m1 = SequenceClassifier(vocab=8, seq_len=8, dim=16, depth=1,
+                                n_heads=2, seed=1)
+        m2 = SequenceClassifier(vocab=8, seq_len=8, dim=16, depth=1,
+                                n_heads=2, seed=2)
+        tokens = rng.integers(0, 8, (4, 8))
+        assert not np.allclose(m1.forward(tokens), m2.forward(tokens))
+        load_state_dict(m2, state_dict(m1))
+        assert np.array_equal(m1.forward(tokens), m2.forward(tokens))
+
+    def test_copies_not_views(self):
+        m = SequenceClassifier(vocab=4, seq_len=4, dim=8, depth=1,
+                               n_heads=2, seed=0)
+        st = state_dict(m)
+        key = next(iter(st))
+        st[key][...] = 123.0
+        assert not np.allclose(m.named_parameters()[key], 123.0)
+
+    def test_strict_mismatch_rejected(self):
+        m1 = SequenceClassifier(vocab=4, seq_len=4, dim=8, depth=1,
+                                n_heads=2, seed=0)
+        m2 = SequenceClassifier(vocab=4, seq_len=4, dim=8, depth=2,
+                                n_heads=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            load_state_dict(m2, state_dict(m1))
+
+    def test_shape_mismatch_rejected(self):
+        m = SequenceClassifier(vocab=4, seq_len=4, dim=8, depth=1,
+                               n_heads=2, seed=0)
+        st = state_dict(m)
+        key = next(iter(st))
+        st[key] = np.zeros((1, 1))
+        with pytest.raises(ConfigurationError):
+            load_state_dict(m, st)
+
+
+class TestFileRoundtrip:
+    def test_npz_roundtrip(self, tmp_path, rng):
+        lm1 = TinyLM(vocab=8, seq_len=8, dim=16, depth=2, n_heads=2, seed=3)
+        path = tmp_path / "lm.npz"
+        save_weights(lm1, path)
+        lm2 = TinyLM(vocab=8, seq_len=8, dim=16, depth=2, n_heads=2, seed=99)
+        load_weights(lm2, path)
+        tokens = rng.integers(0, 8, (2, 8))
+        assert np.array_equal(lm1.forward(tokens), lm2.forward(tokens))
+
+    def test_non_strict_partial_load(self, tmp_path):
+        m = SequenceClassifier(vocab=4, seq_len=4, dim=8, depth=1,
+                               n_heads=2, seed=0)
+        st = state_dict(m)
+        partial = {k: v for i, (k, v) in enumerate(st.items()) if i < 2}
+        np.savez(tmp_path / "partial.npz", **partial)
+        load_weights(m, tmp_path / "partial.npz", strict=False)

@@ -1,0 +1,44 @@
+"""Tests for the device-capacity model."""
+
+import pytest
+
+from repro.perf.device import (
+    ALVEO_U280,
+    DeviceCapacity,
+    device_report,
+    max_units,
+    utilization_pct,
+)
+from repro.perf.resources import Resources, processing_unit_total
+
+
+class TestDeviceModel:
+    def test_u280_figures(self):
+        assert ALVEO_U280.dsp == 9024
+        assert ALVEO_U280.hbm_channels == 32
+
+    def test_utilization_fractions(self):
+        r = Resources(lut=ALVEO_U280.lut / 2, ff=0, bram=0, dsp=0)
+        assert utilization_pct(r)["lut"] == pytest.approx(50.0)
+
+    def test_hbm_binds_the_unit_count(self):
+        """The paper deploys 15 units 'to fully utilize the HBM channels':
+        with 2 channels per unit, HBM (not fabric) is the binding limit."""
+        lim = max_units()
+        assert lim["binding"] == lim["hbm"] == 16
+        assert all(lim[k] > lim["hbm"] for k in ("lut", "ff", "bram", "dsp"))
+
+    def test_fifteen_units_fit_comfortably(self):
+        system = processing_unit_total().scaled(15)
+        u = utilization_pct(system)
+        assert all(v < 25.0 for v in u.values())
+
+    def test_report_text(self):
+        out = device_report()
+        assert "Alveo U280" in out and "HBM" in out
+
+    def test_smaller_device_binds_on_fabric(self):
+        tiny = DeviceCapacity("tiny", lut=200_000, ff=400_000, bram18=500,
+                              dsp=600, hbm_channels=32)
+        lim = max_units(tiny, shell=Resources())
+        assert lim["binding"] < lim["hbm"]

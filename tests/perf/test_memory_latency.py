@@ -1,0 +1,142 @@
+"""Tests for the memory model and the measured-throughput latency model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf.latency import (
+    deit_latency_split,
+    measured_bfp_stream_cycles,
+    measured_bfp_throughput_ops,
+    measured_fp32_stream_cycles,
+    measured_fp32_throughput_flops,
+    system_measured_bfp_ops,
+    system_measured_fp32_flops,
+)
+from repro.perf.memory import BEAT_BYTES, AxiChannel, MemoryModel
+from repro.perf.throughput import bfp_throughput_ops, fp32_throughput_flops
+
+
+class TestAxiChannel:
+    def test_zero_bytes(self):
+        assert AxiChannel(16, 10).transfer_cycles(0) == 0
+
+    def test_single_burst(self):
+        ch = AxiChannel(burst_beats=16, issue_latency=10)
+        assert ch.transfer_cycles(BEAT_BYTES) == 11  # 1 beat + issue
+
+    def test_multiple_bursts(self):
+        ch = AxiChannel(burst_beats=4, issue_latency=10)
+        # 8 beats -> 2 bursts -> 2*10 + 8
+        assert ch.transfer_cycles(8 * BEAT_BYTES) == 28
+
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    def test_monotone_in_bytes(self, nbytes, burst):
+        ch = AxiChannel(burst, 10)
+        assert ch.transfer_cycles(nbytes + BEAT_BYTES) >= ch.transfer_cycles(nbytes)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AxiChannel(4, 4).transfer_cycles(-1)
+
+
+class TestMemoryModel:
+    def test_mode_burst_lengths(self):
+        mem = MemoryModel()
+        assert mem.read_channel("bfp8").burst_beats > mem.read_channel("fp32").burst_beats
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            MemoryModel().read_channel("int4")
+
+    def test_stream_bytes_accounting(self):
+        rd, wr = MemoryModel.bfp_stream_bytes(4)
+        # X: 4 blocks x 65B, Y: 2 x 65B; out: 2 x 4 x 65B
+        assert rd == 4 * 65 + 2 * 65
+        assert wr == 2 * 4 * 65
+        rd, wr = MemoryModel.fp32_stream_bytes(16)
+        assert rd == 2 * 4 * 16 * 4 and wr == 4 * 16 * 4
+
+    def test_total_at_least_compute(self):
+        mem = MemoryModel()
+        total = mem.stream_total_cycles("bfp8", 527, 100, 100)
+        assert total >= 527
+
+
+class TestMeasuredThroughput:
+    @pytest.mark.parametrize("n_x", [8, 16, 32, 64])
+    def test_below_theoretical(self, n_x):
+        assert measured_bfp_throughput_ops(n_x) < bfp_throughput_ops(n_x)
+
+    @pytest.mark.parametrize("L", [16, 32, 64, 128])
+    def test_fp32_below_theoretical(self, L):
+        assert measured_fp32_throughput_flops(L) < fp32_throughput_flops(L)
+
+    def test_bfp_improves_with_stream_length(self):
+        """Fig. 7 shape: longer streams close the gap to theory."""
+        ratios = [
+            measured_bfp_throughput_ops(n) / bfp_throughput_ops(n)
+            for n in (8, 16, 32, 64)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 0.7  # near-theory at the max stream
+
+    def test_fp32_improves_but_stays_far(self):
+        """Fig. 7 shape: fp32 stays well below theory (random access)."""
+        ratios = [
+            measured_fp32_throughput_flops(L) / fp32_throughput_flops(L)
+            for L in (16, 32, 64, 128)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] < 0.6
+
+    def test_fp32_gap_larger_than_bfp_gap(self):
+        bfp = measured_bfp_throughput_ops(64) / bfp_throughput_ops(64)
+        fp = measured_fp32_throughput_flops(128) / fp32_throughput_flops(128)
+        assert fp < bfp
+
+    def test_system_fp32_near_table4_implied_rate(self):
+        """Table IV implies ~15 GFLOPS effective; the calibrated model
+        lands within 15%."""
+        assert system_measured_fp32_flops(128) == pytest.approx(15.0e9, rel=0.15)
+
+    def test_stream_cycles_monotone(self):
+        assert measured_bfp_stream_cycles(64) > measured_bfp_stream_cycles(8)
+        assert measured_fp32_stream_cycles(128) > measured_fp32_stream_cycles(16)
+
+
+class TestDeitLatencySplit:
+    def test_paper_table4_reproduction(self):
+        """With the paper's op counts and rates, the latency column of
+        Table IV reproduces to the millisecond digits printed."""
+        from repro.models.configs import DEIT_SMALL
+        from repro.models.ops_count import table4_partitions
+
+        report = deit_latency_split(
+            table4_partitions(DEIT_SMALL, use_paper_counts=True),
+            bfp_system_ops=2052.06e9,
+            fp32_system_flops=15.0e9,
+        )
+        by = {r["name"]: r["latency_s"] * 1e3 for r in report.rows}
+        assert by["bfp8 MatMul"] == pytest.approx(1.201, abs=0.002)
+        assert by["fp32 LayerNorm"] == pytest.approx(0.425, abs=0.002)
+        assert by["fp32 SoftMax"] == pytest.approx(9.686, abs=0.005)
+        assert by["fp32 GELU"] == pytest.approx(3.389, abs=0.002)
+        # The paper states 92.45%; its own latency column sums to 91.83%
+        # (13.500 / 14.701 ms) -- we match the column, not the prose.
+        assert report.fp32_latency_share() == pytest.approx(0.9245, abs=0.01)
+
+    def test_analytic_split_shape(self):
+        """Our own counts preserve the headline: fp32 is a tiny share of
+        ops but the majority of latency."""
+        from repro.models.configs import DEIT_SMALL
+        from repro.models.ops_count import table4_partitions
+
+        report = deit_latency_split(table4_partitions(DEIT_SMALL))
+        props = report.proportions()
+        fp32_ops = sum(p["ops_pct"] for p in props if p["mode"] == "fp32")
+        assert fp32_ops < 5.0
+        assert report.fp32_latency_share() > 0.5
+
+    def test_system_bfp_measured_positive(self):
+        assert 0 < system_measured_bfp_ops(64) < 2.052e12

@@ -1,0 +1,55 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.power import PowerModel, PowerReport
+from repro.perf.resources import design_individual, design_multimode
+from repro.perf.throughput import ClockConfig, bfp_throughput_ops
+
+
+class TestPowerModel:
+    def test_dynamic_scales_with_resources(self):
+        pm = PowerModel()
+        small = design_multimode(4, 4)
+        big = design_multimode(16, 16)
+        assert pm.dynamic_power(small) < pm.dynamic_power(big)
+
+    def test_frequency_scaling(self):
+        r = design_multimode()
+        slow = PowerModel(clock=ClockConfig(freq_hz=150e6))
+        fast = PowerModel(clock=ClockConfig(freq_hz=300e6))
+        assert slow.dynamic_power(r) == pytest.approx(fast.dynamic_power(r) / 2)
+
+    def test_activity_bounds(self):
+        pm = PowerModel()
+        with pytest.raises(ConfigurationError):
+            pm.dynamic_power(design_multimode(), activity=1.5)
+
+    def test_fp32_gating_halves_dynamic(self):
+        """Section II-C: idle PEs in fp32 mode are gated to save power."""
+        pm = PowerModel()
+        r = design_multimode()
+        bfp = pm.bfp8_mode_power(r, utilization=0.9)
+        fp = pm.fp32_mode_power(r, utilization=0.9)
+        assert fp.dynamic_w == pytest.approx(bfp.dynamic_w / 2)
+
+    def test_multimode_beats_individual_units(self):
+        """The resource saving translates into a power saving."""
+        pm = PowerModel()
+        ours = pm.report(design_multimode())
+        indiv = pm.report(design_individual())
+        assert ours.dynamic_w < indiv.dynamic_w
+
+    def test_energy_per_op(self):
+        pm = PowerModel()
+        rep = pm.bfp8_mode_power(design_multimode(), utilization=0.97)
+        epo = rep.energy_per_op_pj(bfp_throughput_ops(64))
+        # Plausible FPGA-scale energy per 8-bit op: tens of pJ incl. static.
+        assert 1.0 < epo < 200.0
+
+    def test_report_total(self):
+        rep = PowerReport(dynamic_w=1.0, static_w=0.5)
+        assert rep.total_w == 1.5
+        with pytest.raises(ConfigurationError):
+            rep.energy_per_op_pj(0.0)

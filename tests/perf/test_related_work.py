@@ -1,0 +1,58 @@
+"""Tests for the Table III dataset."""
+
+import pytest
+
+from repro.perf.related_work import (
+    PAPER_OURS,
+    RELATED_WORK,
+    AcceleratorEntry,
+    ours_entry,
+    table3_rows,
+)
+
+
+class TestDataset:
+    def test_seven_prior_works(self):
+        assert len(RELATED_WORK) == 7
+
+    def test_paper_row(self):
+        assert PAPER_OURS.throughput_gops == pytest.approx(2052.06)
+        assert PAPER_OURS.dsp == 2163
+        assert not PAPER_OURS.needs_retraining
+
+    def test_efficiency_computation(self):
+        e = AcceleratorEntry("x", "f", "a", False, "p", None, None, None,
+                             100, 100, 250.0)
+        assert e.efficiency_gops_per_dsp == 2.5
+
+    def test_efficiency_zero_dsp(self):
+        e = AcceleratorEntry("x", "f", "a", False, "p", None, None, None,
+                             0, 100, 250.0)
+        assert e.efficiency_gops_per_dsp == 0.0
+
+    def test_transformer_works_split(self):
+        transformer = [e for e in RELATED_WORK if e.application == "Transformer"]
+        assert len(transformer) == 3
+        # The two integer Transformer accelerators need retraining; the fp
+        # ones do not -- the motivating pattern of the paper.
+        assert all(
+            e.needs_retraining == e.data_format.startswith("int")
+            for e in transformer
+        )
+
+
+class TestOursEntry:
+    def test_self_consistent_model_row(self):
+        e = ours_entry()
+        assert e.dsp == 15 * 72
+        assert not e.needs_retraining
+        assert 0 < e.throughput_gops < 2052.06
+        assert e.efficiency_gops_per_dsp == pytest.approx(
+            e.throughput_gops / e.dsp
+        )
+
+    def test_rows_include_both_ours(self):
+        rows = table3_rows()
+        works = [r.work for r in rows]
+        assert "Ours (paper)" in works and "Ours (model)" in works
+        assert len(rows) == 9

@@ -1,0 +1,93 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.perf.roofline import (
+    bfp_point,
+    fp32_point,
+    machine_balance,
+    roofline_series,
+    stream_bandwidth_bytes_per_s,
+)
+from repro.perf.throughput import bfp_peak_ops, fp32_peak_flops
+
+
+class TestRoofline:
+    def test_bandwidth(self):
+        # 256-bit bus at 300 MHz = 9.6 GB/s per channel
+        assert stream_bandwidth_bytes_per_s() == pytest.approx(9.6e9)
+
+    def test_ridge_points(self):
+        assert machine_balance(bfp_peak_ops()) == pytest.approx(8.0)
+        assert machine_balance(fp32_peak_flops()) == pytest.approx(0.25)
+
+    def test_fp32_is_memory_bound(self):
+        """The structural reason for Fig. 7's fp32 gap: zero data reuse
+        puts the vector workload far below the ridge at any L."""
+        for L in (16, 64, 128):
+            p = fp32_point(L)
+            assert p.memory_bound
+            assert p.intensity_ops_per_byte < machine_balance(fp32_peak_flops())
+
+    def test_bfp8_crosses_ridge_with_reuse(self):
+        """Y-stationarity buys intensity: short streams are memory-bound,
+        long streams compute-bound."""
+        assert bfp_point(1).memory_bound
+        assert not bfp_point(8).memory_bound
+        assert not bfp_point(64).memory_bound
+
+    def test_intensity_monotone_in_stream_length(self):
+        xs = [bfp_point(n).intensity_ops_per_byte for n in (1, 4, 16, 64)]
+        assert xs == sorted(xs)
+
+    def test_attainable_never_exceeds_peak(self):
+        for p in roofline_series():
+            assert p.attainable_ops <= p.peak_ops + 1e-6
+
+    def test_fp32_intensity_independent_of_length(self):
+        """No reuse: every op brings its own operands."""
+        assert fp32_point(16).intensity_ops_per_byte == pytest.approx(
+            fp32_point(128).intensity_ops_per_byte
+        )
+
+
+class TestDecoderCompilation:
+    def test_decode_matmuls_are_single_row(self):
+        from repro.runtime.scheduler import compile_decoder
+
+        m = compile_decoder(vocab=1000, dim=64, depth=2, n_heads=4,
+                            context=64, phase="decode")
+        assert all(s.chunks >= 1 for s in m.stages)
+        # One layer has 6 matmul stages (qkv/scores/context/proj/gate/up/down = 7)
+        matmuls = [s for s in m.stages if s.kind == "matmul"]
+        assert len(matmuls) == 2 * 7 + 1  # + lm_head
+
+    def test_decode_per_token_less_efficient_than_prefill(self):
+        """KV-cache decode collapses every matmul to N_X = 1 streams: the
+        per-token latency is far worse than prefill's amortized rate."""
+        from repro.runtime.scheduler import compile_decoder
+
+        ctx = 128
+        prefill = compile_decoder(vocab=1000, dim=128, depth=4, n_heads=4,
+                                  context=ctx, phase="prefill")
+        decode = compile_decoder(vocab=1000, dim=128, depth=4, n_heads=4,
+                                 context=ctx, phase="decode")
+        per_token_prefill = prefill.latency_seconds() / ctx
+        per_token_decode = decode.latency_seconds()
+        assert per_token_decode > 3 * per_token_prefill
+
+    def test_unknown_phase(self):
+        from repro.errors import ConfigurationError
+        from repro.runtime.scheduler import compile_decoder
+
+        with pytest.raises(ConfigurationError):
+            compile_decoder(vocab=10, dim=16, depth=1, n_heads=2,
+                            context=8, phase="train")
+
+    def test_rmsnorm_and_swiglu_stages_present(self):
+        from repro.runtime.scheduler import compile_decoder
+
+        m = compile_decoder(vocab=100, dim=32, depth=2, n_heads=2,
+                            context=16, phase="prefill")
+        kinds = {s.kind for s in m.stages}
+        assert "rmsnorm" in kinds and "swiglu" in kinds

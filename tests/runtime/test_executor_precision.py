@@ -1,0 +1,71 @@
+"""Tests for the half-precision vector-executor modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.formats.halfprec import BF16, FP16, quantize_half
+from repro.models.layers import softmax as softmax_ref
+from repro.runtime.executor import VectorExecutor
+from repro.runtime.instructions import OpCode, Program
+from repro.runtime.vector_ops import build_softmax
+
+
+class TestPrecisionModes:
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ProgramError):
+            VectorExecutor(precision="fp8")
+
+    def test_half_forces_fast_path(self):
+        ex = VectorExecutor(faithful=True, precision="bf16")
+        assert ex.faithful is False
+
+    def test_results_on_half_grid(self, rng):
+        p = Program("m", inputs=["x", "y"])
+        p.emit(OpCode.VMUL, "out", "x", "y")
+        x = rng.normal(size=64).astype(np.float32)
+        y = rng.normal(size=64).astype(np.float32)
+        for prec, fmt in (("bf16", BF16), ("fp16", FP16)):
+            out, _ = VectorExecutor(precision=prec).run(p, {"x": x, "y": y})
+            snapped = quantize_half(out, fmt)
+            assert np.array_equal(out, snapped)
+
+    def test_add_snaps_to_grid(self, rng):
+        p = Program("a", inputs=["x", "y"])
+        p.emit(OpCode.VADD, "out", "x", "y")
+        x = rng.normal(size=32).astype(np.float32)
+        y = rng.normal(size=32).astype(np.float32)
+        out, _ = VectorExecutor(precision="bf16").run(p, {"x": x, "y": y})
+        assert np.array_equal(out, quantize_half(out, BF16))
+
+    def test_accuracy_ordering_on_softmax(self, rng):
+        x = rng.normal(size=(4, 32)).astype(np.float32) * 3
+        ref = softmax_ref(x.astype(np.float64))
+        errs = {}
+        for prec in ("fp32", "fp16", "bf16"):
+            out, _ = VectorExecutor(faithful=False, precision=prec).run(
+                build_softmax(), {"x": x}
+            )
+            errs[prec] = np.abs(out - ref).max()
+        assert errs["fp32"] < errs["fp16"] < errs["bf16"]
+        assert errs["bf16"] < 0.02  # still usable for attention
+
+    def test_cycle_accounting_same_as_fp32(self, rng):
+        """Half modes reuse the stream model; op counts are unchanged."""
+        p = Program("m", inputs=["x"])
+        p.emit(OpCode.VMULI, "out", "x", imm=2.0)
+        x = rng.normal(size=600).astype(np.float32)
+        ex32 = VectorExecutor(faithful=False, precision="fp32")
+        ex16 = VectorExecutor(faithful=False, precision="bf16")
+        ex32.run(p, {"x": x})
+        ex16.run(p, {"x": x})
+        assert ex32.pu.stats.fp32_mul_ops == ex16.pu.stats.fp32_mul_ops
+
+    def test_reduction_snaps_intermediates(self, rng):
+        p = Program("s", inputs=["x"])
+        p.emit(OpCode.VREDSUM, "out", "x")
+        x = rng.normal(size=(2, 16)).astype(np.float32)
+        out, _ = VectorExecutor(precision="bf16").run(p, {"x": x})
+        # Result is on the bf16 grid and close to the true sum.
+        assert np.array_equal(out, quantize_half(out, BF16))
+        assert np.allclose(out[..., 0], x.sum(-1), rtol=0.05, atol=0.1)

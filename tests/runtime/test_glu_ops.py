@@ -1,0 +1,73 @@
+"""Tests for the GLU-family programs (run-time programmability claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.runtime.executor import VectorExecutor
+from repro.runtime.instructions import OpCode
+from repro.runtime.vector_ops import NONLINEAR_BUILDERS, build_silu, build_swiglu
+
+moderate = hnp.arrays(
+    np.float32, st.tuples(st.integers(1, 3), st.integers(2, 24)),
+    elements=st.floats(-20.0, 20.0, allow_nan=False, width=32),
+)
+
+
+def _silu_ref(x):
+    x = x.astype(np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+class TestSilu:
+    @given(moderate)
+    @settings(max_examples=25)
+    def test_accuracy(self, x):
+        out, _ = VectorExecutor(faithful=False).run(build_silu(), {"x": x})
+        ref = _silu_ref(x)
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert (np.abs(out - ref) / scale).max() < 1e-4
+
+    def test_saturation(self):
+        x = np.array([[-80.0, 80.0]], np.float32)
+        out, _ = VectorExecutor(faithful=False).run(build_silu(), {"x": x})
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-5)
+        assert out[0, 1] == pytest.approx(80.0, rel=1e-5)
+
+    def test_reciprocal_on_host(self):
+        ops = [i.op for i in build_silu().instrs]
+        assert OpCode.HRECIP in ops
+
+    def test_faithful_engine(self, rng):
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        fast, _ = VectorExecutor(faithful=False).run(build_silu(), {"x": x})
+        faith, _ = VectorExecutor(faithful=True).run(build_silu(), {"x": x})
+        assert np.abs(fast - faith).max() < 1e-6
+
+
+class TestSwiglu:
+    @given(moderate)
+    @settings(max_examples=25)
+    def test_accuracy(self, a):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=a.shape).astype(np.float32)
+        out, _ = VectorExecutor(faithful=False).run(
+            build_swiglu(), {"a": a, "b": b}
+        )
+        ref = _silu_ref(a) * b.astype(np.float64)
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert (np.abs(out - ref) / scale).max() < 1e-4
+
+    def test_program_composition(self):
+        """SwiGLU inlines SiLU: same hardware, zero new opcodes."""
+        swiglu_ops = {i.op for i in build_swiglu().instrs}
+        silu_ops = {i.op for i in build_silu().instrs}
+        assert swiglu_ops == silu_ops | {OpCode.VMUL}
+
+
+def test_registry_contains_glu_family():
+    assert "silu" in NONLINEAR_BUILDERS and "swiglu" in NONLINEAR_BUILDERS
+    for builder in NONLINEAR_BUILDERS.values():
+        builder().validate()

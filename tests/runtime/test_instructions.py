@@ -1,0 +1,71 @@
+"""Tests for the vector instruction set and program validation."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.runtime.instructions import (
+    FPU_OPS,
+    HOST_OPS,
+    Instr,
+    OpCode,
+    OpCount,
+    Program,
+)
+
+
+class TestInstr:
+    def test_binary_requires_b(self):
+        with pytest.raises(ProgramError):
+            Instr(OpCode.VMUL, "d", "a")
+
+    def test_immediate_required(self):
+        with pytest.raises(ProgramError):
+            Instr(OpCode.VMULI, "d", "a")
+
+    def test_valid(self):
+        Instr(OpCode.VADD, "d", "a", "b")
+        Instr(OpCode.HCLAMP, "d", "a", imm=(-1.0, 1.0))
+
+
+class TestProgram:
+    def test_undefined_read_rejected(self):
+        p = Program("t", inputs=["x"])
+        p.emit(OpCode.VMUL, "out", "x", "y")
+        with pytest.raises(ProgramError):
+            p.validate()
+
+    def test_missing_output_rejected(self):
+        p = Program("t", inputs=["x"])
+        p.emit(OpCode.VMULI, "tmp", "x", imm=2.0)
+        with pytest.raises(ProgramError):
+            p.validate()
+
+    def test_valid_chain(self):
+        p = Program("t", inputs=["x"])
+        p.emit(OpCode.VMULI, "a", "x", imm=2.0)
+        p.emit(OpCode.VADD, "out", "a", "x")
+        p.validate()
+
+    def test_static_op_count(self):
+        p = Program("t", inputs=["x"])
+        p.emit(OpCode.VMULI, "a", "x", imm=2.0)
+        p.emit(OpCode.VADD, "b", "a", "x")
+        p.emit(OpCode.VREDSUM, "s", "b")
+        p.emit(OpCode.HDIV, "out", "b", "s")
+        p.validate()
+        c = p.static_op_count()
+        assert c.fpu_mul == 1 and c.fpu_add == 2 and c.host == 1
+
+
+class TestOpCount:
+    def test_algebra(self):
+        a = OpCount(1, 2, 3) + OpCount(10, 20, 30)
+        assert (a.fpu_mul, a.fpu_add, a.host) == (11, 22, 33)
+        s = OpCount(1, 2, 3).scaled(4)
+        assert (s.fpu_mul, s.fpu_add, s.host) == (4, 8, 12)
+        assert OpCount(2, 3, 0).fpu_total == 5
+
+
+def test_opcode_partition():
+    assert FPU_OPS.isdisjoint(HOST_OPS)
+    assert FPU_OPS | HOST_OPS == set(OpCode)

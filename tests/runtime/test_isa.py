@@ -1,0 +1,180 @@
+"""Tests for the PU instruction set, assembler and interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.bfp_matmul import bfp_matmul
+from repro.errors import ProgramError
+from repro.formats.blocking import BfpMatrix
+from repro.runtime.isa import (
+    MODE_CODES,
+    PUInstruction,
+    PUInterpreter,
+    PUOp,
+    SymbolTable,
+    TensorMemory,
+    assemble,
+    decode,
+    disassemble,
+    encode,
+)
+
+
+class TestEncoding:
+    @given(st.sampled_from(list(PUOp)), st.integers(0, 2**32 - 1))
+    def test_roundtrip(self, op, seed):
+        rng = np.random.default_rng(seed)
+        from repro.runtime.isa import _ARITY
+
+        operands = tuple(int(v) for v in rng.integers(0, 256, _ARITY[op]))
+        ins = PUInstruction(op, operands)
+        assert decode(encode(ins)) == ins
+
+    def test_operand_arity_enforced(self):
+        with pytest.raises(ProgramError):
+            PUInstruction(PUOp.HALT, (1,))
+        with pytest.raises(ProgramError):
+            PUInstruction(PUOp.FPMUL, (1, 2))
+
+    def test_operand_range(self):
+        with pytest.raises(ProgramError):
+            PUInstruction(PUOp.MODE, (300,))
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ProgramError):
+            decode(0xFF000000)
+
+    def test_word_range(self):
+        with pytest.raises(ProgramError):
+            decode(1 << 32)
+
+
+class TestAssembler:
+    def test_assemble_disassemble(self):
+        text = """
+        # matmul kernel
+        MODE bfp8
+        LOADY y0 y1
+        STREAMX xs psu
+        QUANT out psu
+        HALT
+        """
+        words, sym = assemble(text)
+        assert len(words) == 5
+        dis = disassemble(words, sym)
+        assert "MODE bfp8" in dis
+        assert "LOADY y0 y1" in dis
+        assert "HALT" in dis
+
+    def test_symbols_stable(self):
+        words, sym = assemble("FPMUL c a b\nFPADD d c c\nHALT")
+        assert sym.names["c"] == 0 and sym.names["a"] == 1
+
+    def test_unknown_op(self):
+        with pytest.raises(ProgramError):
+            assemble("FROB a b")
+
+    def test_bad_mode(self):
+        with pytest.raises(ProgramError):
+            assemble("MODE int4")
+
+    def test_register_file_limit(self):
+        text = "\n".join(f"FPMUL r{i} r{i} r{i}" for i in range(257)) + "\nHALT"
+        with pytest.raises(ProgramError):
+            assemble(text)
+
+
+class TestInterpreter:
+    def test_matmul_program_matches_pu(self, rng):
+        """A hand-assembled tiled matmul equals MultiModePU.matmul."""
+        a = BfpMatrix.from_dense(rng.normal(size=(16, 16)))  # 2x2 blocks
+        b = BfpMatrix.from_dense(rng.normal(size=(16, 16)))
+        text = """
+        MODE bfp8
+        LOADY y00 y01
+        STREAMX xs0 psu
+        LOADY y10 y11
+        STREAMX xs1 psu
+        QUANT out psu
+        HALT
+        """
+        words, sym = assemble(text)
+        interp = PUInterpreter()
+        mem = interp.memory
+        mem.write(sym.names["y00"], b.block(0, 0))
+        mem.write(sym.names["y01"], b.block(0, 1))
+        mem.write(sym.names["y10"], b.block(1, 0))
+        mem.write(sym.names["y11"], b.block(1, 1))
+        mem.write(sym.names["xs0"], [a.block(0, 0), a.block(1, 0)])
+        mem.write(sym.names["xs1"], [a.block(0, 1), a.block(1, 1)])
+        retired = interp.run(words)
+        assert retired == 7
+        out = mem.read(sym.names["out"])
+        ref = bfp_matmul(a, b)
+        # Deposit order: [C00, C10] (hi field) then [C01, C11] (lo field).
+        got = {
+            (0, 0): out[0], (1, 0): out[1], (0, 1): out[2], (1, 1): out[3]
+        }
+        for (i, j), blk in got.items():
+            assert np.array_equal(blk.mantissas, ref.block(i, j).mantissas)
+            assert blk.exponent == ref.block(i, j).exponent
+
+    def test_engines_agree(self, rng):
+        a = BfpMatrix.from_dense(rng.normal(size=(8, 8)))
+        b = BfpMatrix.from_dense(rng.normal(size=(8, 8)))
+        outs = []
+        for engine in ("fast", "cycle"):
+            words, sym = assemble(
+                "MODE bfp8\nLOADY yh yl\nSTREAMX xs psu\nQUANT out psu\nHALT"
+            )
+            interp = PUInterpreter(engine=engine)
+            interp.memory.write(sym.names["yh"], b.block(0, 0))
+            interp.memory.write(sym.names["yl"], b.block(0, 0))
+            interp.memory.write(sym.names["xs"], [a.block(0, 0)])
+            interp.run(words)
+            outs.append(interp.memory.read(sym.names["out"]))
+        for x, y in zip(outs[0], outs[1]):
+            assert np.array_equal(x.mantissas, y.mantissas)
+
+    def test_fp32_ops(self, rng):
+        x = rng.normal(size=32).astype(np.float32)
+        y = rng.normal(size=32).astype(np.float32)
+        words, sym = assemble("MODE fp32mul\nFPMUL p a b\nMODE fp32add\nFPADD s p b\nHALT")
+        interp = PUInterpreter()
+        interp.memory.write(sym.names["a"], x)
+        interp.memory.write(sym.names["b"], y)
+        interp.run(words)
+        s = interp.memory.read(sym.names["s"])
+        assert np.allclose(s, x * y + y, rtol=1e-5)
+
+    def test_streamx_requires_mode_and_y(self, rng):
+        a = BfpMatrix.from_dense(rng.normal(size=(8, 8)))
+        words, sym = assemble("STREAMX xs psu\nHALT")
+        interp = PUInterpreter()
+        interp.memory.write(sym.names["xs"], [a.block(0, 0)])
+        with pytest.raises(Exception):
+            interp.run(words)  # no MODE bfp8 / LOADY first
+
+    def test_missing_halt(self):
+        words, _ = assemble("MODE bfp8")
+        with pytest.raises(ProgramError):
+            PUInterpreter().run(words)
+
+    def test_empty_register_read(self):
+        with pytest.raises(ProgramError):
+            TensorMemory().read(3)
+
+    def test_quant_type_check(self, rng):
+        words, sym = assemble("QUANT out psu\nHALT")
+        interp = PUInterpreter()
+        interp.memory.write(sym.names["psu"], "not a list")
+        with pytest.raises(ProgramError):
+            interp.run(words)
+
+    def test_symbol_table_name_of(self):
+        sym = SymbolTable()
+        sym.resolve("foo")
+        assert sym.name_of(0) == "foo"
+        assert sym.name_of(9) == "r9"

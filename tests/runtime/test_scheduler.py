@@ -1,0 +1,85 @@
+"""Tests for the full-model compiler."""
+
+import pytest
+
+from repro.models.configs import DEIT_SMALL, DEIT_TINY, ViTConfig
+from repro.models.ops_count import count_linear_macs, count_nonlinear_elements
+from repro.runtime.scheduler import Stage, compile_vit
+
+
+@pytest.fixture(scope="module")
+def deit_small():
+    return compile_vit(DEIT_SMALL)
+
+
+class TestCompilation:
+    def test_stage_count(self, deit_small):
+        # patch embed + 12 blocks x 12 stages + final LN + head
+        assert len(deit_small.stages) == 1 + 12 * 12 + 2
+
+    def test_matmul_ops_match_analytic_counts(self, deit_small):
+        lin = count_linear_macs(DEIT_SMALL)
+        compiled = sum(s.ops for s in deit_small.stages if s.kind == "matmul")
+        # Compiled plans pad to 8x8 blocks, so ops exceed the analytic MACs
+        # slightly but stay within the padding overhead.
+        analytic = 2.0 * lin.total
+        assert analytic <= compiled <= analytic * 1.15
+
+    def test_nonlinear_elements_covered(self, deit_small):
+        nl = count_nonlinear_elements(DEIT_SMALL)
+        softmax_stages = [s for s in deit_small.stages if s.kind == "softmax"]
+        assert len(softmax_stages) == 12
+        assert sum(s.host_ops for s in softmax_stages) > nl.softmax  # >=1/el
+
+    def test_residual_adds_scheduled(self, deit_small):
+        res = [s for s in deit_small.stages if s.kind == "residual_add"]
+        assert len(res) == 24  # two per block
+
+    def test_stage_latency_scales_with_units(self, deit_small):
+        one = deit_small.latency_cycles(1)
+        fifteen = deit_small.latency_cycles(15)
+        assert fifteen < one
+        assert fifteen >= one / 15  # cannot beat perfect scaling
+
+    def test_workload_split_headline(self, deit_small):
+        rows = deit_small.workload_split()
+        by = {r["name"]: r for r in rows}
+        assert by["bfp8 matmul"]["ops_pct"] > 90.0
+        assert deit_small.fp32_latency_share() > 0.5
+
+    def test_tiny_faster_than_small(self, deit_small):
+        tiny = compile_vit(DEIT_TINY)
+        assert tiny.latency_cycles() < deit_small.latency_cycles()
+
+    def test_without_head(self):
+        cfg = ViTConfig("t", image_size=32, patch_size=16, dim=16, depth=1,
+                        n_heads=2, n_classes=10)
+        with_head = compile_vit(cfg, include_head=True)
+        without = compile_vit(cfg, include_head=False)
+        assert len(with_head.stages) == len(without.stages) + 1
+
+
+class TestStage:
+    def test_latency_waves(self):
+        s = Stage("x", "matmul", "bfp8", chunks=10, chunk_cycles=100, ops=1.0)
+        assert s.latency_cycles(4) == 3 * 100  # ceil(10/4) waves
+        assert s.latency_cycles(16) == 100
+
+    def test_invalid_units(self):
+        s = Stage("x", "matmul", "bfp8", chunks=1, chunk_cycles=1, ops=1.0)
+        with pytest.raises(Exception):
+            s.latency_cycles(0)
+
+
+class TestConsistencyWithAnalyticTable4:
+    def test_compiled_vs_analytic_latency_same_ballpark(self, deit_small):
+        """The compiled schedule and the analytic Table IV model agree on
+        end-to-end latency within 2x (they differ in padding, residual adds
+        and wave quantization)."""
+        from repro.models.ops_count import table4_partitions
+        from repro.perf.latency import deit_latency_split
+
+        analytic = deit_latency_split(table4_partitions(DEIT_SMALL))
+        compiled_s = deit_small.latency_seconds()
+        ratio = compiled_s / analytic.total_latency_s
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,131 @@
+"""Tests for the compiled non-linear vector programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models.layers import gelu as gelu_ref
+from repro.models.layers import softmax as softmax_ref
+from repro.runtime.executor import VectorExecutor
+from repro.runtime.instructions import OpCode
+from repro.runtime.vector_ops import (
+    build_exp,
+    build_gelu,
+    build_layernorm,
+    build_softmax,
+    exp2_poly_coeffs,
+)
+
+moderate = hnp.arrays(
+    np.float32, st.tuples(st.integers(1, 4), st.integers(2, 32)),
+    elements=st.floats(-30.0, 30.0, allow_nan=False, width=32),
+)
+
+
+@pytest.fixture(scope="module")
+def fast_exec():
+    return VectorExecutor(faithful=False)
+
+
+class TestExp:
+    @given(moderate)
+    @settings(max_examples=30)
+    def test_relative_accuracy(self, x):
+        out, _ = VectorExecutor(faithful=False).run(build_exp(), {"x": x})
+        ref = np.exp(x.astype(np.float64))
+        rel = np.abs(out - ref) / ref
+        assert rel.max() < 2e-5  # degree-6 polynomial error floor
+
+    def test_higher_degree_is_more_accurate(self):
+        x = np.linspace(-5, 5, 200, dtype=np.float32).reshape(1, -1)
+        ref = np.exp(x.astype(np.float64))
+        errs = []
+        for deg in (4, 6, 8):
+            out, _ = VectorExecutor(faithful=False).run(build_exp(deg), {"x": x})
+            errs.append((np.abs(out - ref) / ref).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_coeffs_are_taylor_in_ln2(self):
+        c = exp2_poly_coeffs(3)
+        ln2 = np.log(2.0)
+        assert c == pytest.approx([1.0, ln2, ln2**2 / 2, ln2**3 / 6])
+
+    def test_host_ops_are_floor_and_exp2(self):
+        ops = [i.op for i in build_exp().instrs]
+        assert ops.count(OpCode.HFLOOR) == 1
+        assert ops.count(OpCode.HEXP2I) == 1
+        assert OpCode.HDIV not in ops
+
+
+class TestSoftmax:
+    @given(moderate)
+    @settings(max_examples=30)
+    def test_accuracy(self, x):
+        out, _ = VectorExecutor(faithful=False).run(build_softmax(), {"x": x})
+        ref = softmax_ref(x.astype(np.float64))
+        assert np.abs(out - ref).max() < 1e-4
+
+    def test_rows_sum_to_one(self, fast_exec, rng):
+        x = rng.normal(size=(6, 17)).astype(np.float32) * 5
+        out, _ = fast_exec.run(build_softmax(), {"x": x})
+        assert np.allclose(out.sum(-1), 1.0, atol=1e-5)
+
+    def test_division_is_a_host_op(self):
+        """The paper's escape hatch: fp32 division runs on the host CPU."""
+        ops = [i.op for i in build_softmax().instrs]
+        assert OpCode.HDIV in ops
+        assert OpCode.HMAX in ops
+
+
+class TestGelu:
+    @given(moderate)
+    @settings(max_examples=30)
+    def test_accuracy(self, x):
+        out, _ = VectorExecutor(faithful=False).run(build_gelu(), {"x": x})
+        ref = gelu_ref(x.astype(np.float64))
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert (np.abs(out - ref) / scale).max() < 1e-4
+
+    def test_extreme_inputs_saturate(self, fast_exec):
+        x = np.array([[-100.0, 100.0]], np.float32)
+        out, _ = fast_exec.run(build_gelu(), {"x": x})
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-5)
+        assert out[0, 1] == pytest.approx(100.0, rel=1e-5)
+
+    def test_reciprocal_is_a_host_op(self):
+        ops = [i.op for i in build_gelu().instrs]
+        assert OpCode.HRECIP in ops
+
+
+class TestLayerNorm:
+    def test_accuracy(self, fast_exec, rng):
+        x = (rng.normal(size=(5, 24)) * 4 + 2).astype(np.float32)
+        n = x.shape[-1]
+        inputs = {
+            "x": x,
+            "gamma": rng.normal(size=(1, n)).astype(np.float32),
+            "beta": rng.normal(size=(1, n)).astype(np.float32),
+            "inv_n": np.full((5, 1), 1.0 / n, np.float32),
+            "eps": np.full((5, 1), 1e-5, np.float32),
+        }
+        out, _ = fast_exec.run(build_layernorm(), inputs)
+        mu = x.mean(-1, keepdims=True)
+        ref = (x - mu) / np.sqrt(x.var(-1, keepdims=True) + 1e-5)
+        ref = ref * inputs["gamma"] + inputs["beta"]
+        assert np.abs(out - ref).max() < 1e-4
+
+    def test_rsqrt_is_a_host_op(self):
+        ops = [i.op for i in build_layernorm().instrs]
+        assert OpCode.HRSQRT in ops
+        assert OpCode.HDIV not in ops  # 1/n is an FPU multiply
+
+
+class TestProgramsValidate:
+    @pytest.mark.parametrize("builder", [build_exp, build_softmax, build_gelu])
+    def test_validates(self, builder):
+        builder().validate()
+
+    def test_layernorm_validates(self):
+        build_layernorm().validate()
