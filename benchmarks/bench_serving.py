@@ -1,0 +1,74 @@
+"""Serving bench: dynamic batching payoff and online-dispatch overheads."""
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.dispatcher import ServeConfig, simulate
+from repro.serve.request import TrafficConfig, poisson_trace
+
+LLM_TRAFFIC = TrafficConfig(rate_rps=2000.0, vit_fraction=0.0)
+MIXED_TRAFFIC = TrafficConfig(rate_rps=1500.0, vit_fraction=0.05)
+
+
+def run(trace, max_batch, max_wait_us=200.0):
+    policy = BatchPolicy(max_batch=max_batch,
+                         max_wait_us=max_wait_us if max_batch > 1 else 0.0)
+    return simulate(trace, ServeConfig(policy=policy)).summary
+
+
+@pytest.fixture(scope="module")
+def llm_trace():
+    return poisson_trace(400, LLM_TRAFFIC, seed=0)
+
+
+def test_dynamic_batching_speedup(benchmark, llm_trace, save_report):
+    """Same seeded trace, same 15 units: batching >= 2x tokens/s."""
+    batched = benchmark(run, llm_trace, 8)
+    single = run(llm_trace, 1)
+    speedup = batched["tokens_per_s"] / single["tokens_per_s"]
+
+    lines = [
+        "dynamic batching on a seeded llm-only trace "
+        f"({len(llm_trace)} requests, {LLM_TRAFFIC.rate_rps:g} req/s):",
+        f"{'max_batch':>9s} {'tokens/s':>10s} {'p95 ms':>8s} "
+        f"{'ttft p95 ms':>11s} {'util':>6s} {'mean batch':>10s}",
+    ]
+    for mb in (1, 2, 4, 8, 16):
+        s = run(llm_trace, mb)
+        lines.append(
+            f"{mb:9d} {s['tokens_per_s']:10.1f} {s['latency_p95_ms']:8.1f} "
+            f"{s['ttft_p95_ms']:11.1f} {s['utilization']:6.3f} "
+            f"{s['mean_batch_size']:10.2f}"
+        )
+    lines.append(f"speedup at max_batch=8 vs 1: {speedup:.2f}x")
+    save_report("serving_dynamic_batching", "\n".join(lines))
+
+    # The acceptance bar: per-token weight-pass amortization (Eqn 9's
+    # N_X = 1 -> N_X = B) must at least double end-to-end throughput.
+    assert speedup >= 2.0
+    assert batched["latency_p95_ms"] <= single["latency_p95_ms"]
+
+
+def test_mixed_traffic_report(save_report):
+    trace = poisson_trace(400, MIXED_TRAFFIC, seed=0)
+    batched, single = run(trace, 8), run(trace, 1)
+    lines = [
+        "mixed traffic (5% ViT images, 95% LLM), dynamic batching vs none:",
+        f"{'metric':>20s} {'max_batch=8':>12s} {'max_batch=1':>12s}",
+    ]
+    for key in ("tokens_per_s", "requests_per_s", "latency_p95_ms",
+                "ttft_p95_ms", "utilization", "mean_batch_size"):
+        lines.append(f"{key:>20s} {batched[key]:12.2f} {single[key]:12.2f}")
+    save_report("serving_mixed_traffic", "\n".join(lines))
+    assert batched["tokens_per_s"] > single["tokens_per_s"]
+
+
+def test_simulation_cost(benchmark):
+    """The event loop itself must stay cheap (acceptance: 2000 reqs < 60 s)."""
+    trace = poisson_trace(200, MIXED_TRAFFIC, seed=1)
+    summary = benchmark(run, trace, 8)
+    assert summary["completed"] + summary["rejected"] == 200
+
+
+def test_determinism_across_runs(llm_trace):
+    assert run(llm_trace, 8) == run(llm_trace, 8)

@@ -1,10 +1,12 @@
-"""Command-line entry point: regenerate the full reproduction report.
+"""Command-line entry point: reproduction report + serving simulation.
 
 Usage::
 
     python -m repro                  # all fast tables/figures to stdout
     python -m repro --full           # include training-based studies
     python -m repro --out results/   # also write one file per artifact
+    python -m repro serve-sim --requests 2000 --seed 0
+                                     # online serving simulation
 """
 
 from __future__ import annotations
@@ -13,15 +15,7 @@ import argparse
 from pathlib import Path
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    parser.add_argument("--full", action="store_true",
-                        help="include the training-based accuracy studies "
-                        "(minutes)")
-    parser.add_argument("--out", type=Path, default=None,
-                        help="directory to write per-artifact text files")
-    args = parser.parse_args()
-
+def _run_report(args) -> int:
     from repro.eval import (
         accuracy,
         bitwidth,
@@ -55,6 +49,26 @@ def main() -> None:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(content + "\n")
+    return 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="include the training-based accuracy studies "
+                        "(minutes)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write per-artifact text files")
+    subparsers = parser.add_subparsers(dest="command")
+
+    from repro.serve.cli import add_serve_sim_parser, run_serve_sim
+
+    add_serve_sim_parser(subparsers)
+
+    args = parser.parse_args()
+    if args.command == "serve-sim":
+        raise SystemExit(run_serve_sim(args))
+    raise SystemExit(_run_report(args))
 
 
 if __name__ == "__main__":

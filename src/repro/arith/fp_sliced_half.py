@@ -20,10 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import HardwareContractError  # noqa: F401  (saturation replaced raise; kept for API)
+from repro.errors import HardwareContractError  # noqa: F401  (kept for API)
 from repro.formats.halfprec import (
-    BF16,
-    FP16,
     HalfFormat,
     compose_half,
     decompose_half,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["render_table", "render_series", "header"]
+__all__ = ["render_table", "render_series", "render_metrics", "header"]
 
 
 def header(title: str, width: int = 78) -> str:
@@ -41,6 +41,20 @@ def render_table(
     for row in str_rows:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_metrics(
+    title: str,
+    metrics: dict,
+    *,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render a flat metric dict (e.g. a serving summary) as a name/value table."""
+    rows = [
+        (k, float_fmt.format(v) if isinstance(v, float) else str(v))
+        for k, v in metrics.items()
+    ]
+    return render_table(["metric", "value"], rows, title=title)
 
 
 def render_series(

@@ -44,6 +44,12 @@ class HalfFormat:
         return (1 << self.exp_bits) - 1  # special-value code
 
     @property
+    def min_normal(self) -> float:
+        """Smallest normal magnitude; products below it flush to zero
+        (the datapath keeps no subnormals, like the fp32 path)."""
+        return float(2.0 ** (1 - self.bias))
+
+    @property
     def max_finite(self) -> float:
         """Largest representable magnitude (saturation value)."""
         return float(

@@ -7,18 +7,23 @@ independent jobs, greedy earliest-available dispatch, and aggregate
 throughput/utilization reporting.  Jobs either carry explicit cycle costs
 (from the compiler/latency models) or are executed functionally on a
 :class:`~repro.hw.unit.MultiModePU`.
+
+:class:`UnitPool` is the reusable online core: it tracks per-unit busy
+intervals and supports assigning work at arbitrary points in simulated
+time, which is what the request-serving layer (``repro.serve``) builds on.
+:class:`MultiUnitSystem` keeps the original offline batch-scheduling API
+on top of it.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
 
-__all__ = ["Job", "UnitTimeline", "SystemReport", "MultiUnitSystem"]
+__all__ = ["Job", "UnitTimeline", "UnitPool", "SystemReport", "MultiUnitSystem"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,59 @@ class UnitTimeline:
     busy_cycles: int = 0
     jobs: list[str] = field(default_factory=list)
     finish: int = 0
+
+
+class UnitPool:
+    """Per-unit availability tracker, usable offline *and* online.
+
+    A unit is free again at its ``finish`` time; :meth:`assign` places a
+    job on a unit no earlier than both the unit's free time and the
+    caller-supplied start (a request's arrival / readiness time).  Ties on
+    the earliest-free query break deterministically on ``(finish, unit)``.
+    """
+
+    def __init__(self, n_units: int) -> None:
+        if n_units <= 0:
+            raise ConfigurationError("system needs at least one unit")
+        self.timelines = [UnitTimeline(i) for i in range(n_units)]
+
+    @property
+    def n_units(self) -> int:
+        return len(self.timelines)
+
+    def free_at(self, unit: int) -> int:
+        return self.timelines[unit].finish
+
+    def earliest_free(self) -> tuple[int, int]:
+        """``(free_time, unit)`` of the unit that frees first (ties: lowest unit)."""
+        return min((t.finish, t.unit) for t in self.timelines)
+
+    def idle_units(self, now: int) -> list[int]:
+        """Units free at time ``now``, in index order."""
+        return [t.unit for t in self.timelines if t.finish <= now]
+
+    def assign(self, unit: int, start: int, cycles: int, name: str) -> int:
+        """Occupy ``unit`` for ``cycles`` from ``max(start, free_at)``; returns finish."""
+        if cycles <= 0:
+            raise ConfigurationError(f"job {name!r} has no cycles")
+        t = self.timelines[unit]
+        begin = max(start, t.finish)
+        t.busy_cycles += cycles
+        t.jobs.append(name)
+        t.finish = begin + cycles
+        return t.finish
+
+    @property
+    def makespan(self) -> int:
+        return max((t.finish for t in self.timelines), default=0)
+
+    def busy_fraction(self, horizon: int | None = None) -> float:
+        """Mean busy fraction across units over ``horizon`` (default makespan)."""
+        horizon = self.makespan if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        busy = sum(t.busy_cycles for t in self.timelines)
+        return busy / (horizon * self.n_units)
 
 
 @dataclass
@@ -93,27 +151,20 @@ class MultiUnitSystem:
     def schedule(self, jobs: list[Job]) -> SystemReport:
         """Dispatch independent jobs to the earliest-free unit.
 
-        Greedy list scheduling on identical machines (2-approximate for
-        makespan; optimal here because jobs have no dependencies and the
-        queue is served longest-first).
+        Longest-processing-time (LPT) list scheduling on identical
+        machines: at most 4/3 - 1/(3m) of the optimal makespan (Graham
+        1969) — good, but *not* optimal in general (e.g. jobs {3,3,2,2,2}
+        on 2 machines: LPT gives 7, optimal is 6).  Dispatch ties break
+        deterministically on ``(finish, unit_index)`` and equal-length
+        jobs on their name, so reports are stable across heap orderings.
         """
-        n = self.clock.n_units
-        if n <= 0:
-            raise ConfigurationError("system needs at least one unit")
-        timelines = [UnitTimeline(i) for i in range(n)]
-        heap: list[tuple[int, int]] = [(0, i) for i in range(n)]
-        heapq.heapify(heap)
+        pool = UnitPool(self.clock.n_units)
         total_ops: dict[str, float] = {}
-        for job in sorted(jobs, key=lambda j: -j.cycles):
-            finish, idx = heapq.heappop(heap)
-            t = timelines[idx]
-            t.busy_cycles += job.cycles
-            t.jobs.append(job.name)
-            t.finish = finish + job.cycles
+        for job in sorted(jobs, key=lambda j: (-j.cycles, j.name)):
+            start, idx = pool.earliest_free()
+            pool.assign(idx, start, job.cycles, job.name)
             total_ops[job.mode] = total_ops.get(job.mode, 0.0) + job.ops
-            heapq.heappush(heap, (t.finish, idx))
-        makespan = max((t.finish for t in timelines), default=0)
-        return SystemReport(makespan, timelines, total_ops, self.clock)
+        return SystemReport(pool.makespan, pool.timelines, total_ops, self.clock)
 
     # -- convenience job builders -------------------------------------------
     def bfp_stream_job(self, name: str, n_x: int) -> Job:

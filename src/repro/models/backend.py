@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.arith.bfp_matmul import bfp_matmul_emulate
 from repro.formats.blocking import BfpMatrix
-from repro.formats.int8q import int8_matmul, quantize_int8, quantize_intn
+from repro.formats.int8q import int8_matmul, quantize_intn
 
 __all__ = [
     "ComputeBackend",
@@ -50,16 +50,34 @@ __all__ = [
 
 @dataclass
 class ComputeBackend:
-    """Base backend: exact float32 arithmetic, with op statistics."""
+    """Base backend: exact float32 arithmetic, with op statistics.
+
+    ``matmul_count`` counts weight passes (streams of Y through the
+    array) and ``matmul_rows`` the activation rows they served — their
+    ratio is the amortization a batched decode step achieves: B sessions
+    stepped together do one weight pass per linear layer instead of B.
+    """
 
     name: str = "fp32"
     matmul_count: int = 0
     matmul_macs: int = 0
+    matmul_rows: int = 0
 
     def matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         self.matmul_count += 1
         self.matmul_macs += x.shape[0] * x.shape[1] * w.shape[1]
+        self.matmul_rows += x.shape[0]
         return self._matmul(x, w)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "matmuls": self.matmul_count,
+            "macs": self.matmul_macs,
+            "rows": self.matmul_rows,
+        }
+
+    def reset_stats(self) -> None:
+        self.matmul_count = self.matmul_macs = self.matmul_rows = 0
 
     def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         return (x.astype(np.float32) @ w.astype(np.float32)).astype(np.float32)

@@ -249,6 +249,68 @@ class TinyLM(Module):
         x = self.norm.forward(x, backend)
         return self.head.forward(x, backend)[0, 0]
 
+    def forward_step_batch(
+        self,
+        tokens: list[int],
+        positions: list[int],
+        caches_batch: list[list[dict]],
+        backend: ComputeBackend | None = None,
+    ) -> np.ndarray:
+        """One autoregressive step for a *batch* of independent sessions.
+
+        This is the compute shape dynamic batching buys (see
+        ``repro.serve``): sessions at the same position are stacked along
+        the batch axis so every linear layer runs as ONE ``B``-row matmul
+        — one weight pass through the array instead of ``B`` (check
+        ``backend.stats()["matmuls"]``), the N_X amortization of
+        ``compile_decoder(batch=B, phase="decode")``.  Sessions at
+        different positions fall into separate groups (their KV tensors
+        cannot stack); per-session attention still reads each session's
+        own cache.  Each session's ``caches`` list is updated in place,
+        and the returned logits have shape ``(B, vocab)`` in input order.
+
+        Equivalent to ``B`` :meth:`forward_step` calls under exact fp32;
+        block-fp backends may differ in low mantissa bits because batched
+        rows share 8x8 block exponents — exactly as on the hardware.
+        """
+        backend = backend or FP32Backend()
+        if not (len(tokens) == len(positions) == len(caches_batch)):
+            raise ConfigurationError("batch fields must have equal length")
+        if any(p >= self.seq_len for p in positions):
+            raise ConfigurationError("position beyond the context window")
+        out = np.zeros((len(tokens), self.vocab), dtype=np.float32)
+        groups: dict[int, list[int]] = {}
+        for i, pos in enumerate(positions):
+            groups.setdefault(pos, []).append(i)
+        for pos, idxs in groups.items():
+            b = len(idxs)
+            # Stack each block's per-session KV along the batch axis.
+            stacked: list[dict] = []
+            for blk in range(len(self.blocks)):
+                ks = [caches_batch[i][blk]["k"] for i in idxs]
+                vs = [caches_batch[i][blk]["v"] for i in idxs]
+                if any(k.shape != ks[0].shape for k in ks):
+                    raise ConfigurationError(
+                        "sessions at one position must have equal KV length"
+                    )
+                stacked.append(
+                    {"k": np.concatenate(ks, axis=0),
+                     "v": np.concatenate(vs, axis=0)}
+                )
+            toks = np.array([tokens[i] for i in idxs]).reshape(b, 1)
+            x = self.embed.forward(toks)
+            x = (x + self.params["pos_embed"][:, pos : pos + 1]).astype(np.float32)
+            for blk, cache in zip(self.blocks, stacked):
+                x = blk.forward_step(x, cache, backend)
+            x = self.norm.forward(x, backend)
+            logits = self.head.forward(x, backend)[:, 0]
+            for j, i in enumerate(idxs):
+                out[i] = logits[j]
+                for blk in range(len(self.blocks)):
+                    caches_batch[i][blk]["k"] = stacked[blk]["k"][j : j + 1]
+                    caches_batch[i][blk]["v"] = stacked[blk]["v"][j : j + 1]
+        return out
+
     def generate_cached(
         self,
         prompt: np.ndarray,

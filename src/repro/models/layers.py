@@ -11,8 +11,6 @@ quantized).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -159,7 +157,9 @@ class LayerNorm(Module):
         self.grads["gamma"] = self.grads.get("gamma", 0) + (dout * norm).reshape(
             -1, n
         ).sum(0).astype(np.float32)
-        self.grads["beta"] = self.grads.get("beta", 0) + dout.reshape(-1, n).sum(0).astype(np.float32)
+        self.grads["beta"] = self.grads.get("beta", 0) + dout.reshape(
+            -1, n
+        ).sum(0).astype(np.float32)
         dnorm = dout * gamma
         dx = (
             dnorm

@@ -23,7 +23,6 @@ import numpy as np
 from repro.formats.bfp8 import quantize_tiles
 from repro.perf.resources import (
     Resources,
-    buffers_and_converter,
     exponent_unit,
     pe_array,
     runtime_controller,

@@ -9,14 +9,13 @@ the Table IV end-to-end DeiT latency split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from math import ceil
 
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import (
     DEFAULT_CLOCK,
     ClockConfig,
-    bfp_throughput_ops,
-    fp32_throughput_flops,
 )
 
 __all__ = [
@@ -29,6 +28,8 @@ __all__ = [
     "LatencyReport",
     "WorkloadPartition",
     "deit_latency_split",
+    "vit_batch_unit_cycles",
+    "decoder_batch_unit_cycles",
 ]
 
 
@@ -90,6 +91,61 @@ def system_measured_fp32_flops(
     cfg: ClockConfig = DEFAULT_CLOCK,
 ) -> float:
     return cfg.n_units * measured_fp32_throughput_flops(length, mem, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Batched-job cost lookups (serving layer)
+# ---------------------------------------------------------------------------
+#
+# One serving "job" is a whole batched forward pass occupying a single unit.
+# Both lookups lower the batched model through the compiler (lazy import:
+# ``runtime.scheduler`` imports this module) and sum unit-occupancy over
+# every chunk of every stage — the cycles the dispatcher charges a unit.
+# They are memoized: the event-driven simulator calls them per dispatched
+# batch, and all arguments (including the frozen config dataclasses) hash.
+
+
+@lru_cache(maxsize=4096)
+def vit_batch_unit_cycles(
+    cfg_vit,
+    batch: int = 1,
+    *,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    clock: ClockConfig = DEFAULT_CLOCK,
+) -> int:
+    """Unit-occupancy cycles of one ViT classify job over ``batch`` images."""
+    from repro.runtime.scheduler import compile_vit
+
+    model = compile_vit(cfg_vit, batch=batch, clock=clock, mem=mem)
+    return model.unit_cycles_per_item()
+
+
+@lru_cache(maxsize=4096)
+def decoder_batch_unit_cycles(
+    phase: str,
+    batch: int,
+    context: int,
+    *,
+    vocab: int,
+    dim: int,
+    depth: int,
+    n_heads: int,
+    mlp_ratio: float = 8 / 3,
+    mem: MemoryModel = DEFAULT_MEMORY,
+    clock: ClockConfig = DEFAULT_CLOCK,
+) -> int:
+    """Unit-occupancy cycles of one batched decoder prefill/decode job.
+
+    ``context`` is the prompt length (prefill) or current KV length
+    (decode); the serving layer buckets it so this cache stays small.
+    """
+    from repro.runtime.scheduler import compile_decoder
+
+    model = compile_decoder(
+        vocab=vocab, dim=dim, depth=depth, n_heads=n_heads, context=context,
+        mlp_ratio=mlp_ratio, phase=phase, batch=batch, clock=clock, mem=mem,
+    )
+    return model.unit_cycles_per_item()
 
 
 # ---------------------------------------------------------------------------

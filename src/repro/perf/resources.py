@@ -26,7 +26,7 @@ calibrations for a 4-lane fp32 multiply + add vector unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil, log2
+from math import log2
 
 __all__ = [
     "Resources",

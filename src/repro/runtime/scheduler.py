@@ -206,14 +206,24 @@ def _residual_stage(name: str, elements: int, mem: MemoryModel) -> Stage:
 def compile_vit(
     cfg: ViTConfig,
     *,
+    batch: int = 1,
     clock: ClockConfig = DEFAULT_CLOCK,
     mem: MemoryModel = DEFAULT_MEMORY,
     exp_degree: int = 6,
     include_head: bool = True,
 ) -> CompiledModel:
-    """Lower a ViT configuration to a hardware schedule."""
+    """Lower a ViT configuration to a hardware schedule.
+
+    ``batch`` coalesces that many images into one schedule: the token
+    matmuls see ``batch * n_tokens`` rows (longer N_X streams, Eqn-9
+    efficiency) while attention score/context matmuls replicate per image
+    (each image attends only to its own tokens).
+    """
+    if batch <= 0:
+        raise ConfigurationError("batch must be positive")
     n, d, h, m = cfg.n_tokens, cfg.dim, cfg.n_heads, cfg.mlp_hidden
     hd = cfg.head_dim
+    rows = batch * n  # token rows through the shared-weight matmuls
     softmax_pe = build_softmax(exp_degree).static_op_count()
     gelu_pe = build_gelu(exp_degree).static_op_count()
     ln_pe = build_layernorm().static_op_count()
@@ -222,28 +232,28 @@ def compile_vit(
     st = model.stages
 
     patch_in = cfg.patch_size**2 * cfg.in_chans
-    st.append(_matmul_stage("patch_embed", cfg.n_patches, patch_in, d,
+    st.append(_matmul_stage("patch_embed", batch * cfg.n_patches, patch_in, d,
                             copies=1, mem=mem))
 
     for layer in range(cfg.depth):
         p = f"block{layer}."
-        st.append(_vector_stage(p + "ln1", "layernorm", n * d, ln_pe, mem=mem))
-        st.append(_matmul_stage(p + "qkv", n, d, 3 * d, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "scores", n, hd, n, copies=h, mem=mem))
-        st.append(_vector_stage(p + "softmax", "softmax", h * n * n,
+        st.append(_vector_stage(p + "ln1", "layernorm", rows * d, ln_pe, mem=mem))
+        st.append(_matmul_stage(p + "qkv", rows, d, 3 * d, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "scores", n, hd, n, copies=h * batch, mem=mem))
+        st.append(_vector_stage(p + "softmax", "softmax", batch * h * n * n,
                                 softmax_pe, mem=mem))
-        st.append(_matmul_stage(p + "context", n, n, hd, copies=h, mem=mem))
-        st.append(_matmul_stage(p + "proj", n, d, d, copies=1, mem=mem))
-        st.append(_residual_stage(p + "residual1", n * d, mem))
-        st.append(_vector_stage(p + "ln2", "layernorm", n * d, ln_pe, mem=mem))
-        st.append(_matmul_stage(p + "fc1", n, d, m, copies=1, mem=mem))
-        st.append(_vector_stage(p + "gelu", "gelu", n * m, gelu_pe, mem=mem))
-        st.append(_matmul_stage(p + "fc2", n, m, d, copies=1, mem=mem))
-        st.append(_residual_stage(p + "residual2", n * d, mem))
+        st.append(_matmul_stage(p + "context", n, n, hd, copies=h * batch, mem=mem))
+        st.append(_matmul_stage(p + "proj", rows, d, d, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual1", rows * d, mem))
+        st.append(_vector_stage(p + "ln2", "layernorm", rows * d, ln_pe, mem=mem))
+        st.append(_matmul_stage(p + "fc1", rows, d, m, copies=1, mem=mem))
+        st.append(_vector_stage(p + "gelu", "gelu", rows * m, gelu_pe, mem=mem))
+        st.append(_matmul_stage(p + "fc2", rows, m, d, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual2", rows * d, mem))
 
-    st.append(_vector_stage("final_ln", "layernorm", n * d, ln_pe, mem=mem))
+    st.append(_vector_stage("final_ln", "layernorm", rows * d, ln_pe, mem=mem))
     if include_head:
-        st.append(_matmul_stage("head", 1, d, cfg.n_classes, copies=1, mem=mem))
+        st.append(_matmul_stage("head", batch, d, cfg.n_classes, copies=1, mem=mem))
     return model
 
 
@@ -256,6 +266,7 @@ def compile_decoder(
     context: int,
     mlp_ratio: float = 8 / 3,
     phase: str = "prefill",
+    batch: int = 1,
     clock: ClockConfig = DEFAULT_CLOCK,
     mem: MemoryModel = DEFAULT_MEMORY,
     exp_degree: int = 6,
@@ -267,10 +278,21 @@ def compile_decoder(
     with a KV cache — every linear layer collapses to a single-row matmul
     (N_X = 1 streams, the Eqn-9 worst case), which is why per-token decode
     is dramatically less efficient on the array than prefill.
+
+    ``batch`` coalesces that many independent sequences (sessions) into
+    one schedule.  The shared-weight linear layers see ``batch * n`` rows
+    — for decode, batches up to the 8-row block size ride the *same*
+    streams as a single token, which is the whole economics of dynamic
+    batching (weights stream once per batch, not once per token).  The
+    attention score/context matmuls and their softmax replicate per
+    sequence: every session has its own KV cache.
     """
     if phase not in ("prefill", "decode"):
         raise ConfigurationError(f"unknown phase {phase!r}")
+    if batch <= 0:
+        raise ConfigurationError("batch must be positive")
     n = context if phase == "prefill" else 1
+    rows = batch * n  # rows through the shared-weight matmuls
     ctx = context
     hd = dim // n_heads
     m = int(dim * mlp_ratio)
@@ -284,20 +306,22 @@ def compile_decoder(
     st = model.stages
     for layer in range(depth):
         p = f"layer{layer}."
-        st.append(_vector_stage(p + "rmsnorm1", "rmsnorm", n * dim, rms_pe, mem=mem))
-        st.append(_matmul_stage(p + "qkv", n, dim, 3 * dim, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "scores", n, hd, ctx, copies=n_heads, mem=mem))
-        st.append(_vector_stage(p + "softmax", "softmax", n_heads * n * ctx,
+        st.append(_vector_stage(p + "rmsnorm1", "rmsnorm", rows * dim, rms_pe, mem=mem))
+        st.append(_matmul_stage(p + "qkv", rows, dim, 3 * dim, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "scores", n, hd, ctx, copies=n_heads * batch,
+                                mem=mem))
+        st.append(_vector_stage(p + "softmax", "softmax", batch * n_heads * n * ctx,
                                 softmax_pe, mem=mem))
-        st.append(_matmul_stage(p + "context", n, ctx, hd, copies=n_heads, mem=mem))
-        st.append(_matmul_stage(p + "proj", n, dim, dim, copies=1, mem=mem))
-        st.append(_residual_stage(p + "residual1", n * dim, mem))
-        st.append(_vector_stage(p + "rmsnorm2", "rmsnorm", n * dim, rms_pe, mem=mem))
-        st.append(_matmul_stage(p + "gate", n, dim, m, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "up", n, dim, m, copies=1, mem=mem))
-        st.append(_vector_stage(p + "swiglu", "swiglu", n * m, swiglu_pe, mem=mem))
-        st.append(_matmul_stage(p + "down", n, m, dim, copies=1, mem=mem))
-        st.append(_residual_stage(p + "residual2", n * dim, mem))
-    st.append(_vector_stage("final_rmsnorm", "rmsnorm", n * dim, rms_pe, mem=mem))
-    st.append(_matmul_stage("lm_head", n, dim, vocab, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "context", n, ctx, hd, copies=n_heads * batch,
+                                mem=mem))
+        st.append(_matmul_stage(p + "proj", rows, dim, dim, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual1", rows * dim, mem))
+        st.append(_vector_stage(p + "rmsnorm2", "rmsnorm", rows * dim, rms_pe, mem=mem))
+        st.append(_matmul_stage(p + "gate", rows, dim, m, copies=1, mem=mem))
+        st.append(_matmul_stage(p + "up", rows, dim, m, copies=1, mem=mem))
+        st.append(_vector_stage(p + "swiglu", "swiglu", rows * m, swiglu_pe, mem=mem))
+        st.append(_matmul_stage(p + "down", rows, m, dim, copies=1, mem=mem))
+        st.append(_residual_stage(p + "residual2", rows * dim, mem))
+    st.append(_vector_stage("final_rmsnorm", "rmsnorm", rows * dim, rms_pe, mem=mem))
+    st.append(_matmul_stage("lm_head", rows, dim, vocab, copies=1, mem=mem))
     return model

@@ -1,0 +1,37 @@
+"""Request-queue + dynamic-batching serving layer over the 15-unit system.
+
+The paper's system section deploys 15 independent multi-mode units
+"running with independent instructions"; ``repro.hw.system`` schedules a
+*static* job list onto them.  This package adds the missing online half:
+requests that arrive over simulated time (Poisson or trace-driven), a
+dynamic batcher that coalesces compatible work, an event-driven dispatcher
+with per-unit queues and admission control, decoder session state with
+KV-cache affinity, and serving metrics (latency percentiles, TTFT,
+tokens/s, utilization, rejection rate).
+
+Everything runs in simulated cycles — no wall clock anywhere — so every
+run is exactly reproducible from its seed.
+"""
+
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.dispatcher import ModelProfile, ServeConfig, ServeReport, simulate
+from repro.serve.metrics import MetricsCollector
+from repro.serve.request import PhaseItem, Request, TrafficConfig, poisson_trace
+from repro.serve.sessions import Session, SessionTable
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "DynamicBatcher",
+    "MetricsCollector",
+    "ModelProfile",
+    "PhaseItem",
+    "Request",
+    "ServeConfig",
+    "ServeReport",
+    "Session",
+    "SessionTable",
+    "TrafficConfig",
+    "poisson_trace",
+    "simulate",
+]

@@ -1,0 +1,229 @@
+"""Event-driven online dispatcher over the unit pool.
+
+This is the serving counterpart of :meth:`repro.hw.system.MultiUnitSystem.
+schedule`: instead of a static job list scheduled longest-first, requests
+arrive over simulated time, coalesce in the :class:`DynamicBatcher`, and
+dispatch to the earliest available unit.  One batch occupies one unit for
+the batched job's unit-occupancy cycles (request-level parallelism across
+units, not intra-request chunk spreading — the regime the 15 independent
+instruction streams support).
+
+Flow control is preemption-free: a bounded intake queue sheds new arrivals
+with a 503-style rejection once full, and per-unit KV session slots
+throttle prefill dispatch (backpressure, never eviction of live sessions).
+
+The whole simulation is deterministic: integer cycle time, a seeded trace,
+and a (time, sequence) event order with no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.errors import ConfigurationError
+from repro.hw.system import UnitPool
+from repro.models.configs import DEIT_TINY, ViTConfig
+from repro.perf.latency import decoder_batch_unit_cycles, vit_batch_unit_cycles
+from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.metrics import MetricsCollector
+from repro.serve.request import PhaseItem, Request
+from repro.serve.sessions import SessionTable
+
+__all__ = ["ModelProfile", "ServeConfig", "ServeReport", "CostModel", "simulate"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Cost-model identity of the two served model families.
+
+    The decoder defaults match the repo's prefill-vs-decode study
+    (``results/decoder_prefill_vs_decode.txt``); the ViT defaults are
+    DeiT-Tiny, the smallest paper configuration.
+    """
+
+    vit: ViTConfig = DEIT_TINY
+    vocab: int = 1000
+    dim: int = 128
+    depth: int = 4
+    n_heads: int = 4
+    context: int = 128
+    mlp_ratio: float = 8 / 3
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """fp32 K+V bytes per resident token, all layers."""
+        return 2 * self.depth * self.dim * 4
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the simulation needs besides the trace itself."""
+
+    profile: ModelProfile = ModelProfile()
+    policy: BatchPolicy = BatchPolicy()
+    max_queue: int = 512
+    max_sessions_per_unit: int = 8
+    clock: ClockConfig = DEFAULT_CLOCK
+    mem: MemoryModel = DEFAULT_MEMORY
+
+
+class CostModel:
+    """Cycle cost of one dispatched batch (memoized via perf.latency)."""
+
+    # Context buckets keep the compile cache small without distorting the
+    # cost materially: one bucket spans less than a block row of streams.
+    DECODE_BUCKET = 16
+    PREFILL_BUCKET = 8
+
+    def __init__(self, cfg: ServeConfig) -> None:
+        self.cfg = cfg
+
+    def _decoder(self, phase: str, batch: int, context: int) -> int:
+        p = self.cfg.profile
+        return decoder_batch_unit_cycles(
+            phase, batch, context,
+            vocab=p.vocab, dim=p.dim, depth=p.depth, n_heads=p.n_heads,
+            mlp_ratio=p.mlp_ratio, mem=self.cfg.mem, clock=self.cfg.clock,
+        )
+
+    def batch_cycles(self, batch: Batch) -> int:
+        if batch.phase == "vit":
+            return vit_batch_unit_cycles(
+                self.cfg.profile.vit, batch.size,
+                mem=self.cfg.mem, clock=self.cfg.clock,
+            )
+        bucket = self.DECODE_BUCKET if batch.phase == "decode" else self.PREFILL_BUCKET
+        ctx = min(
+            max(ceil(batch.context / bucket), 1) * bucket,
+            max(self.cfg.profile.context, bucket),
+        )
+        return self._decoder(batch.phase, batch.size, ctx)
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one simulated serving run."""
+
+    summary: dict
+    config: ServeConfig
+    pool: UnitPool
+    metrics: MetricsCollector = field(repr=False)
+
+    def to_json(self) -> str:
+        return MetricsCollector.to_json(self.summary)
+
+    def render(self, title: str = "serve-sim") -> str:
+        from repro.eval.reporting import render_metrics
+
+        return render_metrics(title, self.summary)
+
+
+def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> ServeReport:
+    """Run the open-loop serving simulation over a request trace."""
+    clock = config.clock
+    pool = UnitPool(clock.n_units)
+    batcher = DynamicBatcher(config.policy, clock)
+    sessions = SessionTable(
+        clock.n_units,
+        max_sessions_per_unit=config.max_sessions_per_unit,
+        kv_bytes_per_token=config.profile.kv_bytes_per_token,
+    )
+    metrics = MetricsCollector()
+    cost = CostModel(config)
+
+    events: list[tuple[int, int, str, object]] = []
+    seq = 0
+
+    def push(t: int, tag: str, payload: object = None) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, tag, payload))
+        seq += 1
+
+    for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
+        push(r.arrival, "arrive", r)
+
+    idle = set(range(clock.n_units))
+    pending_wakes: set[int] = set()
+
+    def try_dispatch(now: int) -> None:
+        while idle:
+            launched = False
+            for u in sorted(idle):
+                batch = batcher.pop_ready(
+                    now, u,
+                    prefill_slots=sessions.free_slots(u),
+                    decode_sessions=sessions.active(u),
+                )
+                if batch is None:
+                    continue
+                if batch.phase == "prefill":
+                    for item in batch.items:
+                        sessions.open(item.request, u)
+                cycles = cost.batch_cycles(batch)
+                finish = pool.assign(u, now, cycles,
+                                     f"{batch.phase}x{batch.size}")
+                idle.discard(u)
+                metrics.record_dispatch(batch.phase, batch.size)
+                push(finish, "finish", (u, batch))
+                launched = True
+                break
+            if not launched:
+                break
+        # If units stay idle on a non-empty queue whose window has not
+        # expired yet, arrange to re-check at the next *future* expiry.
+        # An already-expired but undispatchable queue (KV slots exhausted,
+        # decode pinned to a busy unit) can only unblock at a finish
+        # event, which re-runs this function — no wake would help it.
+        if idle and batcher.depth():
+            expiry = batcher.next_expiry(now)
+            if expiry is not None and expiry not in pending_wakes:
+                pending_wakes.add(expiry)
+                push(expiry, "wake")
+
+    def complete_item(item: PhaseItem, now: int) -> None:
+        req = item.request
+        if item.phase == "vit":
+            metrics.record_completion(req, now)
+        elif item.phase == "prefill":
+            batcher.add(sessions.first_decode_item(req.rid, now))
+        else:  # decode: one generated token
+            metrics.record_token()
+            if item.step == 0:
+                metrics.record_first_token(req, now)
+            nxt = sessions.step(req.rid, now)
+            if nxt is None:
+                metrics.record_completion(req, now)
+            else:
+                batcher.add(nxt)
+
+    while events:
+        now, _, tag, payload = heapq.heappop(events)
+        if tag == "arrive":
+            req = payload
+            metrics.record_arrival(req)
+            if batcher.depth() >= config.max_queue:
+                metrics.record_rejection(req)
+            else:
+                phase = "vit" if req.kind == "vit" else "prefill"
+                batcher.add(PhaseItem(req, phase, ready=now,
+                                      context=req.prompt_tokens))
+        elif tag == "finish":
+            unit, batch = payload
+            idle.add(unit)
+            for item in batch.items:
+                complete_item(item, now)
+        elif tag == "wake":
+            pending_wakes.discard(now)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown event tag {tag!r}")
+        try_dispatch(now)
+        metrics.record_queue_depth(now, batcher.depth())
+
+    busy = sum(t.busy_cycles for t in pool.timelines)
+    summary = metrics.summary(clock=clock, busy_cycles=busy)
+    summary["active_sessions_peak_kv_mib"] = sessions.peak_kv_bytes / 2**20
+    return ServeReport(summary, config, pool, metrics)

@@ -1,0 +1,129 @@
+"""Serving metrics: latency percentiles, TTFT, tokens/s, queue pressure.
+
+Everything is recorded in cycles and converted to seconds with the system
+clock only at summary time, so the numbers are exact functions of the
+trace + policy (reproducible run-to-run).  The summary is a flat dict so
+it exports directly to JSON and renders through
+:func:`repro.eval.reporting.render_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+from repro.serve.request import Request
+
+__all__ = ["MetricsCollector", "percentiles"]
+
+
+def percentiles(samples: list[int], qs: tuple[float, ...] = (50, 95, 99)) -> list[float]:
+    """Cycle-count percentiles (linear interpolation); zeros when empty."""
+    if not samples:
+        return [0.0] * len(qs)
+    arr = np.asarray(samples, dtype=np.float64)
+    return [float(np.percentile(arr, q)) for q in qs]
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates serving events; summarizes on demand."""
+
+    arrivals: int = 0
+    rejections: int = 0
+    completed: int = 0
+    tokens_out: int = 0
+    deadline_misses: int = 0
+    latencies: list[int] = field(default_factory=list)  # request completion, cycles
+    ttft: list[int] = field(default_factory=list)  # llm first token, cycles
+    queue_samples: list[tuple[int, int]] = field(default_factory=list)
+    batch_sizes: dict[str, list[int]] = field(default_factory=dict)
+    last_completion: int = 0
+
+    # -- recording -----------------------------------------------------------
+    def record_arrival(self, request: Request) -> None:
+        self.arrivals += 1
+
+    def record_rejection(self, request: Request) -> None:
+        self.rejections += 1
+
+    def record_dispatch(self, phase: str, size: int) -> None:
+        self.batch_sizes.setdefault(phase, []).append(size)
+
+    def record_first_token(self, request: Request, now: int) -> None:
+        self.ttft.append(now - request.arrival)
+
+    def record_token(self) -> None:
+        self.tokens_out += 1
+
+    def record_completion(self, request: Request, now: int) -> None:
+        self.completed += 1
+        self.latencies.append(now - request.arrival)
+        self.last_completion = max(self.last_completion, now)
+        if request.deadline is not None and now > request.deadline:
+            self.deadline_misses += 1
+
+    def record_queue_depth(self, now: int, depth: int) -> None:
+        self.queue_samples.append((now, depth))
+
+    # -- summary -------------------------------------------------------------
+    def _queue_stats(self) -> tuple[float, int]:
+        """(time-weighted mean, max) queue depth over the sampled horizon."""
+        if not self.queue_samples:
+            return 0.0, 0
+        ts = [t for t, _ in self.queue_samples]
+        ds = [d for _, d in self.queue_samples]
+        if len(ts) < 2 or ts[-1] == ts[0]:
+            return float(ds[-1]), max(ds)
+        weighted = sum(
+            ds[i] * (ts[i + 1] - ts[i]) for i in range(len(ts) - 1)
+        )
+        return weighted / (ts[-1] - ts[0]), max(ds)
+
+    def summary(
+        self,
+        *,
+        clock: ClockConfig = DEFAULT_CLOCK,
+        busy_cycles: int = 0,
+    ) -> dict:
+        """Flat metric dict; ``busy_cycles`` summed over all units."""
+        f = clock.freq_hz
+        horizon = self.last_completion
+        p50, p95, p99 = percentiles(self.latencies)
+        t50, t95, t99 = percentiles(self.ttft)
+        mean_q, max_q = self._queue_stats()
+        sizes = [s for v in self.batch_sizes.values() for s in v]
+        horizon_s = horizon / f if horizon else 0.0
+        return {
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "rejected": self.rejections,
+            "rejection_rate": self.rejections / self.arrivals if self.arrivals else 0.0,
+            "deadline_miss_rate": (
+                self.deadline_misses / self.completed if self.completed else 0.0
+            ),
+            "horizon_s": horizon_s,
+            "requests_per_s": self.completed / horizon_s if horizon_s else 0.0,
+            "tokens_per_s": self.tokens_out / horizon_s if horizon_s else 0.0,
+            "tokens_out": self.tokens_out,
+            "latency_p50_ms": p50 / f * 1e3,
+            "latency_p95_ms": p95 / f * 1e3,
+            "latency_p99_ms": p99 / f * 1e3,
+            "ttft_p50_ms": t50 / f * 1e3,
+            "ttft_p95_ms": t95 / f * 1e3,
+            "ttft_p99_ms": t99 / f * 1e3,
+            "utilization": (
+                busy_cycles / (horizon * clock.n_units) if horizon else 0.0
+            ),
+            "mean_queue_depth": mean_q,
+            "max_queue_depth": max_q,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "dispatches": len(sizes),
+        }
+
+    @staticmethod
+    def to_json(summary: dict) -> str:
+        return json.dumps(summary, indent=2, sort_keys=True)

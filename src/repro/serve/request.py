@@ -1,0 +1,150 @@
+"""Typed inference requests and seeded workload generation.
+
+Two request families arrive at the system, matching the paper's two
+workload classes:
+
+* ``"vit"`` — a ViT/DeiT classification over one image (encoder traffic,
+  the regime of the systolic-array related work);
+* ``"llm"`` — a decoder generation: one prefill over ``prompt_tokens``
+  followed by ``gen_tokens`` KV-cache decode steps (the prefill/decode
+  split of ``results/decoder_prefill_vs_decode.txt``).
+
+A request's lifecycle is broken into :class:`PhaseItem` units — the things
+the batcher coalesces and the dispatcher places on units.  Time is always
+integer *cycles* of the system clock; the generator is driven by a seeded
+``numpy`` generator, never the wall clock, so traces are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
+
+__all__ = ["KINDS", "PHASES", "Request", "PhaseItem", "TrafficConfig",
+           "poisson_trace", "trace_from_rows"]
+
+KINDS = ("vit", "llm")
+PHASES = ("vit", "prefill", "decode")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request with arrival time and latency deadline."""
+
+    rid: int
+    kind: str  # "vit" | "llm"
+    arrival: int  # cycles
+    deadline: int | None = None  # absolute cycles, or None for best-effort
+    prompt_tokens: int = 0  # llm only
+    gen_tokens: int = 0  # llm only
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(f"request {self.rid} has unknown kind "
+                                     f"{self.kind!r}")
+        if self.arrival < 0:
+            raise ConfigurationError(f"request {self.rid} arrives before t=0")
+        if self.kind == "llm" and (self.prompt_tokens <= 0 or self.gen_tokens <= 0):
+            raise ConfigurationError(
+                f"llm request {self.rid} needs prompt_tokens and gen_tokens"
+            )
+
+
+@dataclass
+class PhaseItem:
+    """One unit-schedulable piece of a request's lifecycle.
+
+    ``context`` drives the cost model (prompt length for prefill, current
+    KV length for decode); ``unit`` is the session-affinity pin — decode
+    steps must run on the unit holding the session's KV cache.
+    """
+
+    request: Request
+    phase: str  # "vit" | "prefill" | "decode"
+    ready: int  # cycles when this item became dispatchable
+    step: int = 0  # decode step index
+    context: int = 0
+    unit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ConfigurationError(f"unknown phase {self.phase!r}")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of the synthetic open-loop workload."""
+
+    rate_rps: float = 100.0  # mean Poisson arrival rate, requests/s
+    vit_fraction: float = 0.3
+    prompt_tokens: tuple[int, int] = (8, 64)  # inclusive uniform range
+    gen_tokens: tuple[int, int] = (4, 32)
+    vit_deadline_ms: float | None = 500.0
+    llm_deadline_ms: float | None = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if not 0.0 <= self.vit_fraction <= 1.0:
+            raise ConfigurationError("vit_fraction must be in [0, 1]")
+
+
+def _deadline(arrival: int, ms: float | None, clock: ClockConfig) -> int | None:
+    if ms is None:
+        return None
+    return arrival + int(ms * 1e-3 * clock.freq_hz)
+
+
+def poisson_trace(
+    n_requests: int,
+    cfg: TrafficConfig = TrafficConfig(),
+    *,
+    seed: int = 0,
+    clock: ClockConfig = DEFAULT_CLOCK,
+) -> list[Request]:
+    """Generate ``n_requests`` Poisson arrivals (seeded, cycle timestamps)."""
+    if n_requests < 0:
+        raise ConfigurationError("cannot generate a negative request count")
+    rng = np.random.default_rng(seed)
+    mean_gap = clock.freq_hz / cfg.rate_rps  # cycles between arrivals
+    out: list[Request] = []
+    t = 0
+    for rid in range(n_requests):
+        t += max(1, int(round(rng.exponential(mean_gap))))
+        if rng.random() < cfg.vit_fraction:
+            out.append(Request(rid, "vit", t,
+                               _deadline(t, cfg.vit_deadline_ms, clock)))
+        else:
+            lo, hi = cfg.prompt_tokens
+            prompt = int(rng.integers(lo, hi + 1))
+            lo, hi = cfg.gen_tokens
+            gen = int(rng.integers(lo, hi + 1))
+            out.append(Request(rid, "llm", t,
+                               _deadline(t, cfg.llm_deadline_ms, clock),
+                               prompt_tokens=prompt, gen_tokens=gen))
+    return out
+
+
+def trace_from_rows(rows: list[dict]) -> list[Request]:
+    """Build a trace from explicit records (replay of a captured workload).
+
+    Each row needs ``kind`` and ``arrival``; llm rows also
+    ``prompt_tokens``/``gen_tokens``; ``deadline`` is optional.  Rows are
+    sorted by arrival and re-numbered.
+    """
+    reqs = [
+        Request(
+            rid=i,
+            kind=r["kind"],
+            arrival=int(r["arrival"]),
+            deadline=r.get("deadline"),
+            prompt_tokens=int(r.get("prompt_tokens", 0)),
+            gen_tokens=int(r.get("gen_tokens", 0)),
+        )
+        for i, r in enumerate(sorted(rows, key=lambda r: int(r["arrival"])))
+    ]
+    return reqs

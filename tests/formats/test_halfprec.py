@@ -84,8 +84,26 @@ class TestSlicedMultiplyHalf:
         if abs(exact) > fmt.max_finite:
             assert abs(out) == pytest.approx(fmt.max_finite, rel=1e-6)
             return
-        # One truncating normalization past the exact slice product.
-        assert abs(out - exact) <= abs(exact) * 2.0 ** (-(fmt.man_bits - 1))
+        # One truncating normalization past the exact slice product, plus
+        # an absolute term for the no-subnormal datapath: products below
+        # the format's normal range flush to zero (e.g. fp16
+        # 2**-7 * 2**-8 = 2**-15 < 2**-14), so the error can be as large
+        # as the smallest normal even when both inputs quantize exactly.
+        assert (
+            abs(out - exact)
+            <= abs(exact) * 2.0 ** (-(fmt.man_bits - 1)) + fmt.min_normal
+        )
+
+    def test_subnormal_product_flushes_to_zero(self):
+        """The FTZ case that motivates the absolute error term."""
+        a, b = np.float32(2.0**-7), np.float32(2.0**-8)
+        assert float(quantize_half(a, FP16)) == a  # both on the grid
+        assert float(quantize_half(b, FP16)) == b
+        assert float(a) * float(b) < FP16.min_normal
+        assert float(sliced_multiply_half(a, b, FP16)) == 0.0
+        # ... while the smallest normal-range product survives.
+        out = sliced_multiply_half(np.float32(2.0**-7), np.float32(2.0**-7), FP16)
+        assert float(out) == 2.0**-14 == FP16.min_normal
 
     def test_zero(self):
         assert float(sliced_multiply_half(np.float32(0), np.float32(3), BF16)) == 0.0

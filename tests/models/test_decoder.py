@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.models.attention import MultiHeadSelfAttention
 from repro.models.data import additive_lm_sequences
-from repro.models.decoder import DecoderBlock, RMSNorm, SwiGLUMLP, TinyLM
+from repro.models.decoder import RMSNorm, SwiGLUMLP, TinyLM
 from repro.models.training import lm_cross_entropy, next_token_accuracy, train_lm
 
 

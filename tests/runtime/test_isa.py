@@ -9,7 +9,6 @@ from repro.arith.bfp_matmul import bfp_matmul
 from repro.errors import ProgramError
 from repro.formats.blocking import BfpMatrix
 from repro.runtime.isa import (
-    MODE_CODES,
     PUInstruction,
     PUInterpreter,
     PUOp,

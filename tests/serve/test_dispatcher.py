@@ -1,0 +1,104 @@
+"""Tests for the online dispatcher: admission control, backpressure, accounting."""
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.dispatcher import ServeConfig, simulate
+from repro.serve.request import Request, TrafficConfig, poisson_trace
+
+
+def vit_burst(n: int, arrival: int = 0, spacing: int = 1) -> list[Request]:
+    return [Request(i, "vit", arrival + i * spacing) for i in range(n)]
+
+
+def llm_burst(n: int, prompt: int = 8, gen: int = 4, spacing: int = 1) -> list[Request]:
+    return [
+        Request(i, "llm", i * spacing, prompt_tokens=prompt, gen_tokens=gen)
+        for i in range(n)
+    ]
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_sheds_burst(self):
+        # A burst beyond what the units can absorb in flight (15 units x
+        # max_batch 8 = 120) plus the 16-deep intake queue: the overflow
+        # must be rejected, not silently queued.
+        cfg = ServeConfig(max_queue=16, policy=BatchPolicy(
+            max_batch=8, max_wait_us=1000.0, vit_max_batch=8))
+        report = simulate(vit_burst(200, spacing=0), cfg)
+        s = report.summary
+        assert s["rejected"] == 200 - (15 * 8 + 16)
+        assert s["arrivals"] == 200
+        assert s["completed"] + s["rejected"] == 200
+        assert s["rejection_rate"] == pytest.approx(s["rejected"] / 200)
+
+    def test_no_rejections_when_queue_fits(self):
+        cfg = ServeConfig(max_queue=512)
+        report = simulate(vit_burst(32, spacing=0), cfg)
+        assert report.summary["rejected"] == 0
+        assert report.summary["completed"] == 32
+
+    def test_decode_continuations_never_shed(self):
+        # A tiny intake queue rejects some *arrivals*, but every admitted
+        # LLM request must still produce all its tokens — continuation
+        # decode items bypass admission control.
+        cfg = ServeConfig(max_queue=4, policy=BatchPolicy(max_batch=8,
+                                                          max_wait_us=100.0))
+        report = simulate(llm_burst(40, gen=6, spacing=0), cfg)
+        s = report.summary
+        admitted = s["arrivals"] - s["rejected"]
+        assert s["rejected"] > 0
+        assert s["completed"] == admitted
+        assert s["tokens_out"] == admitted * 6
+
+
+class TestBackpressure:
+    def test_session_slots_throttle_prefill(self):
+        # More concurrent generations than total KV slots: the simulation
+        # must still drain (prefill waits for slots) and peak resident KV
+        # must respect the per-unit bound.
+        cfg = ServeConfig(
+            max_sessions_per_unit=1,
+            policy=BatchPolicy(max_batch=4, max_wait_us=50.0),
+        )
+        report = simulate(llm_burst(30, gen=8, spacing=0), cfg)
+        s = report.summary
+        assert s["completed"] == 30
+        n_units = cfg.clock.n_units
+        per_session = cfg.profile.kv_bytes_per_token * (8 + 8)  # prompt+gen
+        cap_mib = n_units * 1 * per_session / 2**20
+        assert s["active_sessions_peak_kv_mib"] <= cap_mib + 1e-9
+
+    def test_all_work_accounted(self):
+        trace = poisson_trace(
+            200, TrafficConfig(rate_rps=500.0, vit_fraction=0.5), seed=2
+        )
+        report = simulate(trace)
+        s = report.summary
+        assert s["completed"] + s["rejected"] == 200
+        want_tokens = sum(
+            r.gen_tokens for r in trace if r.kind == "llm"
+        )
+        if s["rejected"] == 0:
+            assert s["tokens_out"] == want_tokens
+
+
+class TestDispatchShape:
+    def test_batches_form_under_load(self):
+        # Saturating arrivals with a generous window must produce
+        # multi-item batches, not batch-of-1 dispatches.
+        cfg = ServeConfig(policy=BatchPolicy(max_batch=8, max_wait_us=500.0))
+        report = simulate(llm_burst(120, spacing=0), cfg)
+        assert report.summary["mean_batch_size"] > 1.5
+
+    def test_busy_units_have_positive_utilization(self):
+        report = simulate(vit_burst(30, spacing=0))
+        s = report.summary
+        assert 0.0 < s["utilization"] <= 1.0
+        assert report.pool.makespan > 0
+
+    def test_empty_trace(self):
+        report = simulate([])
+        s = report.summary
+        assert s["arrivals"] == 0 and s["completed"] == 0
+        assert s["tokens_per_s"] == 0.0

@@ -1,0 +1,54 @@
+"""Seeded end-to-end serving runs: reproducibility and batching payoff."""
+
+import json
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.dispatcher import ServeConfig, ServeReport, simulate
+from repro.serve.request import TrafficConfig, poisson_trace
+
+
+def run(seed: int, *, n: int = 300, policy: BatchPolicy | None = None,
+        traffic: TrafficConfig | None = None) -> ServeReport:
+    cfg = ServeConfig(policy=policy or BatchPolicy())
+    trace = poisson_trace(n, traffic or TrafficConfig(), seed=seed,
+                          clock=cfg.clock)
+    return simulate(trace, cfg)
+
+
+class TestReproducibility:
+    def test_same_seed_same_summary(self):
+        a, b = run(0), run(0)
+        assert a.summary == b.summary
+
+    def test_different_seed_different_summary(self):
+        a, b = run(0), run(1)
+        assert a.summary != b.summary
+
+    def test_summary_round_trips_through_json(self):
+        report = run(3)
+        again = json.loads(report.to_json())
+        for key, val in report.summary.items():
+            assert again[key] == pytest.approx(val)
+
+    def test_all_admitted_work_completes(self):
+        report = run(5, n=500)
+        s = report.summary
+        assert s["completed"] + s["rejected"] == s["arrivals"] == 500
+        assert s["latency_p50_ms"] <= s["latency_p95_ms"] <= s["latency_p99_ms"]
+        assert s["ttft_p50_ms"] > 0.0
+
+
+class TestBatchingPayoff:
+    def test_dynamic_batching_beats_batch1_on_llm_traffic(self):
+        # The acceptance benchmark in miniature: same seeded llm-heavy
+        # trace, same unit count, only the batcher's max size differs.
+        traffic = TrafficConfig(rate_rps=2000.0, vit_fraction=0.0)
+        batched = run(0, n=400, traffic=traffic,
+                      policy=BatchPolicy(max_batch=8, max_wait_us=200.0))
+        single = run(0, n=400, traffic=traffic,
+                     policy=BatchPolicy(max_batch=1, max_wait_us=0.0))
+        speedup = (batched.summary["tokens_per_s"]
+                   / single.summary["tokens_per_s"])
+        assert speedup >= 2.0
