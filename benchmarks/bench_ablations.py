@@ -48,7 +48,7 @@ def test_block_size_ablation(benchmark, save_report):
     assert all(r.fill_efficiency > 0.9 for r in rows)
 
 
-def test_psu_depth_ablation(benchmark, save_report):
+def test_psu_depth_ablation(benchmark, save_report, bench_artifact):
     rows = benchmark(ablate_psu_depth)
     save_report(
         "ablation_psu_depth",
@@ -59,6 +59,14 @@ def test_psu_depth_ablation(benchmark, save_report):
             for r in rows
         ),
     )
+    bench_artifact("ablation_psu_depth", {
+        "rows": [
+            {"depth": r.depth, "max_n_x": r.max_n_x,
+             "eqn9_efficiency": r.eqn9_efficiency,
+             "psu_brams_per_column": r.psu_brams_per_column}
+            for r in rows
+        ],
+    })
     by = {r.depth: r for r in rows}
     # The paper's 512 word choice: 97.15% of peak for one BRAM per column.
     assert by[512].eqn9_efficiency == pytest.approx(0.9715, abs=1e-3)

@@ -19,7 +19,8 @@ def experiment():
     return run_task(QUICK)
 
 
-def test_accuracy_experiment(benchmark, experiment, save_report):
+def test_accuracy_experiment(benchmark, experiment, save_report,
+                             bench_artifact):
     fp32_acc, regimes = experiment
     by = {r.backend: r for r in regimes}
 
@@ -35,6 +36,14 @@ def test_accuracy_experiment(benchmark, experiment, save_report):
             f"rmse={r.logit_rmse:.4f}"
         )
     save_report("accuracy_regimes", "\n".join(lines))
+    bench_artifact("accuracy_regimes", {
+        "fp32_accuracy": fp32_acc,
+        "regimes": [
+            {"backend": r.backend, "accuracy": r.accuracy,
+             "agreement": r.agreement, "logit_rmse": r.logit_rmse}
+            for r in regimes
+        ],
+    }, seed=QUICK.seed)
 
     # The deployment claim: bfp8-mixed tracks fp32.
     assert by["bfp8-mixed"].agreement >= 0.97

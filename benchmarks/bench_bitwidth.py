@@ -3,10 +3,11 @@
 from repro.eval import bitwidth
 
 
-def test_sqnr_sweep(benchmark, save_report):
+def test_sqnr_sweep(benchmark, save_report, bench_artifact):
     rows = benchmark(bitwidth.sqnr_table, shape=(256, 256), seed=0)
     out = bitwidth.run(include_model_sweep=False)
     save_report("bitwidth_sqnr", out)
+    bench_artifact("bitwidth_sqnr", {"rows": rows}, seed=0)
     # Structural claim: on outlier tensors block-fp wins by >5 dB at every
     # width; on benign Gaussians the formats are within a few dB.
     for r in rows:

@@ -7,7 +7,7 @@ from repro.models.configs import DEIT_SMALL
 from repro.runtime.scheduler import compile_vit
 
 
-def test_compile_deit_small(benchmark, save_report):
+def test_compile_deit_small(benchmark, save_report, bench_artifact):
     model = benchmark(compile_vit, DEIT_SMALL)
     lines = [
         f"stages: {len(model.stages)}",
@@ -21,6 +21,12 @@ def test_compile_deit_small(benchmark, save_report):
             f"({r['latency_pct']:6.2f}%)"
         )
     save_report("compiled_deit_small", "\n".join(lines))
+    bench_artifact("compiled_deit_small", {
+        "stages": len(model.stages),
+        "latency_s_15_units": model.latency_seconds(),
+        "fp32_latency_share": model.fp32_latency_share(),
+        "workload_split": model.workload_split(),
+    })
     # The compiled schedule preserves the Table IV headline.
     split = {r["name"]: r for r in model.workload_split()}
     assert split["bfp8 matmul"]["ops_pct"] > 90.0

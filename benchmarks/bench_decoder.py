@@ -16,7 +16,7 @@ def study():
     return run_decoder_study(QUICK)
 
 
-def test_decoder_regime_study(benchmark, study, save_report):
+def test_decoder_regime_study(benchmark, study, save_report, bench_artifact):
     lm, losses, rows, gen_match = study
     benchmark(lambda: get_backend("bfp8-mixed"))
     by = {r["backend"]: r["next_token_accuracy"] for r in rows}
@@ -26,6 +26,11 @@ def test_decoder_regime_study(benchmark, study, save_report):
                      f"{r['next_token_accuracy']:.4f}")
     lines.append(f"generation identical under bfp8-mixed: {gen_match}")
     save_report("decoder_llm_regimes", "\n".join(lines))
+    bench_artifact("decoder_llm_regimes", {
+        "final_training_loss": losses[-1],
+        "next_token_accuracy": by,
+        "generation_identical_bfp8_mixed": gen_match,
+    }, seed=QUICK.seed)
 
     # The paper's motivating claim, on the LLM workload family:
     assert by["bfp8-mixed"] >= by["fp32"] - 0.03

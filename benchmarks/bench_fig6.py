@@ -6,9 +6,14 @@ from repro.eval import fig6
 from repro.perf.resources import fig6_designs
 
 
-def test_fig6_report(benchmark, save_report):
+def test_fig6_report(benchmark, save_report, bench_artifact):
     out = benchmark(fig6.run)
     save_report("fig6_design_comparison", out)
+    designs = fig6_designs()
+    bench_artifact("fig6_design_comparison", {
+        name: {"lut": d.lut, "ff": d.ff, "dsp": d.dsp, "bram": d.bram}
+        for name, d in designs.items()
+    })
 
 
 def test_fig6_ratios_reproduce_paper(benchmark):

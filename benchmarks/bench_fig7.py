@@ -42,9 +42,16 @@ def test_fp32_stream_cycle_sim(benchmark, length):
     assert res.cycles == length + 8  # Eqn 10, emergent
 
 
-def test_fig7_series_shapes(benchmark, save_report):
+def test_fig7_series_shapes(benchmark, save_report, bench_artifact):
     out = benchmark(fig7.run, verify_cycles=False)
     save_report("fig7_throughput", out)
+    bench_artifact("fig7_throughput", {
+        "bfp_measured_ops": {
+            str(n_x): measured_bfp_throughput_ops(n_x)
+            for n_x in (8, 16, 32, 64)
+        },
+        "fp32_measured_flops_128": measured_fp32_throughput_flops(128),
+    })
     # The paper's qualitative findings:
     for n_x in (8, 16, 32):
         assert measured_bfp_throughput_ops(n_x) < measured_bfp_throughput_ops(64)

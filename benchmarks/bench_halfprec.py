@@ -9,9 +9,15 @@ from repro.formats.halfprec import BF16, FP16
 from repro.perf.throughput import fp32_peak_flops, half_peak_flops
 
 
-def test_halfprec_report(benchmark, save_report):
+def test_halfprec_report(benchmark, save_report, bench_artifact):
     out = benchmark(halfprec.run)
     save_report("halfprec_vector_unit", out)
+    bench_artifact("halfprec_vector_unit", {
+        "nonlinear_accuracy": halfprec.nonlinear_accuracy(),
+        "peak_flops": {"fp32": fp32_peak_flops(),
+                       "bf16": half_peak_flops("bf16"),
+                       "fp16": half_peak_flops("fp16")},
+    })
 
 
 @pytest.mark.parametrize("fmt", [BF16, FP16], ids=["bf16", "fp16"])

@@ -17,7 +17,7 @@ from repro.perf.resources import (
 from repro.perf.throughput import bfp_throughput_ops
 
 
-def test_power_comparison(benchmark, save_report):
+def test_power_comparison(benchmark, save_report, bench_artifact):
     pm = PowerModel()
 
     def build():
@@ -37,6 +37,9 @@ def test_power_comparison(benchmark, save_report):
     for name, dyn, tot in rows:
         lines.append(f"{name:6s} {dyn:9.4f} {tot:8.4f}")
     save_report("power_design_points", "\n".join(lines))
+    bench_artifact("power_design_points", {
+        name: {"dynamic_w": dyn, "total_w": tot} for name, dyn, tot in rows
+    })
     by = {r[0]: r[1] for r in rows}
     assert by["int8"] < by["bfp8"] <= by["ours"] < by["indiv"]
 

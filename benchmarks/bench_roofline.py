@@ -6,7 +6,7 @@ from repro.perf.roofline import bfp_point, fp32_point, machine_balance, roofline
 from repro.perf.throughput import bfp_peak_ops, fp32_peak_flops
 
 
-def test_roofline_series(benchmark, save_report):
+def test_roofline_series(benchmark, save_report, bench_artifact):
     pts = benchmark(roofline_series)
     lines = [
         f"machine balance: bfp8 {machine_balance(bfp_peak_ops()):.2f} ops/B, "
@@ -20,6 +20,15 @@ def test_roofline_series(benchmark, save_report):
             f"{'memory' if p.memory_bound else 'compute':>8}"
         )
     save_report("roofline", "\n".join(lines))
+    bench_artifact("roofline", {
+        "points": [
+            {"name": p.name,
+             "intensity_ops_per_byte": p.intensity_ops_per_byte,
+             "attainable_ops": p.attainable_ops,
+             "memory_bound": p.memory_bound}
+            for p in pts
+        ],
+    })
     # Fig. 7's structure: fp32 memory-bound everywhere, bfp8 compute-bound
     # once the stream amortizes the Y reuse.
     assert fp32_point(128).memory_bound

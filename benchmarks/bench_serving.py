@@ -21,7 +21,8 @@ def llm_trace():
     return poisson_trace(400, LLM_TRAFFIC, seed=0)
 
 
-def test_dynamic_batching_speedup(benchmark, llm_trace, save_report):
+def test_dynamic_batching_speedup(benchmark, llm_trace, save_report,
+                                  bench_artifact):
     """Same seeded trace, same 15 units: batching >= 2x tokens/s."""
     batched = benchmark(run, llm_trace, 8)
     single = run(llm_trace, 1)
@@ -42,6 +43,11 @@ def test_dynamic_batching_speedup(benchmark, llm_trace, save_report):
         )
     lines.append(f"speedup at max_batch=8 vs 1: {speedup:.2f}x")
     save_report("serving_dynamic_batching", "\n".join(lines))
+    bench_artifact("serving_dynamic_batching", {
+        "speedup_tokens_per_s": speedup,
+        "batched": batched,
+        "single": single,
+    }, seed=0)
 
     # The acceptance bar: per-token weight-pass amortization (Eqn 9's
     # N_X = 1 -> N_X = B) must at least double end-to-end throughput.
@@ -49,7 +55,7 @@ def test_dynamic_batching_speedup(benchmark, llm_trace, save_report):
     assert batched["latency_p95_ms"] <= single["latency_p95_ms"]
 
 
-def test_mixed_traffic_report(save_report):
+def test_mixed_traffic_report(save_report, bench_artifact):
     trace = poisson_trace(400, MIXED_TRAFFIC, seed=0)
     batched, single = run(trace, 8), run(trace, 1)
     lines = [
@@ -60,6 +66,8 @@ def test_mixed_traffic_report(save_report):
                 "ttft_p95_ms", "utilization", "mean_batch_size"):
         lines.append(f"{key:>20s} {batched[key]:12.2f} {single[key]:12.2f}")
     save_report("serving_mixed_traffic", "\n".join(lines))
+    bench_artifact("serving_mixed_traffic",
+                   {"batched": batched, "single": single}, seed=0)
     assert batched["tokens_per_s"] > single["tokens_per_s"]
 
 

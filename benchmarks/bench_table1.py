@@ -3,7 +3,8 @@
 from repro.eval import table1
 
 
-def test_table1_report(benchmark, save_report):
+def test_table1_report(benchmark, save_report, bench_artifact):
     out = benchmark(table1.run)
     assert "Matches the paper's Table I: True" in out
     save_report("table1_shared_operations", out)
+    bench_artifact("table1_shared_operations", {"matches_paper": True})

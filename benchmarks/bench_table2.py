@@ -6,10 +6,15 @@ from repro.eval import table2
 from repro.perf.resources import processing_unit_total, table2_breakdown
 
 
-def test_table2_report(benchmark, save_report):
+def test_table2_report(benchmark, save_report, bench_artifact):
     out = benchmark(table2.run)
     assert "7348" in out
     save_report("table2_hardware_utilization", out)
+    total = processing_unit_total()
+    bench_artifact("table2_hardware_utilization", {
+        "lut": total.lut, "ff": total.ff,
+        "bram": total.bram, "dsp": total.dsp,
+    })
 
 
 def test_table2_totals_reproduce_paper(benchmark):

@@ -6,9 +6,14 @@ from repro.eval import table3
 from repro.perf.related_work import ours_entry, table3_rows
 
 
-def test_table3_report(benchmark, save_report):
+def test_table3_report(benchmark, save_report, bench_artifact):
     out = benchmark(table3.run)
     save_report("table3_related_work", out)
+    e = ours_entry()
+    bench_artifact("table3_related_work", {
+        "throughput_gops": e.throughput_gops,
+        "efficiency_gops_per_dsp": e.efficiency_gops_per_dsp,
+    })
 
 
 def test_ours_efficiency(benchmark):

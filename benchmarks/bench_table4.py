@@ -13,9 +13,14 @@ from repro.models.ops_count import count_linear_macs, table4_partitions
 from repro.perf.latency import deit_latency_split
 
 
-def test_table4_report(benchmark, save_report):
+def test_table4_report(benchmark, save_report, bench_artifact):
     out = benchmark(table4.run)
     save_report("table4_deit_split", out)
+    report = table4.reproduce_paper_table()
+    bench_artifact("table4_deit_split", {
+        "rows": report.proportions(),
+        "fp32_latency_share": report.fp32_latency_share(),
+    })
 
 
 def test_paper_latency_column_reproduced(benchmark):

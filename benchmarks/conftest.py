@@ -22,3 +22,16 @@ def save_report(results_dir):
         (results_dir / f"{name}.txt").write_text(content + "\n")
 
     return _save
+
+
+@pytest.fixture
+def bench_artifact(results_dir):
+    """Write ``BENCH_<name>.json``: a machine-readable summary of the bench's
+    headline numbers, stamped with the seed and git revision (see
+    :func:`repro.obs.artifacts.write_bench_artifact`)."""
+    from repro.obs.artifacts import write_bench_artifact
+
+    def _save(name: str, summary: dict, *, seed: int | None = None) -> None:
+        write_bench_artifact(results_dir, name, summary, seed=seed)
+
+    return _save

@@ -7,6 +7,8 @@ Usage::
     python -m repro --out results/   # also write one file per artifact
     python -m repro serve-sim --requests 2000 --seed 0
                                      # online serving simulation
+    python -m repro profile --model deit-tiny --trace-out deit.perfetto.json
+                                     # compiled-schedule cycle profile
 """
 
 from __future__ import annotations
@@ -61,13 +63,17 @@ def main() -> None:
                         help="directory to write per-artifact text files")
     subparsers = parser.add_subparsers(dest="command")
 
+    from repro.obs.cli import add_profile_parser, run_profile
     from repro.serve.cli import add_serve_sim_parser, run_serve_sim
 
     add_serve_sim_parser(subparsers)
+    add_profile_parser(subparsers)
 
     args = parser.parse_args()
     if args.command == "serve-sim":
         raise SystemExit(run_serve_sim(args))
+    if args.command == "profile":
+        raise SystemExit(run_profile(args))
     raise SystemExit(_run_report(args))
 
 

@@ -59,9 +59,11 @@ def quantize_intn(
         raise ConfigurationError("NaN/Inf in int quantizer input")
     mag = np.abs(x)
     amax = float(np.percentile(mag, percentile)) if percentile is not None else float(mag.max())
-    if amax == 0.0:
-        return Int8Tensor(np.zeros(x.shape, dtype=np.int8), 1.0)
     scale = amax / qmax
+    if scale == 0.0:
+        # amax is zero, or so deep in the subnormals that amax/qmax
+        # underflows to 0.0 — either way the tensor quantizes to all zeros.
+        return Int8Tensor(np.zeros(x.shape, dtype=np.int8), 1.0)
     q = np.clip(np.rint(x / scale), -qmax, qmax).astype(np.int8)
     return Int8Tensor(q, scale)
 

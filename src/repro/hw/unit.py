@@ -47,6 +47,7 @@ from repro.hw.exponent_unit import ExponentUnit
 from repro.hw.layout_converter import LayoutConverter
 from repro.hw.quantizer import OutputQuantizer
 from repro.hw.systolic import FP32_COLS, SystolicArray
+from repro.obs.metrics import get_registry
 
 __all__ = ["MultiModePU", "PUStats", "FP32_PIPELINE_FILL", "BFP_STREAM_OVERHEAD"]
 
@@ -138,6 +139,7 @@ class MultiModePU:
             raise ConfigurationError(f"unknown engine {engine!r}")
         if a.shape[1] != b.shape[0]:
             raise ConfigurationError(f"shape mismatch: {a.shape} @ {b.shape}")
+        bfp0, reconfig0 = self.stats.cycles_bfp, self.stats.cycles_reconfig
         self.stats.cycles_reconfig += self.controller.set_mode(Mode.BFP_MATMUL)
         rb, kb = a.block_grid
         _, cb = b.block_grid
@@ -158,6 +160,14 @@ class MultiModePU:
                         out_man[ib, jb] = q.mantissas
                         out_exp[ib, jb] = q.exponent
                         self.stats.blocks_quantized += 1
+        reg = get_registry()
+        if reg.enabled:
+            # DSP-mode occupancy, published per matmul call (cycle deltas).
+            reg.counter("hw.pu.matmuls").inc()
+            reg.counter("hw.pu.occupancy.bfp8").inc(self.stats.cycles_bfp - bfp0)
+            reg.counter("hw.pu.occupancy.reconfig").inc(
+                self.stats.cycles_reconfig - reconfig0
+            )
         return BfpMatrix(out_man, out_exp, (a.shape[0], b.shape[1]))
 
     def _run_pair_streams(
@@ -171,6 +181,12 @@ class MultiModePU:
     ) -> list[list[WideBlock]]:
         """All K streams for one (row chunk, column pair); returns PSUs."""
         n_x = len(chunk)
+        reg = get_registry()
+        if reg.enabled:
+            # Pressure on the per-column PSU banks and the X buffer: how
+            # full the chunking left them (1.0 = at the hardware bound).
+            reg.histogram("hw.pu.psu_fill").observe(n_x * self.rows / PSU_DEPTH)
+            reg.histogram("hw.pu.xbuffer_fill").observe(n_x / MAX_X_BLOCKS)
         psus: list[list[WideBlock | None]] = [
             [None] * n_x for _ in range(2)
         ]
@@ -276,6 +292,10 @@ class MultiModePU:
         else:
             self.stats.cycles_fp32_add += cycles
             self.stats.fp32_add_ops += n
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(f"hw.pu.occupancy.fp32_{op}").inc(cycles)
+            reg.counter("hw.pu.fp32_streams").inc(len(outs))
         return np.concatenate(outs).reshape(x.shape).astype(np.float32)
 
     def _fp32_stream_cycle(

@@ -26,6 +26,7 @@ Backends
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,6 +35,7 @@ import numpy as np
 from repro.arith.bfp_matmul import bfp_matmul_emulate
 from repro.formats.blocking import BfpMatrix
 from repro.formats.int8q import int8_matmul, quantize_intn
+from repro.obs.profile import Profiler
 
 __all__ = [
     "ComputeBackend",
@@ -56,17 +58,31 @@ class ComputeBackend:
     array) and ``matmul_rows`` the activation rows they served — their
     ratio is the amortization a batched decode step achieves: B sessions
     stepped together do one weight pass per linear layer instead of B.
+
+    Attaching a :class:`~repro.obs.profile.Profiler` makes every matmul
+    and non-linear evaluation land in the profiler's current scope with
+    its hardware cycle cost; models push scopes via :meth:`scope` (a
+    no-op ``nullcontext`` when no profiler is attached).
+    ``matmul_precision``/``nonlinear_precision`` label the attribution.
     """
 
     name: str = "fp32"
     matmul_count: int = 0
     matmul_macs: int = 0
     matmul_rows: int = 0
+    profiler: Profiler | None = field(default=None, repr=False, compare=False)
+    matmul_precision: str = "fp32"
+    nonlinear_precision: str = "fp32"
 
     def matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         self.matmul_count += 1
         self.matmul_macs += x.shape[0] * x.shape[1] * w.shape[1]
         self.matmul_rows += x.shape[0]
+        if self.profiler is not None:
+            self.profiler.record_matmul(
+                x.shape[0], x.shape[1], w.shape[1],
+                precision=self.matmul_precision,
+            )
         return self._matmul(x, w)
 
     def stats(self) -> dict[str, int]:
@@ -79,6 +95,12 @@ class ComputeBackend:
     def reset_stats(self) -> None:
         self.matmul_count = self.matmul_macs = self.matmul_rows = 0
 
+    def scope(self, name: str):
+        """Profiling scope for a model component (no-op when unprofiled)."""
+        if self.profiler is not None:
+            return self.profiler.scope(name)
+        return nullcontext()
+
     def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         return (x.astype(np.float32) @ w.astype(np.float32)).astype(np.float32)
 
@@ -86,6 +108,16 @@ class ComputeBackend:
         self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
     ) -> np.ndarray:
         """Evaluate a non-linear function under this regime."""
+        if self.profiler is not None:
+            self.profiler.record_nonlinear(
+                kind, int(x.size), precision=self.nonlinear_precision
+            )
+        return self._nonlinear(kind, fn, x)
+
+    def _nonlinear(
+        self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
+    ) -> np.ndarray:
+        """Regime-specific non-linear evaluation (override point)."""
         return fn(x).astype(np.float32)
 
     def requantize(self, x: np.ndarray) -> np.ndarray:
@@ -110,7 +142,7 @@ class BFP8MixedBackend(ComputeBackend):
 
     def __init__(self, *, exact_accumulate: bool = False, man_bits: int = 8) -> None:
         name = "bfp8-mixed" if man_bits == 8 else f"bfp{man_bits}-mixed"
-        super().__init__(name=name)
+        super().__init__(name=name, matmul_precision=f"bfp{man_bits}")
         self.exact_accumulate = exact_accumulate
         self.man_bits = man_bits
 
@@ -126,6 +158,7 @@ class BFP8AllBackend(BFP8MixedBackend):
     def __init__(self, *, man_bits: int = 8) -> None:
         super().__init__(man_bits=man_bits)
         self.name = "bfp8-all" if man_bits == 8 else f"bfp{man_bits}-all"
+        self.nonlinear_precision = f"bfp{man_bits}"
 
     def _snap(self, x):
         return (
@@ -135,7 +168,7 @@ class BFP8AllBackend(BFP8MixedBackend):
             .astype(np.float32)
         )
 
-    def nonlinear(self, kind, fn, x):
+    def _nonlinear(self, kind, fn, x):
         return self._snap(fn(self._snap(x)))
 
     def requantize(self, x):
@@ -146,7 +179,8 @@ class INT8LinearBackend(ComputeBackend):
     """Per-tensor integer linear layers, exact fp32 non-linear."""
 
     def __init__(self, *, bits: int = 8) -> None:
-        super().__init__(name="int8-linear" if bits == 8 else f"int{bits}-linear")
+        super().__init__(name="int8-linear" if bits == 8 else f"int{bits}-linear",
+                         matmul_precision=f"int{bits}")
         self.bits = bits
 
     def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -167,11 +201,12 @@ class INT8AllBackend(INT8LinearBackend):
     def __init__(self, *, bits: int = 8) -> None:
         super().__init__(bits=bits)
         self.name = "int8-all" if bits == 8 else f"int{bits}-all"
+        self.nonlinear_precision = f"int{bits}"
 
     def _snap(self, x):
         return quantize_intn(x, self.bits).decode().reshape(x.shape).astype(np.float32)
 
-    def nonlinear(self, kind, fn, x):
+    def _nonlinear(self, kind, fn, x):
         return self._snap(fn(self._snap(x)))
 
     def requantize(self, x):
@@ -193,8 +228,9 @@ class IBERTBackend(INT8LinearBackend):
         super().__init__(bits=bits)
         self.name = "ibert"
         self.act_bits = act_bits
+        self.nonlinear_precision = f"int{act_bits}"
 
-    def nonlinear(self, kind, fn, x):
+    def _nonlinear(self, kind, fn, x):
         from repro.models.integer_nonlinear import i_gelu, i_softmax, i_sqrt
 
         xq = quantize_intn(x, self.act_bits)

@@ -126,8 +126,14 @@ class DecoderBlock(Module):
 
     def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         backend = backend or FP32Backend()
-        x = backend.requantize(x + self.attn.forward(self.norm1.forward(x, backend), backend))
-        x = backend.requantize(x + self.mlp.forward(self.norm2.forward(x, backend), backend))
+        with backend.scope("attn"):
+            x = backend.requantize(
+                x + self.attn.forward(self.norm1.forward(x, backend), backend)
+            )
+        with backend.scope("mlp"):
+            x = backend.requantize(
+                x + self.mlp.forward(self.norm2.forward(x, backend), backend)
+            )
         return x.astype(np.float32)
 
     def forward_step(
@@ -135,10 +141,14 @@ class DecoderBlock(Module):
     ) -> np.ndarray:
         """Incremental decode through the block with a shared KV cache."""
         backend = backend or FP32Backend()
-        x = backend.requantize(
-            x + self.attn.forward_step(self.norm1.forward(x, backend), kv_cache, backend)
-        )
-        x = backend.requantize(x + self.mlp.forward(self.norm2.forward(x, backend), backend))
+        with backend.scope("attn"):
+            x = backend.requantize(
+                x + self.attn.forward_step(self.norm1.forward(x, backend), kv_cache, backend)
+            )
+        with backend.scope("mlp"):
+            x = backend.requantize(
+                x + self.mlp.forward(self.norm2.forward(x, backend), backend)
+            )
         return x.astype(np.float32)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -186,10 +196,13 @@ class TinyLM(Module):
         n = tokens.shape[-1]
         x = self.embed.forward(tokens) + self.params["pos_embed"][:, :n]
         x = x.astype(np.float32)
-        for blk in self.blocks:
-            x = blk.forward(x, backend)
-        x = self.norm.forward(x, backend)
-        return self.head.forward(x, backend)
+        for i, blk in enumerate(self.blocks):
+            with backend.scope(f"block{i}"):
+                x = blk.forward(x, backend)
+        with backend.scope("final_norm"):
+            x = self.norm.forward(x, backend)
+        with backend.scope("head"):
+            return self.head.forward(x, backend)
 
     def backward(self, dlogits: np.ndarray) -> None:
         d = self.head.backward(dlogits)
@@ -244,10 +257,13 @@ class TinyLM(Module):
         x = (x + self.params["pos_embed"][:, position : position + 1]).astype(
             np.float32
         )
-        for blk, cache in zip(self.blocks, caches):
-            x = blk.forward_step(x, cache, backend)
-        x = self.norm.forward(x, backend)
-        return self.head.forward(x, backend)[0, 0]
+        for i, (blk, cache) in enumerate(zip(self.blocks, caches)):
+            with backend.scope(f"block{i}"):
+                x = blk.forward_step(x, cache, backend)
+        with backend.scope("final_norm"):
+            x = self.norm.forward(x, backend)
+        with backend.scope("head"):
+            return self.head.forward(x, backend)[0, 0]
 
     def forward_step_batch(
         self,
@@ -300,10 +316,13 @@ class TinyLM(Module):
             toks = np.array([tokens[i] for i in idxs]).reshape(b, 1)
             x = self.embed.forward(toks)
             x = (x + self.params["pos_embed"][:, pos : pos + 1]).astype(np.float32)
-            for blk, cache in zip(self.blocks, stacked):
-                x = blk.forward_step(x, cache, backend)
-            x = self.norm.forward(x, backend)
-            logits = self.head.forward(x, backend)[:, 0]
+            for bi, (blk, cache) in enumerate(zip(self.blocks, stacked)):
+                with backend.scope(f"block{bi}"):
+                    x = blk.forward_step(x, cache, backend)
+            with backend.scope("final_norm"):
+                x = self.norm.forward(x, backend)
+            with backend.scope("head"):
+                logits = self.head.forward(x, backend)[:, 0]
             for j, i in enumerate(idxs):
                 out[i] = logits[j]
                 for blk in range(len(self.blocks)):

@@ -78,7 +78,7 @@ class SelectiveBackend(ComputeBackend):
             quantize_intn(x, self.bits), quantize_intn(w, self.bits)
         ).astype(np.float32)
 
-    def nonlinear(
+    def _nonlinear(
         self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
     ) -> np.ndarray:
         if kind != self.target:

@@ -1,0 +1,58 @@
+"""Observability for the cycle domain: tracing, metrics, profiling.
+
+Three complementary views of where simulated cycles go:
+
+* :mod:`repro.obs.tracer` — hierarchical spans keyed on simulated cycles
+  with Chrome-trace/Perfetto JSON export (per-unit timelines of a serving
+  run or a compiled schedule);
+* :mod:`repro.obs.metrics` — a process-wide registry of named
+  counters/gauges/histograms that the hw, runtime and serve layers
+  publish into;
+* :mod:`repro.obs.profile` — per-layer, per-precision cycle and op
+  attribution for the functional models.
+
+All three are pure functions of (workload, config, seed): no wall-clock
+value ever enters the recorded data, so every export is byte-identical
+across runs.  The disabled path (:data:`NULL_TRACER`,
+:data:`NULL_REGISTRY`, ``profiler=None``) is no-op cheap.
+"""
+
+from repro.obs.artifacts import git_rev, jsonable, write_bench_artifact
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentiles,
+    set_registry,
+)
+from repro.obs.profile import Profiler
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "NULL_REGISTRY",
+    "percentiles",
+    "Profiler",
+    "git_rev",
+    "jsonable",
+    "write_bench_artifact",
+]

@@ -1,0 +1,175 @@
+"""``python -m repro profile`` — deterministic cycle/op profiles.
+
+Two modes, both pure functions of configuration + seed (no wall clock):
+
+* **schedule** (default): compile a model with the full-stack compiler and
+  report its workload split, latency, and steady-state throughput; with
+  ``--trace-out`` the compiled schedule is emitted as a per-unit
+  Chrome-trace/Perfetto timeline whose critical path *is* the reported
+  latency.
+* **functional** (``--functional``): run the functional ``TinyLM`` under a
+  chosen arithmetic backend with a :class:`repro.obs.profile.Profiler`
+  attached, and report per-layer, per-precision cycle and op attribution
+  (prefill forward + a cached greedy decode), plus ``backend.stats()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+__all__ = ["add_profile_parser", "run_profile"]
+
+_SCHEDULE_MODELS = ("deit-tiny", "deit-small", "deit-base",
+                    "decoder-prefill", "decoder-decode")
+
+
+def add_profile_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "profile",
+        help="deterministic cycle/op profile of a compiled or functional model",
+        description=__doc__,
+    )
+    p.add_argument("--model", choices=_SCHEDULE_MODELS, default="deit-tiny",
+                   help="schedule mode: which model to compile")
+    p.add_argument("--batch", type=int, default=1,
+                   help="batch size for the compiled schedule")
+    p.add_argument("--units", type=int, default=None,
+                   help="number of processing units (default: clock config)")
+    p.add_argument("--context", type=int, default=128,
+                   help="decoder models: context length")
+    p.add_argument("--dim", type=int, default=512,
+                   help="decoder models: model width")
+    p.add_argument("--depth", type=int, default=8,
+                   help="decoder models: number of layers")
+    p.add_argument("--heads", type=int, default=8,
+                   help="decoder models: attention heads")
+    p.add_argument("--vocab", type=int, default=32000,
+                   help="decoder models: vocabulary size")
+    p.add_argument("--functional", action="store_true",
+                   help="profile the functional TinyLM instead of a schedule")
+    p.add_argument("--backend", default="bfp8-mixed",
+                   help="functional mode: arithmetic backend name")
+    p.add_argument("--seed", type=int, default=0,
+                   help="functional mode: model/token seed")
+    p.add_argument("--gen-tokens", type=int, default=4,
+                   help="functional mode: greedy decode steps to profile")
+    p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                   help="schedule mode: write the per-unit schedule as "
+                        "Chrome-trace/Perfetto JSON (timestamps are cycles)")
+    p.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                   help="write the profile as JSON")
+    return p
+
+
+def _compile(args):
+    from repro.models.configs import CONFIGS
+    from repro.runtime.scheduler import compile_decoder, compile_vit
+
+    if args.model in CONFIGS:
+        return compile_vit(CONFIGS[args.model], batch=args.batch)
+    phase = args.model.split("-", 1)[1]
+    return compile_decoder(
+        vocab=args.vocab, dim=args.dim, depth=args.depth, n_heads=args.heads,
+        context=args.context, phase=phase, batch=args.batch,
+    )
+
+
+def _run_schedule(args) -> int:
+    from repro.eval.reporting import render_metrics, render_table
+    from repro.obs.tracer import Tracer
+
+    model = _compile(args)
+    n = args.units or model.clock.n_units
+    rows = model.workload_split(n)
+    print(render_table(
+        ["partition", "ops", "ops%", "cycles", "latency%"],
+        [(r["name"], f"{r['ops']:.3g}", f"{r['ops_pct']:.1f}",
+          r["cycles"], f"{r['latency_pct']:.1f}") for r in rows],
+        title=f"workload split: {model.name}, batch {args.batch}, {n} units",
+    ))
+    print()
+    summary = {
+        "model": model.name,
+        "batch": args.batch,
+        "n_units": n,
+        "latency_cycles": model.latency_cycles(n),
+        "latency_s": model.latency_seconds(n),
+        "throughput_items_per_s": model.throughput_items_per_s(n),
+        "fp32_latency_share": model.fp32_latency_share(n),
+        "unit_cycles_per_item": model.unit_cycles_per_item(),
+    }
+    print(render_metrics("schedule profile", summary))
+
+    if args.trace_out is not None:
+        tracer = Tracer(meta={
+            "model": model.name,
+            "batch": args.batch,
+            "n_units": n,
+            "clock_freq_hz": model.clock.freq_hz,
+        })
+        makespan = model.trace_schedule(tracer, n)
+        args.trace_out.write_text(tracer.to_json() + "\n")
+        print(f"\ntrace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans, makespan {makespan} cycles; "
+              "open in ui.perfetto.dev)")
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(
+            {"summary": summary, "workload_split": rows},
+            indent=2, sort_keys=True,
+        ) + "\n")
+    return 0
+
+
+def _run_functional(args) -> int:
+    import numpy as np
+
+    from repro.eval.reporting import render_metrics
+    from repro.models.backend import get_backend
+    from repro.models.decoder import TinyLM
+    from repro.obs.profile import Profiler
+
+    backend = get_backend(args.backend)
+    backend.profiler = Profiler()
+    model = TinyLM(seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    tokens = rng.integers(0, model.vocab, size=(2, model.seq_len))
+
+    with backend.scope("prefill"):
+        model.forward(tokens, backend)
+    with backend.scope("decode"):
+        model.generate_cached(tokens[0, :4], args.gen_tokens, backend)
+
+    print(backend.profiler.table(
+        f"functional profile: TinyLM, backend {backend.name}, "
+        f"seed {args.seed}"
+    ))
+    print()
+    by_prec = backend.profiler.by_precision()
+    total = backend.profiler.total_cycles()
+    prec_summary = {
+        f"cycles.{p}": g["cycles"] for p, g in sorted(by_prec.items())
+    }
+    prec_summary["cycles.total"] = total
+    print(render_metrics("cycles by precision", prec_summary))
+    print()
+    print(render_metrics("backend stats", backend.stats()))
+
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(
+            {
+                "backend": backend.name,
+                "seed": args.seed,
+                "profile": backend.profiler.as_dict(),
+                "backend_stats": backend.stats(),
+            },
+            indent=2, sort_keys=True,
+        ) + "\n")
+    return 0
+
+
+def run_profile(args) -> int:
+    if args.functional:
+        return _run_functional(args)
+    return _run_schedule(args)

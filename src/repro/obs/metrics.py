@@ -1,0 +1,196 @@
+"""Process-wide metrics registry: named counters, gauges and histograms.
+
+The simulator layers (``hw.unit``, ``runtime.executor``,
+``runtime.scheduler``, ``serve.dispatcher``) publish into one shared
+:class:`MetricsRegistry` — DSP-mode occupancy, PSU fill, host-op escapes,
+batch fill, queue depth — so a single ``registry.as_dict()`` snapshot
+explains where cycles and operations went across the whole stack.
+
+Metric names are dot-scoped (``layer.subsystem.metric``, e.g.
+``serve.dispatches.decode``).  Everything is deterministic: histograms
+summarize with exact linear-interpolation percentiles over the recorded
+samples, and exports sort keys.
+
+A registry built with ``enabled=False`` hands out a shared no-op
+instrument, so instrumented code needs no branching to support the
+disabled path; :func:`get_registry`/:func:`set_registry` manage the
+process-wide default instance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "percentiles",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "NULL_REGISTRY",
+]
+
+
+def percentiles(
+    samples: list, qs: tuple[float, ...] = (50, 95, 99)
+) -> list[float]:
+    """Percentiles with linear interpolation; zeros when empty."""
+    if not len(samples):
+        return [0.0] * len(qs)
+    arr = np.asarray(samples, dtype=np.float64)
+    return [float(np.percentile(arr, q)) for q in qs]
+
+
+@dataclass
+class Counter:
+    """Monotonic count (events, operations, cycles)."""
+
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return int(self.value) if float(self.value).is_integer() else self.value
+
+
+@dataclass
+class Gauge:
+    """Last-set value, with the observed extremes kept alongside."""
+
+    value: float = 0.0
+    max: float = float("-inf")
+    min: float = float("inf")
+    sets: int = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        self.max = max(self.max, v)
+        self.min = min(self.min, v)
+        self.sets += 1
+
+    def snapshot(self) -> dict:
+        if not self.sets:
+            return {"value": 0.0, "max": 0.0, "min": 0.0}
+        return {"value": self.value, "max": self.max, "min": self.min}
+
+
+@dataclass
+class Histogram:
+    """Sample accumulator summarized as count/mean/extremes/percentiles."""
+
+    samples: list = field(default_factory=list)
+
+    def observe(self, v: float) -> None:
+        self.samples.append(v)
+
+    def snapshot(self) -> dict:
+        if not self.samples:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = percentiles(self.samples)
+        return {
+            "count": len(self.samples),
+            "mean": float(np.mean(self.samples)),
+            "min": float(np.min(self.samples)),
+            "max": float(np.max(self.samples)),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
+
+
+class _NullInstrument:
+    """Shared sink for disabled registries: every method is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- snapshot ------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "counters": {
+                k: self._counters[k].snapshot() for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k].snapshot() for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot() for k in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry the simulator layers publish into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,311 @@
+"""Cycle-domain tracer: hierarchical spans over simulated time.
+
+Every timestamp recorded here is an **integer cycle** of the simulated
+system clock — never the wall clock — so a trace is a pure function of
+(workload trace, configuration, seed) and two runs with the same seed
+produce byte-identical exports.
+
+The export target is the Chrome trace event format, which Perfetto and
+``chrome://tracing`` both render: each simulated unit becomes one named
+track (thread), dispatched batches become complete ("X") slices on the
+unit's track, request lifetimes become async ("b"/"e") spans, and queue
+depth becomes a counter ("C") series.  One tick of the viewer's time axis
+is one clock cycle; the clock frequency rides along in ``otherData`` so
+wall-time can always be recovered (``seconds = ts / clock_freq_hz``).
+
+:class:`NullTracer` is the zero-overhead disabled path: every recording
+method is a no-op and ``enabled`` is ``False`` so hot loops can skip even
+argument construction.  Simulation code should accept a tracer argument
+defaulting to :data:`NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Span",
+    "CounterSample",
+    "AsyncSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+]
+
+_PID = 0  # single simulated process; tracks are threads under it
+
+
+@dataclass(frozen=True)
+class Span:
+    """One complete slice on a track: ``[start, end)`` in cycles."""
+
+    name: str
+    track: str
+    start: int
+    end: int
+    cat: str = "sim"
+    args: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a counter series (rendered as a step graph)."""
+
+    name: str
+    cycle: int
+    value: float
+
+
+@dataclass(frozen=True)
+class AsyncSpan:
+    """A span that may overlap others on the same track (request lifetime)."""
+
+    name: str
+    span_id: int
+    start: int
+    end: int
+    cat: str = "request"
+    args: tuple[tuple[str, object], ...] = ()
+
+
+def _freeze_args(args: dict | None) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(args.items())) if args else ()
+
+
+@dataclass
+class Tracer:
+    """Records spans/counters/instants keyed on simulated cycles.
+
+    Tracks are created on first use and keep registration order, so the
+    exported thread ids are deterministic.  ``meta`` lands in the export's
+    ``otherData`` (put the seed and workload shape there, never wall-clock
+    values).
+    """
+
+    enabled: bool = True
+    spans: list[Span] = field(default_factory=list)
+    counters: list[CounterSample] = field(default_factory=list)
+    async_spans: list[AsyncSpan] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+    _tracks: dict[str, int] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+    def track_id(self, track: str) -> int:
+        """Stable thread id of a named track (registers it on first use)."""
+        if track not in self._tracks:
+            self._tracks[track] = len(self._tracks)
+        return self._tracks[track]
+
+    def span(
+        self,
+        name: str,
+        *,
+        track: str,
+        start: int,
+        end: int,
+        cat: str = "sim",
+        args: dict | None = None,
+    ) -> None:
+        if end < start:
+            raise ConfigurationError(
+                f"span {name!r} ends before it starts ({end} < {start})"
+            )
+        self.track_id(track)
+        self.spans.append(Span(name, track, start, end, cat, _freeze_args(args)))
+
+    def counter(self, name: str, *, cycle: int, value: float) -> None:
+        self.counters.append(CounterSample(name, cycle, value))
+
+    def async_span(
+        self,
+        name: str,
+        *,
+        span_id: int,
+        start: int,
+        end: int,
+        cat: str = "request",
+        args: dict | None = None,
+    ) -> None:
+        if end < start:
+            raise ConfigurationError(
+                f"async span {name!r} ends before it starts ({end} < {start})"
+            )
+        self.async_spans.append(
+            AsyncSpan(name, span_id, start, end, cat, _freeze_args(args))
+        )
+
+    # -- queries -------------------------------------------------------------
+    def busy_cycles(self, *, track: str | None = None, cat: str | None = None) -> int:
+        """Total span duration, optionally filtered by track / category."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if (track is None or s.track == track)
+            and (cat is None or s.cat == cat)
+        )
+
+    def tracks(self) -> list[str]:
+        return list(self._tracks)
+
+    # -- export --------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace event document (Perfetto-compatible).
+
+        ``ts``/``dur`` are integer cycles (the viewer's "us" unit reads as
+        cycles); ``otherData.clock_freq_hz`` converts to wall time.
+        """
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": _PID,
+                "tid": 0,
+                "args": {"name": "repro-sim"},
+            }
+        ]
+        for track, tid in self._tracks.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        for s in self.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.cat,
+                    "ts": s.start,
+                    "dur": s.duration,
+                    "pid": _PID,
+                    "tid": self._tracks[s.track],
+                    "args": dict(s.args),
+                }
+            )
+        for a in self.async_spans:
+            common = {
+                "name": a.name,
+                "cat": a.cat,
+                "id": a.span_id,
+                "pid": _PID,
+                "tid": 0,
+            }
+            events.append({"ph": "b", "ts": a.start, "args": dict(a.args), **common})
+            events.append({"ph": "e", "ts": a.end, **common})
+        for c in self.counters:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": c.name,
+                    "ts": c.cycle,
+                    "pid": _PID,
+                    "args": {"value": c.value},
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "cycles", **self.meta},
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.to_chrome_trace(), sort_keys=True, separators=(",", ":")
+        )
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, costs (almost) nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def span(self, name, *, track, start, end, cat="sim", args=None) -> None:
+        pass
+
+    def counter(self, name, *, cycle, value) -> None:
+        pass
+
+    def async_span(self, name, *, span_id, start, end, cat="request", args=None) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def validate_chrome_trace(doc: dict) -> dict:
+    """Validate a Chrome-trace document; returns summary stats.
+
+    Checks the structural schema the exporter guarantees: required
+    top-level keys, well-formed events per phase, non-negative integer
+    timestamps/durations, and matched async begin/end pairs.  Raises
+    :class:`~repro.errors.ConfigurationError` on the first violation —
+    used by the test suite and the CI smoke job.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigurationError("trace document must be a JSON object")
+    for key in ("traceEvents", "otherData"):
+        if key not in doc:
+            raise ConfigurationError(f"trace document missing {key!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ConfigurationError("traceEvents must be a non-empty list")
+    stats = {"X": 0, "M": 0, "C": 0, "b": 0, "e": 0}
+    open_async: dict[tuple, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ConfigurationError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in stats:
+            raise ConfigurationError(f"event {i} has unknown phase {ph!r}")
+        stats[ph] += 1
+        if "name" not in ev or "pid" not in ev:
+            raise ConfigurationError(f"event {i} missing name/pid")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                raise ConfigurationError(f"event {i} has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise ConfigurationError(f"event {i} has bad dur {dur!r}")
+            if "tid" not in ev:
+                raise ConfigurationError(f"event {i} missing tid")
+        if ph == "C" and "value" not in ev.get("args", {}):
+            raise ConfigurationError(f"counter event {i} missing args.value")
+        if ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    raise ConfigurationError(
+                        f"async end without begin at event {i}: {key}"
+                    )
+                open_async[key] -= 1
+    dangling = [k for k, n in open_async.items() if n]
+    if dangling:
+        raise ConfigurationError(f"unclosed async spans: {dangling[:3]}")
+    return stats

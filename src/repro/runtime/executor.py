@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ProgramError
 from repro.hw.unit import MultiModePU
+from repro.obs.metrics import get_registry
 from repro.runtime.instructions import FPU_OPS, Instr, OpCode, OpCount, Program
 
 __all__ = ["VectorExecutor", "ExecutionTrace"]
@@ -84,6 +85,15 @@ class VectorExecutor:
         for ins in program.instrs:
             regs[ins.dst] = self._execute(ins, regs, trace)
         out = regs[program.output]
+        reg = get_registry()
+        if reg.enabled:
+            # Where the program's work went: FPU ops on the unit vs the
+            # paper's host escapes (division, max, ...) on the CPU side.
+            reg.counter("runtime.executor.programs").inc()
+            reg.counter("runtime.executor.fpu_ops").inc(trace.counts.fpu_total)
+            reg.counter("runtime.executor.host_ops").inc(trace.counts.host)
+            for op in trace.host_ops:
+                reg.counter(f"runtime.executor.host_escapes.{op}").inc()
         return out.astype(np.float32), trace
 
     # ------------------------------------------------------------------

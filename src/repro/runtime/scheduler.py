@@ -19,6 +19,8 @@ from math import ceil
 
 from repro.errors import ConfigurationError
 from repro.models.configs import ViTConfig
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 from repro.perf.latency import (
     measured_fp32_stream_cycles,
 )
@@ -108,6 +110,36 @@ class CompiledModel:
         occupancy = self.unit_cycles_per_item()
         return n * self.clock.freq_hz / occupancy if occupancy else 0.0
 
+    def trace_schedule(self, tracer: Tracer, n_units: int | None = None) -> int:
+        """Emit the compiled schedule as per-unit spans; returns the makespan.
+
+        The placement mirrors :meth:`latency_cycles` exactly: stages
+        serialize on data dependencies, and within a stage the chunks
+        spread over the units in waves of ``n`` — so the trace's critical
+        path *is* the model's reported latency.  Spans carry the stage's
+        mode/kind so a Perfetto query can split bfp8 vs fp32 residency.
+        """
+        n = n_units or self.clock.n_units
+        if n <= 0:
+            raise ConfigurationError("need at least one unit")
+        t = 0
+        for s in self.stages:
+            waves = ceil(s.chunks / n)
+            for wave in range(waves):
+                in_wave = min(n, s.chunks - wave * n)
+                start = t + wave * s.chunk_cycles
+                for u in range(in_wave):
+                    tracer.span(
+                        s.name,
+                        track=f"unit{u}",
+                        start=start,
+                        end=start + s.chunk_cycles,
+                        cat=s.kind,
+                        args={"mode": s.mode, "wave": wave},
+                    )
+            t += waves * s.chunk_cycles
+        return t
+
     def workload_split(self, n_units: int | None = None) -> list[dict]:
         """Table IV-style rows derived from the compiled schedule."""
         n = n_units or self.clock.n_units
@@ -134,6 +166,19 @@ class CompiledModel:
             )
         rows.sort(key=lambda r: -r["ops"])
         return rows
+
+
+def _publish_compile(model: CompiledModel) -> CompiledModel:
+    """Publish compile-time shape metrics into the process-wide registry."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("runtime.compiler.models").inc()
+        reg.counter("runtime.compiler.stages").inc(len(model.stages))
+        for mode, ops in model.ops_by_mode().items():
+            reg.counter(f"runtime.compiler.ops.{mode}").inc(ops)
+        for s in model.stages:
+            reg.histogram("runtime.compiler.chunk_cycles").observe(s.chunk_cycles)
+    return model
 
 
 def _matmul_stage(
@@ -254,7 +299,7 @@ def compile_vit(
     st.append(_vector_stage("final_ln", "layernorm", rows * d, ln_pe, mem=mem))
     if include_head:
         st.append(_matmul_stage("head", batch, d, cfg.n_classes, copies=1, mem=mem))
-    return model
+    return _publish_compile(model)
 
 
 def compile_decoder(
@@ -324,4 +369,4 @@ def compile_decoder(
         st.append(_residual_stage(p + "residual2", rows * dim, mem))
     st.append(_vector_stage("final_rmsnorm", "rmsnorm", rows * dim, rms_pe, mem=mem))
     st.append(_matmul_stage("lm_head", rows, dim, vocab, copies=1, mem=mem))
-    return model
+    return _publish_compile(model)

@@ -45,7 +45,15 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
     p.add_argument("--compare-batch1", action="store_true",
                    help="also replay the trace with batching disabled")
     p.add_argument("--json", type=Path, default=None, metavar="FILE",
-                   help="also write the summary dict as JSON")
+                   help="deprecated alias for --json-out")
+    p.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                   help="write the summary dict as JSON")
+    p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                   help="write a Chrome-trace/Perfetto JSON of the run "
+                        "(per-unit dispatch timeline, request spans, queue "
+                        "depth; timestamps are cycles)")
+    p.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                   help="write the metrics-registry snapshot as JSON")
     return p
 
 
@@ -59,9 +67,23 @@ def _config(args, max_batch: int) -> ServeConfig:
 
 
 def run_serve_sim(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
     traffic = TrafficConfig(rate_rps=args.rate, vit_fraction=args.vit_frac)
     trace = poisson_trace(args.requests, traffic, seed=args.seed)
-    report: ServeReport = simulate(trace, _config(args, args.max_batch))
+    tracer = NULL_TRACER
+    if args.trace_out is not None:
+        tracer = Tracer(meta={
+            "seed": args.seed,
+            "requests": args.requests,
+            "rate_rps": args.rate,
+            "max_batch": args.max_batch,
+            "clock_freq_hz": _config(args, args.max_batch).clock.freq_hz,
+        })
+    registry = MetricsRegistry() if args.metrics_out is not None else None
+    report: ServeReport = simulate(trace, _config(args, args.max_batch),
+                                   tracer=tracer, registry=registry)
     print(report.render(
         f"serve-sim: {args.requests} requests, rate {args.rate:g}/s, "
         f"seed {args.seed}, max_batch {args.max_batch}"
@@ -76,6 +98,14 @@ def run_serve_sim(args) -> int:
             if ref[key]:
                 print(f"dynamic batching {key} speedup: "
                       f"{got[key] / ref[key]:.2f}x")
-    if args.json is not None:
-        args.json.write_text(report.to_json() + "\n")
+    json_out = args.json_out if args.json_out is not None else args.json
+    if json_out is not None:
+        json_out.write_text(report.to_json() + "\n")
+    if args.trace_out is not None:
+        args.trace_out.write_text(tracer.to_json() + "\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans, {len(tracer.counters)} counter "
+              "samples; open in ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(registry.to_json() + "\n")
     return 0

@@ -25,6 +25,8 @@ from math import ceil
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
 from repro.models.configs import DEIT_TINY, ViTConfig
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.latency import decoder_batch_unit_cycles, vit_batch_unit_cycles
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
@@ -112,6 +114,7 @@ class ServeReport:
     config: ServeConfig
     pool: UnitPool
     metrics: MetricsCollector = field(repr=False)
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER, repr=False)
 
     def to_json(self) -> str:
         return MetricsCollector.to_json(self.summary)
@@ -122,8 +125,22 @@ class ServeReport:
         return render_metrics(title, self.summary)
 
 
-def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> ServeReport:
-    """Run the open-loop serving simulation over a request trace."""
+def simulate(
+    requests: list[Request],
+    config: ServeConfig = ServeConfig(),
+    *,
+    tracer: Tracer = NULL_TRACER,
+    registry: MetricsRegistry | None = None,
+) -> ServeReport:
+    """Run the open-loop serving simulation over a request trace.
+
+    ``tracer`` (default: the no-op :data:`NULL_TRACER`) records the run as
+    per-unit dispatch spans, per-request async spans and a queue-depth
+    counter series, all in simulated cycles — export with
+    ``report.tracer.to_json()``.  ``registry`` (default: the process-wide
+    one) receives serving counters/histograms (dispatches, batch fill,
+    queue depth, rejections, KV pressure).
+    """
     clock = config.clock
     pool = UnitPool(clock.n_units)
     batcher = DynamicBatcher(config.policy, clock)
@@ -134,6 +151,8 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
     )
     metrics = MetricsCollector()
     cost = CostModel(config)
+    reg = get_registry() if registry is None else registry
+    trace_on = tracer.enabled
 
     events: list[tuple[int, int, str, object]] = []
     seq = 0
@@ -168,6 +187,25 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
                                      f"{batch.phase}x{batch.size}")
                 idle.discard(u)
                 metrics.record_dispatch(batch.phase, batch.size)
+                if reg.enabled:
+                    reg.counter(f"serve.dispatches.{batch.phase}").inc()
+                    reg.histogram(f"serve.batch_fill.{batch.phase}").observe(
+                        batch.size / config.policy.batch_limit(batch.phase)
+                    )
+                if trace_on:
+                    tracer.span(
+                        f"{batch.phase}x{batch.size}",
+                        track=f"unit{u}",
+                        start=now,
+                        end=finish,
+                        cat="dispatch",
+                        args={
+                            "phase": batch.phase,
+                            "size": batch.size,
+                            "context": batch.context,
+                            "rids": [i.request.rid for i in batch.items],
+                        },
+                    )
                 push(finish, "finish", (u, batch))
                 launched = True
                 break
@@ -184,10 +222,23 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
                 pending_wakes.add(expiry)
                 push(expiry, "wake")
 
+    def complete_request(req: Request, now: int) -> None:
+        metrics.record_completion(req, now)
+        if trace_on:
+            tracer.async_span(
+                f"{req.kind}-{req.rid}",
+                span_id=req.rid,
+                start=req.arrival,
+                end=now,
+                cat=req.kind,
+                args={"prompt_tokens": req.prompt_tokens,
+                      "gen_tokens": req.gen_tokens},
+            )
+
     def complete_item(item: PhaseItem, now: int) -> None:
         req = item.request
         if item.phase == "vit":
-            metrics.record_completion(req, now)
+            complete_request(req, now)
         elif item.phase == "prefill":
             batcher.add(sessions.first_decode_item(req.rid, now))
         else:  # decode: one generated token
@@ -196,10 +247,11 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
                 metrics.record_first_token(req, now)
             nxt = sessions.step(req.rid, now)
             if nxt is None:
-                metrics.record_completion(req, now)
+                complete_request(req, now)
             else:
                 batcher.add(nxt)
 
+    last_depth = -1
     while events:
         now, _, tag, payload = heapq.heappop(events)
         if tag == "arrive":
@@ -207,6 +259,8 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
             metrics.record_arrival(req)
             if batcher.depth() >= config.max_queue:
                 metrics.record_rejection(req)
+                if reg.enabled:
+                    reg.counter("serve.rejections").inc()
             else:
                 phase = "vit" if req.kind == "vit" else "prefill"
                 batcher.add(PhaseItem(req, phase, ready=now,
@@ -221,9 +275,21 @@ def simulate(requests: list[Request], config: ServeConfig = ServeConfig()) -> Se
         else:  # pragma: no cover - defensive
             raise ConfigurationError(f"unknown event tag {tag!r}")
         try_dispatch(now)
-        metrics.record_queue_depth(now, batcher.depth())
+        depth = batcher.depth()
+        metrics.record_queue_depth(now, depth)
+        if trace_on and depth != last_depth:
+            tracer.counter("queue_depth", cycle=now, value=depth)
+            last_depth = depth
+        if reg.enabled:
+            reg.histogram("serve.queue_depth").observe(depth)
 
     busy = sum(t.busy_cycles for t in pool.timelines)
+    if reg.enabled:
+        reg.counter("serve.arrivals").inc(metrics.arrivals)
+        reg.counter("serve.tokens_out").inc(metrics.tokens_out)
+        reg.counter("serve.busy_cycles").inc(busy)
+        reg.gauge("serve.kv_bytes_peak").set(sessions.peak_kv_bytes)
+        reg.gauge("serve.horizon_cycles").set(metrics.last_completion)
     summary = metrics.summary(clock=clock, busy_cycles=busy)
     summary["active_sessions_peak_kv_mib"] = sessions.peak_kv_bytes / 2**20
-    return ServeReport(summary, config, pool, metrics)
+    return ServeReport(summary, config, pool, metrics, tracer)

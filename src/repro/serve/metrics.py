@@ -5,6 +5,13 @@ clock only at summary time, so the numbers are exact functions of the
 trace + policy (reproducible run-to-run).  The summary is a flat dict so
 it exports directly to JSON and renders through
 :func:`repro.eval.reporting.render_table`.
+
+The percentile helper is shared with :mod:`repro.obs.metrics` (one
+definition of "p95" across the stack).  Queue depth is summarized
+time-weighted — each sampled depth counts for the cycles it actually
+held, not once per event — and dispatched batch sizes are kept as
+per-phase histograms, because the decode-fill distribution (not its mean)
+is what the weight-pass amortization of Eqn 9 depends on.
 """
 
 from __future__ import annotations
@@ -14,18 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import percentiles
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
 from repro.serve.request import Request
 
 __all__ = ["MetricsCollector", "percentiles"]
-
-
-def percentiles(samples: list[int], qs: tuple[float, ...] = (50, 95, 99)) -> list[float]:
-    """Cycle-count percentiles (linear interpolation); zeros when empty."""
-    if not samples:
-        return [0.0] * len(qs)
-    arr = np.asarray(samples, dtype=np.float64)
-    return [float(np.percentile(arr, q)) for q in qs]
 
 
 @dataclass
@@ -70,18 +70,41 @@ class MetricsCollector:
         self.queue_samples.append((now, depth))
 
     # -- summary -------------------------------------------------------------
-    def _queue_stats(self) -> tuple[float, int]:
-        """(time-weighted mean, max) queue depth over the sampled horizon."""
+    def _queue_stats(self) -> tuple[float, int, float, float]:
+        """Time-weighted (mean, max, p95, p99) queue depth over the horizon.
+
+        Each sampled depth is weighted by the cycles until the next sample.
+        Degenerate horizons (no samples, one sample, or a zero-cycle span)
+        fall back to the last observed depth for the distribution stats.
+        """
         if not self.queue_samples:
-            return 0.0, 0
+            return 0.0, 0, 0.0, 0.0
         ts = [t for t, _ in self.queue_samples]
         ds = [d for _, d in self.queue_samples]
         if len(ts) < 2 or ts[-1] == ts[0]:
-            return float(ds[-1]), max(ds)
-        weighted = sum(
-            ds[i] * (ts[i + 1] - ts[i]) for i in range(len(ts) - 1)
-        )
-        return weighted / (ts[-1] - ts[0]), max(ds)
+            last = float(ds[-1])
+            return last, max(ds), last, last
+        depths = np.asarray(ds[:-1], dtype=np.float64)
+        weights = np.diff(np.asarray(ts, dtype=np.float64))
+        total = weights.sum()
+        mean = float((depths * weights).sum() / total)
+        order = np.argsort(depths, kind="stable")
+        cum = np.cumsum(weights[order]) / total
+        hi = len(order) - 1
+        p95 = float(depths[order][min(int(np.searchsorted(cum, 0.95)), hi)])
+        p99 = float(depths[order][min(int(np.searchsorted(cum, 0.99)), hi)])
+        return mean, max(ds), p95, p99
+
+    def _batch_histograms(self) -> dict[str, dict[str, int]]:
+        """Per-phase ``{batch_size: dispatch_count}`` (string keys for JSON)."""
+        out: dict[str, dict[str, int]] = {}
+        for phase in sorted(self.batch_sizes):
+            hist: dict[str, int] = {}
+            for size in self.batch_sizes[phase]:
+                key = str(size)
+                hist[key] = hist.get(key, 0) + 1
+            out[phase] = dict(sorted(hist.items(), key=lambda kv: int(kv[0])))
+        return out
 
     def summary(
         self,
@@ -94,10 +117,10 @@ class MetricsCollector:
         horizon = self.last_completion
         p50, p95, p99 = percentiles(self.latencies)
         t50, t95, t99 = percentiles(self.ttft)
-        mean_q, max_q = self._queue_stats()
+        mean_q, max_q, q95, q99 = self._queue_stats()
         sizes = [s for v in self.batch_sizes.values() for s in v]
         horizon_s = horizon / f if horizon else 0.0
-        return {
+        out = {
             "arrivals": self.arrivals,
             "completed": self.completed,
             "rejected": self.rejections,
@@ -120,9 +143,22 @@ class MetricsCollector:
             ),
             "mean_queue_depth": mean_q,
             "max_queue_depth": max_q,
+            "queue_depth_p95": q95,
+            "queue_depth_p99": q99,
             "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
             "dispatches": len(sizes),
+            "batch_size_hist": self._batch_histograms(),
         }
+        # Serving-level weight-pass amortization: one decode dispatch is one
+        # weight pass through the array serving `size` tokens — the same
+        # matmuls-vs-rows ratio `ComputeBackend.stats()` reports for the
+        # functional batched step (TinyLM.forward_step_batch).
+        decode = self.batch_sizes.get("decode", [])
+        out["decode_weight_passes"] = len(decode)
+        out["decode_weight_pass_amortization"] = (
+            sum(decode) / len(decode) if decode else 0.0
+        )
+        return out
 
     @staticmethod
     def to_json(summary: dict) -> str:

@@ -1,5 +1,6 @@
 """Smoke test for the ``python -m repro`` command-line entry point."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -24,3 +25,80 @@ def test_cli_fast_report(tmp_path):
     assert "table2_hardware_utilization.txt" in written
     assert "fig7_throughput.txt" in written
     assert len(written) == 8
+
+
+def test_cli_serve_sim_observability_outputs(tmp_path):
+    trace_out = tmp_path / "run.perfetto.json"
+    json_out = tmp_path / "summary.json"
+    metrics_out = tmp_path / "metrics.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve-sim",
+         "--requests", "100", "--seed", "1",
+         "--trace-out", str(trace_out),
+         "--json-out", str(json_out),
+         "--metrics-out", str(metrics_out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "trace written to" in proc.stdout
+
+    from repro.obs.tracer import validate_chrome_trace
+
+    doc = json.loads(trace_out.read_text())
+    stats = validate_chrome_trace(doc)
+    assert stats["X"] > 0 and stats["b"] == stats["e"]
+    assert doc["otherData"]["seed"] == 1
+
+    summary = json.loads(json_out.read_text())
+    assert summary["arrivals"] == 100
+    assert "queue_depth_p99" in summary and "batch_size_hist" in summary
+
+    metrics = json.loads(metrics_out.read_text())
+    assert metrics["counters"]["serve.arrivals"] == 100
+
+
+def test_cli_profile_schedule(tmp_path):
+    trace_out = tmp_path / "deit.perfetto.json"
+    json_out = tmp_path / "profile.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "profile", "--model", "decoder-decode",
+         "--depth", "2", "--dim", "128", "--heads", "4", "--context", "64",
+         "--vocab", "512",
+         "--trace-out", str(trace_out), "--json-out", str(json_out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "workload split" in proc.stdout
+
+    from repro.obs.tracer import validate_chrome_trace
+
+    stats = validate_chrome_trace(json.loads(trace_out.read_text()))
+    assert stats["X"] > 0
+    doc = json.loads(json_out.read_text())
+    assert doc["summary"]["latency_cycles"] > 0
+    assert doc["workload_split"]
+
+
+def test_cli_profile_functional(tmp_path):
+    json_out = tmp_path / "functional.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "profile", "--functional",
+         "--backend", "bfp8-mixed", "--gen-tokens", "2",
+         "--json-out", str(json_out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "functional profile" in proc.stdout
+    assert "backend stats" in proc.stdout
+    doc = json.loads(json_out.read_text())
+    assert doc["backend"] == "bfp8-mixed"
+    assert doc["profile"]["total_cycles"] > 0
+    assert doc["backend_stats"]["matmuls"] > 0
+    # Mixed regime: both precisions appear in the attribution.
+    assert set(doc["profile"]["by_precision"]) == {"bfp8", "fp32"}

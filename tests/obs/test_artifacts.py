@@ -1,0 +1,35 @@
+"""BENCH_<name>.json artifact writer."""
+
+import json
+
+import numpy as np
+
+from repro.obs.artifacts import git_rev, jsonable, write_bench_artifact
+
+
+def test_jsonable_coerces_numpy():
+    doc = jsonable({
+        "scalar": np.float64(1.5),
+        "int": np.int64(3),
+        "arr": np.arange(3),
+        "nested": [{"x": np.float32(0.5)}],
+        7: "int-key",
+    })
+    assert doc == {"scalar": 1.5, "int": 3, "arr": [0, 1, 2],
+                   "nested": [{"x": 0.5}], "7": "int-key"}
+    json.dumps(doc)
+
+
+def test_write_bench_artifact(tmp_path):
+    path = write_bench_artifact(tmp_path, "demo",
+                                {"tokens_per_s": np.float64(12.5)}, seed=3)
+    assert path == tmp_path / "BENCH_demo.json"
+    doc = json.loads(path.read_text())
+    assert doc["bench"] == "demo"
+    assert doc["seed"] == 3
+    assert doc["summary"] == {"tokens_per_s": 12.5}
+    assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+
+
+def test_git_rev_unknown_outside_repo(tmp_path):
+    assert git_rev(tmp_path) == "unknown"

@@ -1,0 +1,101 @@
+"""Metrics registry: instruments, snapshots, the disabled path."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    percentiles,
+    set_registry,
+)
+
+
+def test_percentiles_empty_is_zeros():
+    assert percentiles([]) == [0.0, 0.0, 0.0]
+
+
+def test_percentiles_single_sample_is_that_sample():
+    assert percentiles([7]) == [7.0, 7.0, 7.0]
+
+
+def test_percentiles_interpolation():
+    p50, p95, p99 = percentiles(list(range(101)))
+    assert p50 == 50.0 and p95 == 95.0 and p99 == 99.0
+    (p25,) = percentiles([0, 1, 2, 3], qs=(25,))
+    assert p25 == 0.75  # linear interpolation, numpy convention
+
+
+def test_counter_int_snapshot():
+    r = MetricsRegistry()
+    r.counter("a").inc()
+    r.counter("a").inc(2)
+    assert r.counter("a").snapshot() == 3
+    assert isinstance(r.counter("a").snapshot(), int)
+    r.counter("frac").inc(0.5)
+    assert r.counter("frac").snapshot() == 0.5
+
+
+def test_gauge_tracks_extremes():
+    r = MetricsRegistry()
+    g = r.gauge("g")
+    assert g.snapshot() == {"value": 0.0, "max": 0.0, "min": 0.0}  # unset
+    g.set(3)
+    g.set(-1)
+    assert g.snapshot() == {"value": -1, "max": 3, "min": -1}
+
+
+def test_histogram_snapshot():
+    r = MetricsRegistry()
+    h = r.histogram("h")
+    assert h.snapshot()["count"] == 0
+    for v in (1, 2, 3, 4):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["mean"] == 2.5
+    assert snap["min"] == 1 and snap["max"] == 4
+    assert snap["p50"] == 2.5
+
+
+def test_registry_get_or_create_and_as_dict():
+    r = MetricsRegistry()
+    assert r.counter("x") is r.counter("x")
+    r.counter("b.two").inc()
+    r.counter("a.one").inc()
+    r.gauge("g").set(1)
+    r.histogram("h").observe(2)
+    d = r.as_dict()
+    assert list(d["counters"]) == ["a.one", "b.two", "x"]  # sorted
+    assert set(d) == {"counters", "gauges", "histograms"}
+    json.loads(r.to_json())  # valid JSON
+    r.reset()
+    assert r.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_disabled_registry_hands_out_noop_instruments():
+    r = MetricsRegistry(enabled=False)
+    r.counter("x").inc(5)
+    r.gauge("g").set(1)
+    r.histogram("h").observe(2)
+    assert r.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert NULL_REGISTRY.enabled is False
+    # One shared null instrument: no per-call allocation.
+    assert r.counter("x") is r.histogram("h")
+
+
+@pytest.fixture
+def scratch_registry():
+    prev = set_registry(MetricsRegistry())
+    try:
+        yield get_registry()
+    finally:
+        set_registry(prev)
+
+
+def test_set_registry_swaps_process_default(scratch_registry):
+    assert get_registry() is scratch_registry
+    get_registry().counter("k").inc()
+    assert scratch_registry.counter("k").snapshot() == 1

@@ -1,0 +1,108 @@
+"""Tracer: span recording, Chrome-trace export, schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+def make_trace() -> Tracer:
+    t = Tracer(meta={"seed": 3})
+    t.span("prefill", track="unit0", start=0, end=100, cat="dispatch",
+           args={"size": 2})
+    t.span("decode", track="unit1", start=50, end=80, cat="dispatch")
+    t.counter("queue_depth", cycle=0, value=1)
+    t.counter("queue_depth", cycle=60, value=0)
+    t.async_span("llm-0", span_id=0, start=0, end=120, cat="llm",
+                 args={"gen_tokens": 4})
+    return t
+
+
+def test_span_recording_and_busy_cycles():
+    t = make_trace()
+    assert t.busy_cycles() == 130
+    assert t.busy_cycles(track="unit0") == 100
+    assert t.busy_cycles(cat="dispatch") == 130
+    assert t.busy_cycles(cat="other") == 0
+    assert t.tracks() == ["unit0", "unit1"]
+
+
+def test_track_ids_follow_registration_order():
+    t = Tracer()
+    assert t.track_id("b") == 0
+    assert t.track_id("a") == 1
+    assert t.track_id("b") == 0  # stable on reuse
+
+
+def test_backwards_span_rejected():
+    t = Tracer()
+    with pytest.raises(ConfigurationError):
+        t.span("bad", track="u", start=10, end=5)
+    with pytest.raises(ConfigurationError):
+        t.async_span("bad", span_id=1, start=10, end=5)
+
+
+def test_chrome_trace_structure():
+    doc = make_trace().to_chrome_trace()
+    stats = validate_chrome_trace(doc)
+    assert stats == {"X": 2, "M": 5, "C": 2, "b": 1, "e": 1}
+    assert doc["otherData"]["time_unit"] == "cycles"
+    assert doc["otherData"]["seed"] == 3
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs[0]["args"] == {"size": 2}
+    assert xs[0]["ts"] == 0 and xs[0]["dur"] == 100
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert names == {"unit0", "unit1"}
+
+
+def test_export_round_trip_is_byte_identical():
+    """Golden round-trip: same recording -> identical bytes, and a parsed
+    export re-serializes to the same document."""
+    a, b = make_trace().to_json(), make_trace().to_json()
+    assert a == b
+    parsed = json.loads(a)
+    assert json.dumps(parsed, sort_keys=True, separators=(",", ":")) == a
+
+
+def test_validator_rejects_malformed_documents():
+    good = make_trace().to_chrome_trace()
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace([])  # not an object
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace({"traceEvents": []})  # missing otherData
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace({"traceEvents": [], "otherData": {}})  # empty
+    bad_phase = json.loads(json.dumps(good))
+    bad_phase["traceEvents"][0]["ph"] = "Z"
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(bad_phase)
+    bad_ts = json.loads(json.dumps(good))
+    for ev in bad_ts["traceEvents"]:
+        if ev["ph"] == "X":
+            ev["ts"] = -1
+            break
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(bad_ts)
+    dangling = json.loads(json.dumps(good))
+    dangling["traceEvents"] = [e for e in dangling["traceEvents"]
+                               if e["ph"] != "e"]
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(dangling)
+
+
+def test_null_tracer_records_nothing():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    t = NullTracer()
+    t.span("x", track="u", start=5, end=1)  # not even validated
+    t.counter("c", cycle=0, value=1)
+    t.async_span("a", span_id=0, start=5, end=1)
+    assert t.spans == [] and t.counters == [] and t.async_spans == []

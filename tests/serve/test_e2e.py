@@ -30,7 +30,10 @@ class TestReproducibility:
         report = run(3)
         again = json.loads(report.to_json())
         for key, val in report.summary.items():
-            assert again[key] == pytest.approx(val)
+            if isinstance(val, dict):  # e.g. batch_size_hist is nested
+                assert again[key] == val
+            else:
+                assert again[key] == pytest.approx(val)
 
     def test_all_admitted_work_completes(self):
         report = run(5, n=500)
