@@ -18,12 +18,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, HardwareContractError
-from repro.formats.bfp8 import BfpBlock, quantize_tiles
+from repro.formats.bfp8 import BLOCK_COLS, BLOCK_ROWS, BfpBlock, quantize_tiles
 from repro.formats.blocking import BfpMatrix
 from repro.formats.rounding import shift_right
 
 __all__ = [
     "WideBlock",
+    "BfpWeight",
     "PSU_WIDTH",
     "block_matmul",
     "accumulate",
@@ -31,6 +32,9 @@ __all__ = [
     "bfp_matmul_dense",
     "bfp_matmul",
     "bfp_matmul_emulate",
+    "bfp_matmul_prepared",
+    "bfp_matmul_emulate_batched",
+    "activation_blocks",
 ]
 
 PSU_WIDTH = 48  # DSP48E2 accumulator / PSU buffer word width
@@ -166,6 +170,204 @@ def bfp_matmul(a: BfpMatrix, b: BfpMatrix) -> BfpMatrix:
     return BfpMatrix(man, exps, (a.shape[0], b.shape[1]))
 
 
+def _flatten_cols(b_man: np.ndarray) -> np.ndarray:
+    """Right-operand mantissas ``(..., Kb, Cb, h, c)`` -> ``(..., Kb, h, Cb*c)``.
+
+    The column-flattened int64 layout the emulation core multiplies
+    against: all Cb column blocks of one K block form a single matmul
+    operand, so the mantissa product is one gufunc slice per (K block,
+    row block) instead of one per output block.
+    """
+    kb, cb, h, c = b_man.shape[-4:]
+    return np.ascontiguousarray(
+        b_man.astype(np.int64).swapaxes(-2, -3)
+    ).reshape(*b_man.shape[:-4], kb, h, cb * c)
+
+
+@dataclass(frozen=True)
+class BfpWeight:
+    """A quantized right-hand operand in matmul-ready layout.
+
+    Built once per weight (prepare time): the :class:`BfpMatrix`
+    mantissas widened to int64 and column-flattened to ``(Kb, h, Cb*c)``
+    so the emulation's mantissa product needs no per-call cast or
+    re-layout — the per-call work the Y-stationary hardware also never
+    repeats.
+    """
+
+    matrix: BfpMatrix
+    man64: np.ndarray  # (Kb, h, Cb*c) int64
+    exp64: np.ndarray  # (Kb, Cb) int64
+
+    @classmethod
+    def from_matrix(cls, bm: BfpMatrix) -> "BfpWeight":
+        return cls(
+            bm, _flatten_cols(bm.mantissas), bm.exponents.astype(np.int64)
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def block_shape(self) -> tuple[int, int]:
+        return self.matrix.block_shape
+
+    def to_dense(self) -> np.ndarray:
+        return self.matrix.to_dense()
+
+
+def activation_blocks(a: np.ndarray, *, man_bits: int = 8) -> BfpMatrix:
+    """Block-quantize an activation matrix with trimmed block rows.
+
+    A decode-step activation is a single row; padding it to the full 8-row
+    tile makes the mantissa matmul do 8x the useful work on zeros.  For
+    matrices shorter than one tile this uses ``M``-row blocks instead —
+    *bit-identical* to the padded encoding, because padded rows are zero:
+    they leave the shared exponent unchanged (it is chosen from the tile's
+    max magnitude) and contribute zero products to every partial sum.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    rows = BLOCK_ROWS if a.shape[0] >= BLOCK_ROWS else max(1, a.shape[0])
+    return BfpMatrix.from_dense(a, rows=rows, man_bits=man_bits)
+
+
+def _tile_batch(
+    x: np.ndarray, rows: int, cols: int, *, man_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a ``(..., M, K)`` stack into ``(..., Mb, Kb, rows, cols)``."""
+    lead = x.shape[:-2]
+    m, k = x.shape[-2:]
+    pm, pk = (-m) % rows, (-k) % cols
+    if pm or pk:
+        x = np.pad(x, [(0, 0)] * len(lead) + [(0, pm), (0, pk)])
+    tiles = x.reshape(
+        *lead, (m + pm) // rows, rows, (k + pk) // cols, cols
+    ).swapaxes(-3, -2)
+    return quantize_tiles(tiles, man_bits=man_bits)
+
+
+def _emulate_blocks(
+    a_man: np.ndarray,
+    a_exp: np.ndarray,
+    b_flat: np.ndarray,
+    b_exp: np.ndarray,
+    *,
+    exact_accumulate: bool,
+) -> np.ndarray:
+    """Block-grid matmul core shared by all emulation entry points.
+
+    ``a_man``: ``(..., Rb, Kb, r, h)`` block-grid mantissas; ``b_flat``:
+    ``(..., Kb, h, Cb*c)`` — the right operand widened to int64 and
+    column-flattened (a :class:`BfpWeight`'s resident layout, see
+    :func:`_flatten_cols`); ``b_exp``: ``(..., Kb, Cb)``.  Leading batch
+    dimensions are optional and broadcast-compatible.  Returns the dense
+    padded result ``(..., Rb*r, Cb*c)`` in float64.
+
+    The sequential-truncation path keeps the per-K-block Python loop — the
+    running PSU exponent makes each alignment depend on the previous step,
+    exactly as in hardware.  The exact-accumulate path has no such
+    dependency and contracts every K block in a single einsum.
+    """
+    a_man = np.asarray(a_man, dtype=np.int64)
+    a_exp = np.asarray(a_exp, dtype=np.int64)
+    b_flat = np.asarray(b_flat, dtype=np.int64)
+    b_exp = np.asarray(b_exp, dtype=np.int64)
+    rb, kb, r = a_man.shape[-4], a_man.shape[-3], a_man.shape[-2]
+    cb = b_exp.shape[-1]
+    nc = b_flat.shape[-1]
+    lead = np.broadcast_shapes(a_man.shape[:-4], b_flat.shape[:-3])
+    if kb == 0 or cb == 0:
+        return np.zeros((*lead, rb * r, nc), dtype=np.float64)
+    c = nc // cb
+    a_sw = a_man.swapaxes(-4, -3)  # (..., Kb, Rb, r, h)
+
+    if exact_accumulate:
+        sa = a_sw * np.exp2(a_exp.swapaxes(-2, -1))[..., None, None]
+        sb = b_flat * np.exp2(np.repeat(b_exp, c, axis=-1))[..., None, :]
+        acc = np.einsum("...kiab,...kbn->...ian", sa, sb)
+        return acc.reshape(*lead, rb * r, nc)
+
+    # Mantissa products are independent of accumulation order, so compute
+    # them for every K block in one batched matmul up front — one gufunc
+    # slice per (K block, row block) thanks to the flat column layout;
+    # only the truncating alignment chain below is inherently sequential.
+    prods = np.matmul(
+        a_sw,  # (..., Kb, Rb, r, h)
+        b_flat[..., :, None, :, :],  # (..., Kb, 1, h, Cb*c)
+    )  # (..., Kb, Rb, r, Cb*c)
+    exps = a_exp.swapaxes(-2, -1)[..., None] + b_exp[..., None, :]
+    # (..., Kb, Rb, Cb)
+
+    # The PSU exponent after block k is the prefix max of the product
+    # exponents, so every alignment decision (who shifts, by how much) is
+    # known up front; only the truncating integer adds are sequential.
+    # A clamp at 63 preserves shift_right's >=63 saturation for the
+    # truncate mode (an arithmetic ``x >> 63`` is already the sign).
+    run = np.maximum.accumulate(exps, axis=-3)
+    keeps = run[..., :-1, :, :] >= exps[..., 1:, :, :]
+    ds = np.minimum(np.abs(run[..., :-1, :, :] - exps[..., 1:, :, :]), 63)
+    # Per-step "is every PSU keeping its exponent" flags, reduced once up
+    # front: a True step needs no branch select in the loop below.
+    kb_axis = keeps.ndim - 3
+    uniform = keeps.all(axis=tuple(i for i in range(keeps.ndim) if i != kb_axis))
+
+    pv = prods.reshape(*prods.shape[:-1], cb, c)  # (..., Kb, Rb, r, Cb, c)
+    psu_man = pv[..., 0, :, :, :, :]  # (..., Rb, r, Cb, c)
+    for bk in range(1, kb):
+        prod = pv[..., bk, :, :, :, :]
+        d = ds[..., bk - 1, :, None, :, None]
+        if uniform[bk - 1]:
+            psu_man = psu_man + (prod >> d)
+        else:
+            psu_man = np.where(
+                keeps[..., bk - 1, :, None, :, None],
+                psu_man + (prod >> d),
+                prod + (psu_man >> d),
+            )
+    limit = np.int64(1) << (PSU_WIDTH - 1)
+    if psu_man.size and (psu_man.min() < -limit or psu_man.max() >= limit):
+        raise HardwareContractError("emulated PSU overflowed 48 bits")
+    dense = psu_man.astype(np.float64) * np.exp2(
+        run[..., -1, :, :].astype(np.float64)
+    )[..., :, None, :, None]
+    return dense.reshape(*lead, rb * r, nc)
+
+
+def bfp_matmul_prepared(
+    am: BfpMatrix,
+    bm: BfpMatrix | BfpWeight,
+    *,
+    exact_accumulate: bool = False,
+) -> np.ndarray:
+    """Emulated bfp matmul of two *already quantized* operands.
+
+    This is the hot-path entry point for the prepared-operand cache
+    (:mod:`repro.perf.prepared`): a weight quantized once — ideally as a
+    :class:`BfpWeight`, whose matmul-ready layout is also precomputed —
+    can be multiplied against any number of activation encodings without
+    paying its quantization again, the emulation analogue of
+    Y-stationary weight residency.  The operands' inner block edges must
+    agree; the activation's row-block height may be trimmed (see
+    :func:`activation_blocks`).
+    """
+    if am.shape[1] != bm.shape[0]:
+        raise ConfigurationError(
+            f"inner dimensions disagree: {am.shape} @ {bm.shape}"
+        )
+    if am.block_shape[1] != bm.block_shape[0]:
+        raise ConfigurationError(
+            "inner block edges disagree: "
+            f"{am.block_shape} @ {bm.block_shape}"
+        )
+    bw = bm if isinstance(bm, BfpWeight) else BfpWeight.from_matrix(bm)
+    dense = _emulate_blocks(
+        am.mantissas, am.exponents, bw.man64, bw.exp64,
+        exact_accumulate=exact_accumulate,
+    )
+    return dense[: am.shape[0], : bm.shape[1]]
+
+
 def bfp_matmul_emulate(
     a: np.ndarray,
     b: np.ndarray,
@@ -175,60 +377,55 @@ def bfp_matmul_emulate(
 ) -> np.ndarray:
     """Fast vectorized emulation of bfp8 matmul on dense fp inputs.
 
-    Quantizes both operands to 8x8 bfp8 tiles and multiplies with the same
+    Quantizes both operands to bfp tiles and multiplies with the same
     aligned-truncating accumulation as the hardware, vectorized over the
-    whole output block grid (the K loop runs in Python, everything else in
-    NumPy).  With ``exact_accumulate=True`` the truncating alignment is
-    replaced by exact float64 accumulation — useful to isolate how much error
-    the alignment truncation itself contributes.
+    whole output block grid.  A thin wrapper over
+    :func:`bfp_matmul_prepared`; pre-quantized operands (cached weights)
+    enter there directly.  With ``exact_accumulate=True`` the truncating
+    alignment is replaced by exact float64 accumulation (one einsum over
+    all K blocks) — useful to isolate how much error the alignment
+    truncation itself contributes.
 
     This is the workhorse of the Transformer accuracy experiments: a
-    DeiT-Small layer is thousands of blocks, far too many for the per-block
-    oracle above.
+    DeiT-Small layer is thousands of blocks, far too many for the
+    per-block oracle above.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ConfigurationError(f"bad matmul shapes: {a.shape} @ {b.shape}")
-    am = BfpMatrix.from_dense(a, man_bits=man_bits)
+    am = activation_blocks(a, man_bits=man_bits)
     bm = BfpMatrix.from_dense(b, man_bits=man_bits)
-    a_man = am.mantissas.astype(np.int64)  # (Rb, Kb, 8, 8)
-    b_man = bm.mantissas.astype(np.int64)  # (Kb, Cb, 8, 8)
-    a_exp = am.exponents.astype(np.int64)
-    b_exp = bm.exponents.astype(np.int64)
-    rb, kb = a_man.shape[:2]
-    cb = b_man.shape[1]
-    r, c = a_man.shape[2], b_man.shape[3]
+    return bfp_matmul_prepared(am, bm, exact_accumulate=exact_accumulate)
 
-    if exact_accumulate:
-        acc = np.zeros((rb, cb, r, c), dtype=np.float64)
-        for bk in range(kb):
-            prod = np.einsum("iab,jbc->ijac", a_man[:, bk], b_man[bk])
-            e = a_exp[:, bk, None] + b_exp[None, bk, :]
-            acc += prod * np.exp2(e)[..., None, None]
-        dense = acc.swapaxes(1, 2).reshape(rb * r, cb * c)
-        return dense[: a.shape[0], : b.shape[1]]
 
-    psu_man = np.zeros((rb, cb, r, c), dtype=np.int64)
-    psu_exp = np.full((rb, cb), np.iinfo(np.int32).min, dtype=np.int64)
-    for bk in range(kb):
-        prod = np.einsum("iab,jbc->ijac", a_man[:, bk], b_man[bk])
-        e = a_exp[:, bk, None] + b_exp[None, bk, :]
-        first = bk == 0
-        if first:
-            psu_man, psu_exp = prod, e.copy()
-            continue
-        keep_psu = psu_exp >= e
-        d = np.abs(psu_exp - e)
-        shifted_new = shift_right(prod, d[..., None, None], "truncate")
-        shifted_old = shift_right(psu_man, d[..., None, None], "truncate")
-        psu_man = np.where(
-            keep_psu[..., None, None], psu_man + shifted_new, prod + shifted_old
-        )
-        psu_exp = np.maximum(psu_exp, e)
-    limit = np.int64(1) << (PSU_WIDTH - 1)
-    if psu_man.size and (psu_man.min() < -limit or psu_man.max() >= limit):
-        raise HardwareContractError("emulated PSU overflowed 48 bits")
-    dense = (psu_man.astype(np.float64) * np.exp2(psu_exp.astype(np.float64))[..., None, None])
-    dense = dense.swapaxes(1, 2).reshape(rb * r, cb * c)
-    return dense[: a.shape[0], : b.shape[1]]
+def bfp_matmul_emulate_batched(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    exact_accumulate: bool = False,
+    man_bits: int = 8,
+) -> np.ndarray:
+    """Batched bfp matmul emulation: ``(B, M, K) @ (B, K, N) -> (B, M, N)``.
+
+    One fused kernel for a stack of independent 2-D matmuls — the compute
+    shape of per-head attention and of batched decode steps.  Block
+    quantization, the mantissa einsum, and the aligned-truncating PSU
+    accumulation are all vectorized over the batch axis; each slice's
+    result is bit-identical to :func:`bfp_matmul_emulate` on that slice,
+    because quantization grids and alignment decisions are per-block and
+    blocks never span slices.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 3 or b.ndim != 3 or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+        raise ConfigurationError(f"bad batched matmul shapes: {a.shape} @ {b.shape}")
+    m, n = a.shape[1], b.shape[2]
+    rows = BLOCK_ROWS if m >= BLOCK_ROWS else max(1, m)
+    a_man, a_exp = _tile_batch(a, rows, BLOCK_COLS, man_bits=man_bits)
+    b_man, b_exp = _tile_batch(b, BLOCK_ROWS, BLOCK_COLS, man_bits=man_bits)
+    dense = _emulate_blocks(
+        a_man, a_exp, _flatten_cols(b_man), b_exp,
+        exact_accumulate=exact_accumulate,
+    )
+    return dense[:, :m, :n]

@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Int8Tensor", "quantize_int8", "quantize_intn", "int8_matmul"]
+__all__ = [
+    "Int8Tensor",
+    "quantize_int8",
+    "quantize_intn",
+    "quantize_intn_sliced",
+    "int8_matmul",
+    "intn_matmul_batched",
+]
 
 QMAX = 127
 
@@ -73,6 +80,55 @@ def quantize_int8(
 ) -> Int8Tensor:
     """Quantize a real tensor symmetrically to int8 (see quantize_intn)."""
     return quantize_intn(x, 8, percentile=percentile)
+
+
+def quantize_intn_sliced(
+    x: np.ndarray, bits: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize every 2-D slice of a ``(B, m, n)`` stack independently.
+
+    Returns ``(values, scales)`` with ``values`` int8 of the input shape
+    and ``scales`` of shape ``(B,)``.  Each slice is quantized exactly as
+    :func:`quantize_intn` would quantize it alone — per-slice calibration
+    range, the same zero/underflow handling — so a batched matmul built on
+    this is bit-identical to a loop of per-slice matmuls.
+    """
+    if not (2 <= bits <= 8):
+        raise ConfigurationError(f"integer bitwidth {bits} outside 2..8")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ConfigurationError("quantize_intn_sliced expects a (B, m, n) stack")
+    if x.size == 0:
+        return np.zeros(x.shape, dtype=np.int8), np.ones(x.shape[0])
+    if not np.isfinite(x).all():
+        raise ConfigurationError("NaN/Inf in int quantizer input")
+    qmax = (1 << (bits - 1)) - 1
+    amax = np.abs(x).max(axis=(1, 2))
+    scale = amax / qmax
+    # Zero slices (or subnormal-deep amax underflowing to 0.0) quantize to
+    # all zeros with a unit scale, matching quantize_intn.
+    safe = np.where(scale == 0.0, 1.0, scale)
+    q = np.clip(np.rint(x / safe[:, None, None]), -qmax, qmax).astype(np.int8)
+    q[scale == 0.0] = 0
+    return q, np.where(scale == 0.0, 1.0, scale)
+
+
+def intn_matmul_batched(a: np.ndarray, b: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Batched integer matmul: ``(B, m, k) @ (B, k, n) -> (B, m, n)``.
+
+    One fused kernel over the batch; each slice is quantized with its own
+    per-slice scale and accumulated exactly, so the result is bit-identical
+    to looping :func:`int8_matmul` over per-slice :func:`quantize_intn`
+    calls.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 3 or b.ndim != 3 or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+        raise ConfigurationError(f"bad batched matmul shapes: {a.shape} @ {b.shape}")
+    qa, sa = quantize_intn_sliced(a, bits)
+    qb, sb = quantize_intn_sliced(b, bits)
+    acc = qa.astype(np.int64) @ qb.astype(np.int64)
+    return acc.astype(np.float64) * (sa * sb)[:, None, None]
 
 
 def int8_matmul(a: Int8Tensor, b: Int8Tensor) -> np.ndarray:

@@ -64,12 +64,16 @@ class MultiHeadSelfAttention(Module):
 
     @staticmethod
     def _bmm(backend: ComputeBackend, a: np.ndarray, b_: np.ndarray) -> np.ndarray:
-        """Batched matmul routed through the backend, head by head."""
+        """Batched matmul routed through the backend as ONE kernel call.
+
+        Both operands are activation/KV-derived, so they bypass the
+        prepared-operand cache; the batched entry point replaces the old
+        per-head Python loop with a single fused emulation kernel.
+        """
         lead = a.shape[:-2]
         a2 = a.reshape(-1, *a.shape[-2:])
         b2 = b_.reshape(-1, *b_.shape[-2:])
-        outs = [backend.matmul(a2[i], b2[i]) for i in range(a2.shape[0])]
-        out = np.stack(outs)
+        out = backend.matmul_batched(a2, b2)
         return out.reshape(*lead, *out.shape[-2:])
 
     def forward_step(

@@ -32,10 +32,15 @@ from typing import Callable
 
 import numpy as np
 
-from repro.arith.bfp_matmul import bfp_matmul_emulate
+from repro.arith.bfp_matmul import (
+    activation_blocks,
+    bfp_matmul_emulate_batched,
+    bfp_matmul_prepared,
+)
 from repro.formats.blocking import BfpMatrix
-from repro.formats.int8q import int8_matmul, quantize_intn
+from repro.formats.int8q import int8_matmul, intn_matmul_batched, quantize_intn
 from repro.obs.profile import Profiler
+from repro.perf.prepared import PreparedTensor, get_cache
 
 __all__ = [
     "ComputeBackend",
@@ -74,7 +79,9 @@ class ComputeBackend:
     matmul_precision: str = "fp32"
     nonlinear_precision: str = "fp32"
 
-    def matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    def matmul(
+        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
+    ) -> np.ndarray:
         self.matmul_count += 1
         self.matmul_macs += x.shape[0] * x.shape[1] * w.shape[1]
         self.matmul_rows += x.shape[0]
@@ -84,6 +91,51 @@ class ComputeBackend:
                 precision=self.matmul_precision,
             )
         return self._matmul(x, w)
+
+    def matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Stack of independent matmuls: ``(B, m, k) @ (B, k, n)``.
+
+        One kernel invocation for the whole stack (per-head attention,
+        batched decode steps) instead of ``B`` Python-level calls; op
+        statistics and profiler attribution count the ``B`` logical
+        weight passes exactly as ``B`` separate :meth:`matmul` calls
+        would, so amortization accounting is unchanged.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if (
+            a.ndim != 3 or b.ndim != 3
+            or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]
+        ):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"bad batched matmul shapes: {a.shape} @ {b.shape}"
+            )
+        n_slices, m, k = a.shape
+        n = b.shape[2]
+        self.matmul_count += n_slices
+        self.matmul_macs += n_slices * m * k * n
+        self.matmul_rows += n_slices * m
+        if self.profiler is not None:
+            for _ in range(n_slices):
+                self.profiler.record_matmul(
+                    m, k, n, precision=self.matmul_precision
+                )
+        return self._matmul_batched(a, b)
+
+    def prepare_weight(
+        self, w: "np.ndarray | PreparedTensor"
+    ) -> "np.ndarray | PreparedTensor":
+        """Quantize-once handle for a weight matrix (Y-stationary residency).
+
+        Quantizing backends return a cached :class:`PreparedTensor`
+        (quantizing on first sight, reusing afterwards); the exact-fp32
+        base needs no preparation and returns the array unchanged.
+        Activation and KV-derived tensors must NOT pass through here —
+        they change every call and would churn the cache.
+        """
+        return w
 
     def stats(self) -> dict[str, int]:
         return {
@@ -103,6 +155,18 @@ class ComputeBackend:
 
     def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         return (x.astype(np.float32) @ w.astype(np.float32)).astype(np.float32)
+
+    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-slice fallback so subclasses overriding only ``_matmul``
+        (e.g. the sensitivity backend) keep their exact semantics."""
+        return np.stack([self._matmul(a[i], b[i]) for i in range(a.shape[0])])
+
+    def _record_quantize(self, elements: int) -> None:
+        """Attribute quantization work the emulation actually performed."""
+        if self.profiler is not None:
+            self.profiler.record_quantize(
+                int(elements), precision=self.matmul_precision
+            )
 
     def nonlinear(
         self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
@@ -130,6 +194,9 @@ class FP32Backend(ComputeBackend):
     def __init__(self) -> None:
         super().__init__(name="fp32")
 
+    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float32)
+
 
 class BFP8MixedBackend(ComputeBackend):
     """The paper's regime: block-fp MatMul + exact fp32 non-linear.
@@ -146,9 +213,38 @@ class BFP8MixedBackend(ComputeBackend):
         self.exact_accumulate = exact_accumulate
         self.man_bits = man_bits
 
-    def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        return bfp_matmul_emulate(
-            x, w, exact_accumulate=self.exact_accumulate, man_bits=self.man_bits
+    def prepare_weight(
+        self, w: "np.ndarray | PreparedTensor"
+    ) -> "np.ndarray | PreparedTensor":
+        if isinstance(w, PreparedTensor):
+            return w
+        prepared, hit = get_cache().prepare_bfp(w, man_bits=self.man_bits)
+        if not hit:
+            self._record_quantize(int(np.prod(prepared.shape)))
+        return prepared
+
+    def _weight_blocks(self, w: "np.ndarray | PreparedTensor") -> BfpMatrix:
+        if isinstance(w, PreparedTensor):
+            return w.payload
+        self._record_quantize(np.asarray(w).size)
+        return BfpMatrix.from_dense(
+            np.asarray(w, dtype=np.float64), man_bits=self.man_bits
+        )
+
+    def _matmul(
+        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
+    ) -> np.ndarray:
+        wm = self._weight_blocks(w)
+        self._record_quantize(np.asarray(x).size)
+        am = activation_blocks(x, man_bits=self.man_bits)
+        return bfp_matmul_prepared(
+            am, wm, exact_accumulate=self.exact_accumulate
+        ).astype(np.float32)
+
+    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self._record_quantize(a.size + b.size)
+        return bfp_matmul_emulate_batched(
+            a, b, exact_accumulate=self.exact_accumulate, man_bits=self.man_bits
         ).astype(np.float32)
 
 
@@ -183,10 +279,30 @@ class INT8LinearBackend(ComputeBackend):
                          matmul_precision=f"int{bits}")
         self.bits = bits
 
-    def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        return int8_matmul(
-            quantize_intn(x, self.bits), quantize_intn(w, self.bits)
-        ).astype(np.float32)
+    def prepare_weight(
+        self, w: "np.ndarray | PreparedTensor"
+    ) -> "np.ndarray | PreparedTensor":
+        if isinstance(w, PreparedTensor):
+            return w
+        prepared, hit = get_cache().prepare_int(w, bits=self.bits)
+        if not hit:
+            self._record_quantize(int(np.prod(prepared.shape)))
+        return prepared
+
+    def _matmul(
+        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
+    ) -> np.ndarray:
+        if isinstance(w, PreparedTensor):
+            wq = w.payload
+            self._record_quantize(np.asarray(x).size)
+        else:
+            self._record_quantize(np.asarray(x).size + np.asarray(w).size)
+            wq = quantize_intn(w, self.bits)
+        return int8_matmul(quantize_intn(x, self.bits), wq).astype(np.float32)
+
+    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self._record_quantize(a.size + b.size)
+        return intn_matmul_batched(a, b, self.bits).astype(np.float32)
 
 
 class INT8AllBackend(INT8LinearBackend):

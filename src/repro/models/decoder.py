@@ -284,6 +284,9 @@ class TinyLM(Module):
         cannot stack); per-session attention still reads each session's
         own cache.  Each session's ``caches`` list is updated in place,
         and the returned logits have shape ``(B, vocab)`` in input order.
+        Per-head attention matmuls likewise run as one batched 3-D kernel
+        per group (``ComputeBackend.matmul_batched``) instead of a
+        Python-level loop over heads and sessions.
 
         Equivalent to ``B`` :meth:`forward_step` calls under exact fp32;
         block-fp backends may differ in low mantissa bits because batched
@@ -339,6 +342,10 @@ class TinyLM(Module):
         """Greedy decoding with a KV cache (equivalent to :meth:`generate`
         while the sequence fits the context window; property-tested)."""
         prompt = np.asarray(prompt).reshape(-1)
+        if backend is not None:
+            # Warm the prepared-operand cache before the decode loop, the
+            # way the hardware loads Y BRAM once before streaming tokens.
+            self.prepare(backend)
         caches = self.init_cache()
         logits = None
         for pos, tok in enumerate(prompt):

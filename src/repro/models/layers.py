@@ -86,6 +86,23 @@ class Module:
     def n_parameters(self) -> int:
         return sum(int(v.size) for v in self.named_parameters().values())
 
+    def matmul_weights(self) -> list[np.ndarray]:
+        """Weight matrices this module (and children) feed to matmul.
+
+        Only these benefit from :meth:`ComputeBackend.prepare_weight`;
+        biases, norms and embeddings never enter the systolic array.
+        """
+        out: list[np.ndarray] = []
+        for child in self.children():
+            out.extend(child.matmul_weights())
+        return out
+
+    def prepare(self, backend: ComputeBackend) -> None:
+        """Warm the backend's prepared-operand cache with every matmul
+        weight — the emulation analogue of loading Y BRAM before serving."""
+        for w in self.matmul_weights():
+            backend.prepare_weight(w)
+
 
 class Linear(Module):
     """Affine layer ``y = x @ W + b`` with backend-selected matmul."""
@@ -101,6 +118,9 @@ class Linear(Module):
             self.params["b"] = np.zeros(d_out, dtype=np.float32)
         self._x: np.ndarray | None = None
 
+    def matmul_weights(self) -> list[np.ndarray]:
+        return [self.params["w"]]
+
     def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         if x.shape[-1] != self.d_in:
             raise ConfigurationError(
@@ -109,7 +129,7 @@ class Linear(Module):
         backend = backend or FP32Backend()
         self._x = x
         flat = x.reshape(-1, self.d_in)
-        y = backend.matmul(flat, self.params["w"])
+        y = backend.matmul(flat, backend.prepare_weight(self.params["w"]))
         if "b" in self.params:
             y = y + self.params["b"]
         return y.reshape(*x.shape[:-1], self.d_out).astype(np.float32)

@@ -82,8 +82,13 @@ def _forward_batched(
     batch_size: int,
 ) -> np.ndarray:
     outs = []
+    factory = factories.get(backend_name)
+    warm = factory() if factory is not None else get_backend(backend_name)
+    # Quantize every matmul weight once up front; the per-batch backends
+    # below (fresh instances for clean op statistics) hit the shared
+    # prepared-operand cache instead of requantizing per batch.
+    model.prepare(warm)
     for s in range(0, tokens.shape[0], batch_size):
-        factory = factories.get(backend_name)
         backend = factory() if factory is not None else get_backend(backend_name)
         outs.append(model.forward(tokens[s : s + batch_size], backend))
     return np.concatenate(outs, axis=0)

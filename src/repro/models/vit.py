@@ -6,6 +6,13 @@ head) and is the workload of Table IV.  :class:`SequenceClassifier` is a
 compact text-style Transformer used for the trainable accuracy experiments
 (the paper's accuracy claim is about arithmetic, not about ImageNet
 specifics — see DESIGN.md substitutions).
+
+Every :class:`~repro.models.layers.Linear` routes its weight through
+``backend.prepare_weight`` — under the quantizing backends the weight is
+block-/int-quantized once into the shared prepared-operand cache
+(:mod:`repro.perf.prepared`) and reused across forwards, matching the
+Y-stationary weight residency of the modeled hardware.  Call
+:meth:`Module.prepare` to warm the cache explicitly before timing.
 """
 
 from __future__ import annotations

@@ -148,6 +148,18 @@ class Profiler:
         self.record(kind="matmul", precision=precision, ops=2.0 * macs,
                     cycles=cycles)
 
+    def record_quantize(self, elements: int, *, precision: str) -> None:
+        """Operand quantization the *emulation* performed for a matmul.
+
+        The modeled hardware quantizes weights offline (Y-stationary
+        residency) and activations in the streaming datapath, so no unit
+        cycles are charged — the bucket exists to make the emulation's
+        own quantization work visible, and to show it collapsing once
+        the prepared-operand cache serves weights from residency.
+        """
+        self.record(kind="quantize", precision=precision,
+                    ops=float(elements), cycles=0)
+
     def record_nonlinear(self, kind: str, elements: int, *, precision: str) -> None:
         fpu_per_el, host_per_el = nonlinear_op_counts(kind)
         fpu_ops = elements * fpu_per_el

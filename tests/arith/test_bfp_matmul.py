@@ -6,11 +6,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arith.bfp_matmul import (
+    BfpWeight,
     WideBlock,
     accumulate,
+    activation_blocks,
     bfp_matmul,
     bfp_matmul_dense,
     bfp_matmul_emulate,
+    bfp_matmul_emulate_batched,
+    bfp_matmul_prepared,
     block_matmul,
     requantize_wide,
 )
@@ -159,3 +163,100 @@ class TestTiledMatmul:
                 BfpMatrix.from_dense(np.zeros((8, 8))),
                 BfpMatrix.from_dense(np.zeros((16, 8))),
             )
+
+
+class TestPreparedMatmul:
+    def test_matches_dense_entry_point(self, rng):
+        a = rng.normal(size=(17, 40))
+        b = rng.normal(size=(40, 11))
+        am = activation_blocks(a)
+        bm = BfpMatrix.from_dense(b)
+        assert np.array_equal(
+            bfp_matmul_prepared(am, bm), bfp_matmul_emulate(a, b)
+        )
+
+    def test_bfp_weight_layout_bit_identical(self, rng):
+        """The precomputed flat layout must change nothing numerically."""
+        a = rng.normal(size=(9, 24))
+        b = rng.normal(size=(24, 20))
+        am = activation_blocks(a)
+        bm = BfpMatrix.from_dense(b)
+        bw = BfpWeight.from_matrix(bm)
+        for exact in (False, True):
+            assert np.array_equal(
+                bfp_matmul_prepared(am, bw, exact_accumulate=exact),
+                bfp_matmul_prepared(am, bm, exact_accumulate=exact),
+            )
+
+    def test_bfp_weight_roundtrip(self, rng):
+        bm = BfpMatrix.from_dense(rng.normal(size=(24, 20)))
+        bw = BfpWeight.from_matrix(bm)
+        assert bw.shape == bm.shape
+        assert bw.block_shape == bm.block_shape
+        assert np.array_equal(bw.to_dense(), bm.to_dense())
+
+    def test_trimmed_rows_match_padded(self, rng):
+        """A 1-row decode activation: trimmed tiles == zero-padded tiles."""
+        b = rng.normal(size=(32, 16))
+        bm = BfpMatrix.from_dense(b)
+        for m in (1, 3, 7):
+            a = rng.normal(size=(m, 32))
+            trimmed = activation_blocks(a)
+            padded = BfpMatrix.from_dense(a)  # full 8-row tiles
+            assert trimmed.block_shape[0] == m
+            assert np.array_equal(
+                bfp_matmul_prepared(trimmed, bm),
+                bfp_matmul_prepared(padded, bm),
+            )
+
+    def test_inner_block_edge_mismatch(self, rng):
+        am = BfpMatrix.from_dense(rng.normal(size=(8, 16)), cols=4)
+        bm = BfpMatrix.from_dense(rng.normal(size=(16, 8)))
+        with pytest.raises(ConfigurationError):
+            bfp_matmul_prepared(am, bm)
+
+    def test_inner_dim_mismatch(self, rng):
+        am = activation_blocks(rng.normal(size=(4, 16)))
+        bm = BfpMatrix.from_dense(rng.normal(size=(24, 8)))
+        with pytest.raises(ConfigurationError):
+            bfp_matmul_prepared(am, bm)
+
+
+class TestBatchedEmulate:
+    @given(st.integers(1, 12), st.integers(1, 20), st.integers(1, 12),
+           st.integers(1, 4))
+    @settings(max_examples=15)
+    def test_slices_match_2d_emulation(self, m, k, n, batch):
+        rng = np.random.default_rng(m * 31 + k * 7 + n * 3 + batch)
+        a = rng.normal(size=(batch, m, k))
+        b = rng.normal(size=(batch, k, n))
+        out = bfp_matmul_emulate_batched(a, b)
+        assert out.shape == (batch, m, n)
+        for i in range(batch):
+            assert np.array_equal(out[i], bfp_matmul_emulate(a[i], b[i]))
+
+    def test_exact_accumulate_slices_match(self, rng):
+        a = rng.normal(size=(3, 9, 24))
+        b = rng.normal(size=(3, 24, 10))
+        out = bfp_matmul_emulate_batched(a, b, exact_accumulate=True)
+        for i in range(3):
+            assert np.array_equal(
+                out[i], bfp_matmul_emulate(a[i], b[i], exact_accumulate=True)
+            )
+
+    def test_narrow_mantissa_slices_match(self, rng):
+        a = rng.normal(size=(2, 8, 16))
+        b = rng.normal(size=(2, 16, 8))
+        out = bfp_matmul_emulate_batched(a, b, man_bits=4)
+        for i in range(2):
+            assert np.array_equal(
+                out[i], bfp_matmul_emulate(a[i], b[i], man_bits=4)
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            bfp_matmul_emulate_batched(np.zeros((2, 4, 5)), np.zeros((2, 4, 5)))
+        with pytest.raises(ConfigurationError):
+            bfp_matmul_emulate_batched(np.zeros((2, 4, 5)), np.zeros((3, 5, 4)))
+        with pytest.raises(ConfigurationError):
+            bfp_matmul_emulate_batched(np.zeros((4, 5)), np.zeros((5, 4)))
