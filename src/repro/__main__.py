@@ -9,6 +9,8 @@ Usage::
                                      # online serving simulation
     python -m repro profile --model deit-tiny --trace-out deit.perfetto.json
                                      # compiled-schedule cycle profile
+    python -m repro numerics-report --check results/NUMERICS_golden_tinylm_bfp8.json
+                                     # quantization health vs golden baseline
 """
 
 from __future__ import annotations
@@ -63,17 +65,25 @@ def main() -> None:
                         help="directory to write per-artifact text files")
     subparsers = parser.add_subparsers(dest="command")
 
-    from repro.obs.cli import add_profile_parser, run_profile
+    from repro.obs.cli import (
+        add_numerics_report_parser,
+        add_profile_parser,
+        run_numerics_report,
+        run_profile,
+    )
     from repro.serve.cli import add_serve_sim_parser, run_serve_sim
 
     add_serve_sim_parser(subparsers)
     add_profile_parser(subparsers)
+    add_numerics_report_parser(subparsers)
 
     args = parser.parse_args()
     if args.command == "serve-sim":
         raise SystemExit(run_serve_sim(args))
     if args.command == "profile":
         raise SystemExit(run_profile(args))
+    if args.command == "numerics-report":
+        raise SystemExit(run_numerics_report(args))
     raise SystemExit(_run_report(args))
 
 

@@ -34,6 +34,8 @@ __all__ = [
     "bfp_matmul_emulate",
     "bfp_matmul_prepared",
     "bfp_matmul_emulate_batched",
+    "bfp_batched_tiles",
+    "bfp_matmul_from_tiles",
     "activation_blocks",
 ]
 
@@ -416,6 +418,21 @@ def bfp_matmul_emulate_batched(
     because quantization grids and alignment decisions are per-block and
     blocks never span slices.
     """
+    tiles = bfp_batched_tiles(a, b, man_bits=man_bits)
+    return bfp_matmul_from_tiles(*tiles, exact_accumulate=exact_accumulate)
+
+
+def bfp_batched_tiles(
+    a: np.ndarray, b: np.ndarray, *, man_bits: int = 8
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Quantize both operands of a batched matmul to block-grid tiles.
+
+    Returns ``(a_man, a_exp, b_man, b_exp, m, n)`` — the split exists so
+    callers that also *observe* the quantization (the numerics monitor)
+    can inspect the tiles without quantizing twice; the pair
+    (:func:`bfp_batched_tiles`, :func:`bfp_matmul_from_tiles`) composes
+    to exactly :func:`bfp_matmul_emulate_batched`.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.ndim != 3 or b.ndim != 3 or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
@@ -424,6 +441,20 @@ def bfp_matmul_emulate_batched(
     rows = BLOCK_ROWS if m >= BLOCK_ROWS else max(1, m)
     a_man, a_exp = _tile_batch(a, rows, BLOCK_COLS, man_bits=man_bits)
     b_man, b_exp = _tile_batch(b, BLOCK_ROWS, BLOCK_COLS, man_bits=man_bits)
+    return a_man, a_exp, b_man, b_exp, m, n
+
+
+def bfp_matmul_from_tiles(
+    a_man: np.ndarray,
+    a_exp: np.ndarray,
+    b_man: np.ndarray,
+    b_exp: np.ndarray,
+    m: int,
+    n: int,
+    *,
+    exact_accumulate: bool = False,
+) -> np.ndarray:
+    """Finish a batched emulated matmul from pre-quantized tiles."""
     dense = _emulate_blocks(
         a_man, a_exp, _flatten_cols(b_man), b_exp,
         exact_accumulate=exact_accumulate,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.formats import fp32bits
+from repro.obs.numerics import get_monitor
 
 __all__ = ["HalfFormat", "BF16", "FP16", "HALF_FORMATS", "quantize_half",
            "decompose_half", "compose_half"]
@@ -101,7 +102,18 @@ def quantize_half(x: np.ndarray, fmt: HalfFormat) -> np.ndarray:
     )
     out = np.where(sign.astype(bool), -mag, mag)
     out = np.where(man_r == 0, np.where(sign.astype(bool), -0.0, 0.0), out)
-    return out.astype(np.float32)
+    out = out.astype(np.float32)
+    mon = get_monitor()
+    if mon.enabled:
+        mon.observe_half(
+            fmt.name,
+            man_bits=fmt.man_bits,
+            overflow=int(overflow.sum()),
+            underflow=int(underflow.sum()),
+            source=x,
+            quantized=out,
+        )
+    return out
 
 
 def decompose_half(

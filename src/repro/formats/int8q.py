@@ -22,6 +22,7 @@ __all__ = [
     "quantize_intn_sliced",
     "int8_matmul",
     "intn_matmul_batched",
+    "intn_matmul_quantized",
 ]
 
 QMAX = 127
@@ -65,7 +66,20 @@ def quantize_intn(
     if not np.isfinite(x).all():
         raise ConfigurationError("NaN/Inf in int quantizer input")
     mag = np.abs(x)
-    amax = float(np.percentile(mag, percentile)) if percentile is not None else float(mag.max())
+    if percentile is not None:
+        amax = float(np.percentile(mag, percentile))
+        # Percentile calibration deliberately clips the tail beyond amax;
+        # make that loss observable instead of silent.
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        if reg.enabled:
+            clipped = int((mag > amax).sum())
+            reg.counter("quantize.clipped_elements").inc(clipped)
+            reg.counter("quantize.calibrated_elements").inc(x.size)
+            reg.histogram("quantize.clipped_fraction").observe(clipped / x.size)
+    else:
+        amax = float(mag.max())
     scale = amax / qmax
     if scale == 0.0:
         # amax is zero, or so deep in the subnormals that amax/qmax
@@ -127,8 +141,20 @@ def intn_matmul_batched(a: np.ndarray, b: np.ndarray, bits: int = 8) -> np.ndarr
         raise ConfigurationError(f"bad batched matmul shapes: {a.shape} @ {b.shape}")
     qa, sa = quantize_intn_sliced(a, bits)
     qb, sb = quantize_intn_sliced(b, bits)
+    return intn_matmul_quantized(qa, sa, qb, sb)
+
+
+def intn_matmul_quantized(
+    qa: np.ndarray, sa: np.ndarray, qb: np.ndarray, sb: np.ndarray
+) -> np.ndarray:
+    """Finish a batched integer matmul from already-quantized slices.
+
+    The split from :func:`intn_matmul_batched` lets callers that inspect
+    the quantized codes (the numerics monitor) reuse them for the compute
+    instead of quantizing twice.
+    """
     acc = qa.astype(np.int64) @ qb.astype(np.int64)
-    return acc.astype(np.float64) * (sa * sb)[:, None, None]
+    return acc.astype(np.float64) * (np.asarray(sa) * np.asarray(sb))[:, None, None]
 
 
 def int8_matmul(a: Int8Tensor, b: Int8Tensor) -> np.ndarray:

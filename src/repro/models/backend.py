@@ -26,7 +26,7 @@ Backends
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,11 +34,18 @@ import numpy as np
 
 from repro.arith.bfp_matmul import (
     activation_blocks,
-    bfp_matmul_emulate_batched,
+    bfp_batched_tiles,
+    bfp_matmul_from_tiles,
     bfp_matmul_prepared,
 )
 from repro.formats.blocking import BfpMatrix
-from repro.formats.int8q import int8_matmul, intn_matmul_batched, quantize_intn
+from repro.formats.int8q import (
+    int8_matmul,
+    intn_matmul_quantized,
+    quantize_intn,
+    quantize_intn_sliced,
+)
+from repro.obs.numerics import get_monitor
 from repro.obs.profile import Profiler
 from repro.perf.prepared import PreparedTensor, get_cache
 
@@ -148,7 +155,16 @@ class ComputeBackend:
         self.matmul_count = self.matmul_macs = self.matmul_rows = 0
 
     def scope(self, name: str):
-        """Profiling scope for a model component (no-op when unprofiled)."""
+        """Profiling scope for a model component (no-op when unprofiled).
+
+        The same scope name feeds the cycle profiler and the value-domain
+        numerics monitor, so cycle and quantization-health attribution
+        share one layer taxonomy."""
+        mon = get_monitor()
+        if self.profiler is not None and mon.enabled:
+            return _dual_scope(self.profiler, mon, name)
+        if mon.enabled:
+            return mon.scope(name)
         if self.profiler is not None:
             return self.profiler.scope(name)
         return nullcontext()
@@ -227,9 +243,13 @@ class BFP8MixedBackend(ComputeBackend):
         if isinstance(w, PreparedTensor):
             return w.payload
         self._record_quantize(np.asarray(w).size)
-        return BfpMatrix.from_dense(
+        bm = BfpMatrix.from_dense(
             np.asarray(w, dtype=np.float64), man_bits=self.man_bits
         )
+        mon = get_monitor()
+        if mon.enabled:
+            mon.observe_bfp("weight", w, bm, man_bits=self.man_bits)
+        return bm
 
     def _matmul(
         self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
@@ -237,14 +257,28 @@ class BFP8MixedBackend(ComputeBackend):
         wm = self._weight_blocks(w)
         self._record_quantize(np.asarray(x).size)
         am = activation_blocks(x, man_bits=self.man_bits)
+        mon = get_monitor()
+        if mon.enabled:
+            mon.observe_bfp("activation", x, am, man_bits=self.man_bits)
         return bfp_matmul_prepared(
             am, wm, exact_accumulate=self.exact_accumulate
         ).astype(np.float32)
 
     def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self._record_quantize(a.size + b.size)
-        return bfp_matmul_emulate_batched(
-            a, b, exact_accumulate=self.exact_accumulate, man_bits=self.man_bits
+        tiles = bfp_batched_tiles(a, b, man_bits=self.man_bits)
+        mon = get_monitor()
+        if mon.enabled:
+            # Batched matmuls are the attention kernels: the left operand
+            # streams from the residual path (activation role), the right
+            # is KV-cache-derived (K^T, V).
+            a_man, a_exp, b_man, b_exp = tiles[:4]
+            mon.observe_bfp_tiles(
+                "activation", a, a_man, a_exp, man_bits=self.man_bits
+            )
+            mon.observe_bfp_tiles("kv", b, b_man, b_exp, man_bits=self.man_bits)
+        return bfp_matmul_from_tiles(
+            *tiles, exact_accumulate=self.exact_accumulate
         ).astype(np.float32)
 
 
@@ -292,17 +326,29 @@ class INT8LinearBackend(ComputeBackend):
     def _matmul(
         self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
     ) -> np.ndarray:
+        mon = get_monitor()
         if isinstance(w, PreparedTensor):
             wq = w.payload
             self._record_quantize(np.asarray(x).size)
         else:
             self._record_quantize(np.asarray(x).size + np.asarray(w).size)
             wq = quantize_intn(w, self.bits)
-        return int8_matmul(quantize_intn(x, self.bits), wq).astype(np.float32)
+            if mon.enabled:
+                mon.observe_int("weight", w, wq, bits=self.bits)
+        xq = quantize_intn(x, self.bits)
+        if mon.enabled:
+            mon.observe_int("activation", x, xq, bits=self.bits)
+        return int8_matmul(xq, wq).astype(np.float32)
 
     def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self._record_quantize(a.size + b.size)
-        return intn_matmul_batched(a, b, self.bits).astype(np.float32)
+        qa, sa = quantize_intn_sliced(a, self.bits)
+        qb, sb = quantize_intn_sliced(b, self.bits)
+        mon = get_monitor()
+        if mon.enabled:
+            mon.observe_int_sliced("activation", a, qa, sa, bits=self.bits)
+            mon.observe_int_sliced("kv", b, qb, sb, bits=self.bits)
+        return intn_matmul_quantized(qa, sa, qb, sb).astype(np.float32)
 
 
 class INT8AllBackend(INT8LinearBackend):
@@ -385,6 +431,13 @@ class IBERTBackend(INT8LinearBackend):
 
 def _as2d(x: np.ndarray) -> np.ndarray:
     return x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+
+
+@contextmanager
+def _dual_scope(profiler, monitor, name: str):
+    """Push one scope name onto both the profiler and the monitor."""
+    with profiler.scope(name), monitor.scope(name):
+        yield
 
 
 BACKENDS: dict[str, Callable[[], ComputeBackend]] = {

@@ -124,6 +124,14 @@ class DecoderBlock(Module):
         hidden = int(dim * mlp_ratio)
         self.mlp = SwiGLUMLP(dim, hidden, rng=rng)
 
+    def prepare(self, backend: ComputeBackend) -> None:
+        # Warm under the same scope names forward() pushes, so prepare-time
+        # weight quantization is attributed to the layer that owns it.
+        with backend.scope("attn"):
+            self.attn.prepare(backend)
+        with backend.scope("mlp"):
+            self.mlp.prepare(backend)
+
     def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         backend = backend or FP32Backend()
         with backend.scope("attn"):
@@ -184,6 +192,13 @@ class TinyLM(Module):
         self.blocks = [DecoderBlock(dim, n_heads, rng=rng) for _ in range(depth)]
         self.norm = RMSNorm(dim)
         self.head = Linear(dim, vocab, bias=False, rng=rng)
+
+    def prepare(self, backend: ComputeBackend) -> None:
+        for i, blk in enumerate(self.blocks):
+            with backend.scope(f"block{i}"):
+                blk.prepare(backend)
+        with backend.scope("head"):
+            self.head.prepare(backend)
 
     def forward(self, tokens: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         """Logits for every position: shape ``(batch, seq, vocab)``."""

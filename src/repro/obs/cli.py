@@ -19,7 +19,12 @@ import argparse
 import json
 from pathlib import Path
 
-__all__ = ["add_profile_parser", "run_profile"]
+__all__ = [
+    "add_profile_parser",
+    "run_profile",
+    "add_numerics_report_parser",
+    "run_numerics_report",
+]
 
 _SCHEDULE_MODELS = ("deit-tiny", "deit-small", "deit-base",
                     "decoder-prefill", "decoder-decode")
@@ -173,3 +178,140 @@ def run_profile(args) -> int:
     if args.functional:
         return _run_functional(args)
     return _run_schedule(args)
+
+
+def add_numerics_report_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "numerics-report",
+        help="value-domain quantization health report + golden-baseline gate",
+        description=(
+            "Run the functional TinyLM under a quantizing backend with the "
+            "numerics monitor attached, and report per-layer saturation/"
+            "underflow rates, exponent spread, mantissa utilization and "
+            "SQNR (plus end-to-end logits SQNR vs the fp32 reference). "
+            "With --check, diff against a committed golden report and exit "
+            "non-zero on drift."
+        ),
+    )
+    p.add_argument("--backend", default="bfp8-mixed",
+                   help="arithmetic backend name (must quantize)")
+    p.add_argument("--man-bits", type=int, default=8,
+                   help="block-fp mantissa width for bfp backends "
+                        "(<8 injects extra truncation — the regression "
+                        "the gate must catch)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="model/token seed")
+    p.add_argument("--gen-tokens", type=int, default=4,
+                   help="greedy decode steps after the prefill forward")
+    p.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                   help="write the schema-validated JSON report")
+    p.add_argument("--markdown-out", type=Path, default=None, metavar="FILE",
+                   help="write the markdown summary")
+    p.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                   help="write the numerics.* metrics registry snapshot")
+    p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                   help="write a Perfetto trace with the numerics summary "
+                        "attached as span arguments")
+    p.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                   help="diff against a golden report; exit 1 on drift")
+    p.add_argument("--sqnr-tol-db", type=float, default=None,
+                   help="per-layer SQNR degradation tolerance in dB "
+                        "(default: baseline module default)")
+    p.add_argument("--clip-margin", type=float, default=None,
+                   help="absolute saturation/underflow rate ceiling margin "
+                        "(default: baseline module default)")
+    return p
+
+
+def _numerics_backend(name: str, man_bits: int):
+    from repro.models.backend import BFP8MixedBackend, get_backend
+
+    backend = get_backend(name)
+    if man_bits != 8:
+        if not isinstance(backend, BFP8MixedBackend):
+            raise SystemExit(f"--man-bits applies to bfp backends, not {name}")
+        backend = type(backend)(man_bits=man_bits)
+    return backend
+
+
+def run_numerics_report(args) -> int:
+    import numpy as np
+
+    from repro.models.decoder import TinyLM
+    from repro.obs import baseline as bl
+    from repro.obs.metrics import MetricsRegistry, set_registry
+    from repro.obs.numerics import NumericsMonitor, set_monitor
+    from repro.perf.prepared import PreparedOperandCache, set_cache
+
+    backend = _numerics_backend(args.backend, args.man_bits)
+    model = TinyLM(seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    tokens = rng.integers(0, model.vocab, size=(2, model.seq_len))
+
+    # fp32 reference forward on the same inputs — the end-to-end anchor
+    # the per-layer streaming SQNR is judged against.
+    ref_logits = np.asarray(model.forward(tokens), dtype=np.float64)
+
+    monitor = NumericsMonitor()
+    prev_monitor = set_monitor(monitor)
+    # A fresh operand cache so every weight is quantized (and therefore
+    # observed) exactly once inside this run; a fresh registry so the
+    # published numerics.* metrics carry no prior-process state.
+    prev_cache = set_cache(PreparedOperandCache())
+    registry = MetricsRegistry()
+    prev_registry = set_registry(registry)
+    try:
+        logits = np.asarray(model.forward(tokens, backend), dtype=np.float64)
+        model.generate_cached(tokens[0, :4], args.gen_tokens, backend)
+        monitor.publish(registry)
+    finally:
+        set_monitor(prev_monitor)
+        set_cache(prev_cache)
+        set_registry(prev_registry)
+
+    err_sq = float(((logits - ref_logits) ** 2).sum())
+    ref_sq = float((ref_logits**2).sum())
+    logits_sqnr = (
+        float(10.0 * np.log10(ref_sq / err_sq))
+        if ref_sq > 0 and err_sq > 0
+        else None
+    )
+
+    report = bl.build_report(
+        monitor,
+        model="tinylm",
+        backend=backend.name,
+        seed=args.seed,
+        gen_tokens=args.gen_tokens,
+        logits_sqnr_db=logits_sqnr,
+    )
+    bl.validate_report(report)
+
+    drift: list[str] | None = None
+    if args.check is not None:
+        golden = bl.load_report(args.check)
+        tol = {}
+        if args.sqnr_tol_db is not None:
+            tol["sqnr_tol_db"] = args.sqnr_tol_db
+        if args.clip_margin is not None:
+            tol["clip_margin"] = args.clip_margin
+        drift = bl.compare_reports(report, golden, **tol)
+
+    md = bl.render_markdown(report, drift=drift)
+    print(md, end="")
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if args.markdown_out is not None:
+        args.markdown_out.write_text(md)
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(registry.to_json() + "\n")
+    if args.trace_out is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(meta={"model": "tinylm", "backend": backend.name,
+                              "seed": args.seed})
+        monitor.annotate_tracer(tracer)
+        args.trace_out.write_text(tracer.to_json() + "\n")
+    return 1 if drift else 0

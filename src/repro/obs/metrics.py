@@ -26,6 +26,7 @@ import numpy as np
 
 __all__ = [
     "percentiles",
+    "weighted_percentiles",
     "Counter",
     "Gauge",
     "Histogram",
@@ -36,14 +37,56 @@ __all__ = [
 ]
 
 
+def weighted_percentiles(
+    samples,
+    weights=None,
+    qs: tuple[float, ...] = (50, 95, 99),
+) -> list[float]:
+    """One definition of "p95" for the whole stack.
+
+    * ``weights is None`` — exact linear-interpolation percentiles over
+      the samples (``np.percentile`` semantics).
+    * ``weights`` given — *step-function selection*: sample ``i`` counts
+      for ``weights[i]`` of the distribution's mass (e.g. the cycles a
+      queue depth was held), and the q-th percentile is the smallest
+      sample whose cumulative mass reaches ``q`` — no interpolation,
+      because a time-weighted depth that was never observed is not a
+      meaningful answer.
+
+    Edge cases are explicit: an empty series returns ``0.0`` for every
+    requested percentile; a single sample (or all mass on one sample)
+    returns that sample; non-positive total weight falls back to the
+    unweighted path.
+    """
+    n = len(samples)
+    if not n:
+        return [0.0] * len(qs)
+    arr = np.asarray(samples, dtype=np.float64)
+    if weights is None:
+        return [float(np.percentile(arr, q)) for q in qs]
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != arr.shape:
+        raise ValueError(
+            f"weights shape {w.shape} does not match samples {arr.shape}"
+        )
+    total = w.sum()
+    if total <= 0.0:
+        return [float(np.percentile(arr, q)) for q in qs]
+    order = np.argsort(arr, kind="stable")
+    ordered = arr[order]
+    cum = np.cumsum(w[order]) / total
+    hi = n - 1
+    return [
+        float(ordered[min(int(np.searchsorted(cum, q / 100.0)), hi)])
+        for q in qs
+    ]
+
+
 def percentiles(
     samples: list, qs: tuple[float, ...] = (50, 95, 99)
 ) -> list[float]:
     """Percentiles with linear interpolation; zeros when empty."""
-    if not len(samples):
-        return [0.0] * len(qs)
-    arr = np.asarray(samples, dtype=np.float64)
-    return [float(np.percentile(arr, q)) for q in qs]
+    return weighted_percentiles(samples, None, qs)
 
 
 @dataclass
@@ -103,6 +146,17 @@ class Histogram:
             "p95": p95,
             "p99": p99,
         }
+
+
+def _prom_name(name: str) -> str:
+    """Dot-scoped registry name -> Prometheus-legal metric name."""
+    out = "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+    return "_" + out if out and out[0].isdigit() else out
+
+
+def _prom_value(v: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    return str(int(v)) if float(v).is_integer() else repr(float(v))
 
 
 class _NullInstrument:
@@ -171,6 +225,42 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def to_prom_text(self, *, prefix: str = "repro_") -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Dot-scoped metric names become underscore-separated with the given
+        prefix; counters get the conventional ``_total`` suffix, gauges
+        export value/max/min, histograms export as summaries with
+        p50/p95/p99 quantile labels plus ``_sum``/``_count``.
+        """
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            n = prefix + _prom_name(name) + "_total"
+            lines.append(f"# TYPE {n} counter")
+            lines.append(f"{n} {_prom_value(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            snap = g.snapshot()
+            n = prefix + _prom_name(name)
+            lines.append(f"# TYPE {n} gauge")
+            lines.append(f"{n} {_prom_value(snap['value'])}")
+            for suffix in ("max", "min"):
+                lines.append(f"# TYPE {n}_{suffix} gauge")
+                lines.append(f"{n}_{suffix} {_prom_value(snap[suffix])}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            n = prefix + _prom_name(name)
+            lines.append(f"# TYPE {n} summary")
+            for q, v in zip(
+                ("0.5", "0.95", "0.99"), percentiles(h.samples)
+            ):
+                lines.append(f'{n}{{quantile="{q}"}} {_prom_value(v)}')
+            lines.append(f"{n}_sum {_prom_value(float(np.sum(h.samples)))}")
+            lines.append(f"{n}_count {len(h.samples)}")
+        if not lines:
+            return ""
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         self._counters.clear()

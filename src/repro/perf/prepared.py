@@ -217,12 +217,18 @@ class PreparedOperandCache:
         re-layout as well as the quantization."""
         from repro.arith.bfp_matmul import BfpWeight
         from repro.formats.blocking import BfpMatrix
+        from repro.obs.numerics import get_monitor
 
         def build(a: np.ndarray) -> tuple["BfpWeight", int]:
             bm = BfpMatrix.from_dense(
                 np.asarray(a, dtype=np.float64), man_bits=man_bits,
                 rounding=rounding,
             )
+            mon = get_monitor()
+            if mon.enabled:
+                # Build runs only on a miss — weights are observed exactly
+                # once per residency, matching quantize-once semantics.
+                mon.observe_bfp("weight", a, bm, man_bits=man_bits)
             bw = BfpWeight.from_matrix(bm)
             _freeze(bm.mantissas, bm.exponents, bw.man64, bw.exp64)
             nbytes = (
@@ -238,9 +244,13 @@ class PreparedOperandCache:
     ) -> tuple[PreparedTensor, bool]:
         """Prepared :class:`Int8Tensor` encoding of a dense tensor."""
         from repro.formats.int8q import quantize_intn
+        from repro.obs.numerics import get_monitor
 
         def build(a: np.ndarray) -> tuple["Int8Tensor", int]:
             q = quantize_intn(np.asarray(a, dtype=np.float64), bits)
+            mon = get_monitor()
+            if mon.enabled:
+                mon.observe_int("weight", a, q, bits=bits)
             _freeze(q.values)
             return q, q.values.nbytes + 8  # values + the float scale
 

@@ -53,7 +53,17 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
                         "(per-unit dispatch timeline, request spans, queue "
                         "depth; timestamps are cycles)")
     p.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
-                   help="write the metrics-registry snapshot as JSON")
+                   help="write the metrics-registry snapshot")
+    p.add_argument("--metrics-format", choices=("json", "prom"),
+                   default="json",
+                   help="--metrics-out format: JSON snapshot or Prometheus "
+                        "text exposition")
+    p.add_argument("--numerics-out", type=Path, default=None, metavar="FILE",
+                   help="write a quantization-health report (JSON) from a "
+                        "functional replay of the trace's first LLM requests "
+                        "under bfp8-mixed")
+    p.add_argument("--numerics-requests", type=int, default=4,
+                   help="LLM requests to replay for --numerics-out")
     return p
 
 
@@ -107,5 +117,64 @@ def run_serve_sim(args) -> int:
               f"({len(tracer.spans)} spans, {len(tracer.counters)} counter "
               "samples; open in ui.perfetto.dev)")
     if args.metrics_out is not None:
-        args.metrics_out.write_text(registry.to_json() + "\n")
+        if args.metrics_format == "prom":
+            args.metrics_out.write_text(registry.to_prom_text())
+        else:
+            args.metrics_out.write_text(registry.to_json() + "\n")
+    if args.numerics_out is not None:
+        _write_serving_numerics(trace, args)
     return 0
+
+
+def _write_serving_numerics(trace, args) -> None:
+    """Value-domain health of the serving path: functional shadow replay.
+
+    The dispatcher itself moves no tensors (it is a cycle-accurate cost
+    model), so the numerics of the online path are measured by replaying
+    the trace's first LLM requests through the functional ``TinyLM``
+    decode under the paper's bfp8-mixed backend — same shapes (prompt +
+    greedy decode, KV cache), same quantization kernels the hardware
+    would run — with the numerics monitor attached.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.models.backend import get_backend
+    from repro.models.decoder import TinyLM
+    from repro.obs import baseline as bl
+    from repro.obs.numerics import NumericsMonitor, set_monitor
+    from repro.perf.prepared import PreparedOperandCache, set_cache
+
+    llm = [r for r in trace if r.kind == "llm"][: args.numerics_requests]
+    model = TinyLM(seed=args.seed)
+    backend = get_backend("bfp8-mixed")
+    rng = np.random.default_rng(args.seed)
+    monitor = NumericsMonitor()
+    prev_monitor = set_monitor(monitor)
+    prev_cache = set_cache(PreparedOperandCache())
+    replayed_tokens = 0
+    try:
+        for r in llm:
+            n_prompt = max(1, min(r.prompt_tokens, model.seq_len - 1))
+            n_gen = max(1, min(r.gen_tokens, model.seq_len - n_prompt))
+            prompt = rng.integers(0, model.vocab, size=n_prompt)
+            model.generate_cached(prompt, n_gen, backend)
+            replayed_tokens += n_gen
+    finally:
+        set_monitor(prev_monitor)
+        set_cache(prev_cache)
+    report = bl.build_report(
+        monitor,
+        model="tinylm-serve-replay",
+        backend=backend.name,
+        seed=args.seed,
+        gen_tokens=replayed_tokens,
+    )
+    bl.validate_report(report)
+    args.numerics_out.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"numerics report written to {args.numerics_out} "
+          f"({len(llm)} LLM requests replayed, "
+          f"{len(report['entries'])} layer entries)")

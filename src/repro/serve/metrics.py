@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs.metrics import percentiles
+from repro.obs.metrics import percentiles, weighted_percentiles
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
 from repro.serve.request import Request
 
@@ -86,13 +86,8 @@ class MetricsCollector:
             return last, max(ds), last, last
         depths = np.asarray(ds[:-1], dtype=np.float64)
         weights = np.diff(np.asarray(ts, dtype=np.float64))
-        total = weights.sum()
-        mean = float((depths * weights).sum() / total)
-        order = np.argsort(depths, kind="stable")
-        cum = np.cumsum(weights[order]) / total
-        hi = len(order) - 1
-        p95 = float(depths[order][min(int(np.searchsorted(cum, 0.95)), hi)])
-        p99 = float(depths[order][min(int(np.searchsorted(cum, 0.99)), hi)])
+        mean = float((depths * weights).sum() / weights.sum())
+        p95, p99 = weighted_percentiles(depths, weights, (95, 99))
         return mean, max(ds), p95, p99
 
     def _batch_histograms(self) -> dict[str, dict[str, int]]:

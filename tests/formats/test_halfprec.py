@@ -131,3 +131,59 @@ class TestLaneModel:
         from repro.perf.throughput import fp32_peak_flops, half_peak_flops
 
         assert half_peak_flops("bf16") == pytest.approx(2 * fp32_peak_flops())
+
+
+class TestQuantizeFlagObservability:
+    """Overflow/underflow flag paths asserted through the numerics monitor."""
+
+    def _monitored(self, x, fmt):
+        from repro.obs.numerics import NumericsMonitor, set_monitor
+
+        mon = NumericsMonitor()
+        prev = set_monitor(mon)
+        try:
+            out = quantize_half(np.asarray(x, dtype=np.float32), fmt)
+        finally:
+            set_monitor(prev)
+        return out, mon.stats[("<root>", fmt.name, "tensor")]
+
+    def test_overflow_saturates_to_max_finite_and_counts(self):
+        x = np.array([1e30, -1e30, 1.0], dtype=np.float32)
+        out, st = self._monitored(x, FP16)
+        assert float(out[0]) == FP16.max_finite
+        assert float(out[1]) == -FP16.max_finite
+        assert st.saturated == 2
+        assert st.underflow == 0
+        assert st.elements == 3
+
+    def test_underflow_flushes_to_zero_and_counts(self):
+        tiny = FP16.min_normal / 4.0
+        x = np.array([tiny, -tiny, 1.0, 0.0], dtype=np.float32)
+        out, st = self._monitored(x, FP16)
+        assert float(out[0]) == 0.0 and float(out[1]) == 0.0
+        assert float(out[2]) == 1.0
+        assert st.underflow == 2  # the exact zero is not an underflow
+        assert st.saturated == 0
+
+    def test_bf16_flags_use_wider_exponent_range(self):
+        # 1e30 is representable in bf16 (8-bit exponent): no saturation.
+        x = np.array([1e30, FP16.min_normal / 4.0], dtype=np.float32)
+        out, st = self._monitored(x, BF16)
+        assert st.saturated == 0
+        assert st.underflow == 0  # bf16 min_normal is far smaller
+        assert float(out[1]) != 0.0
+
+    def test_unmonitored_path_records_nothing(self):
+        from repro.obs.numerics import get_monitor
+
+        before = dict(get_monitor().stats)
+        quantize_half(np.array([1e30], dtype=np.float32), FP16)
+        assert get_monitor().stats == before
+
+    def test_sqnr_and_rates_in_snapshot(self):
+        x = np.linspace(-3.0, 3.0, 101, dtype=np.float32)
+        _, st = self._monitored(x, BF16)
+        snap = st.snapshot()
+        assert snap["sqnr_db"] > 30.0  # 8-bit mantissa rounding error
+        assert snap["saturation_rate"] == 0.0
+        assert snap["underflow_rate"] == 0.0

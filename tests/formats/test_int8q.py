@@ -7,7 +7,14 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.errors import ConfigurationError
-from repro.formats.int8q import Int8Tensor, int8_matmul, quantize_int8
+from repro.formats.int8q import (
+    Int8Tensor,
+    int8_matmul,
+    intn_matmul_batched,
+    intn_matmul_quantized,
+    quantize_int8,
+    quantize_intn_sliced,
+)
 
 tensors = hnp.arrays(
     np.float64, st.tuples(st.integers(1, 10), st.integers(1, 10)),
@@ -65,3 +72,52 @@ class TestMatmul:
         out = int8_matmul(qa, qb)
         ref = qa.decode() @ qb.decode()
         assert np.allclose(out, ref, rtol=1e-12, atol=1e-9)
+
+
+class TestCalibrationClippingObservable:
+    """Percentile calibration publishes its clipping instead of hiding it."""
+
+    def _with_registry(self, fn):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        reg = MetricsRegistry()
+        prev = set_registry(reg)
+        try:
+            fn()
+        finally:
+            set_registry(prev)
+        return reg.as_dict()
+
+    def test_percentile_clipping_recorded(self):
+        x = np.concatenate([np.full(99, 1.0), [100.0]])
+        doc = self._with_registry(lambda: quantize_int8(x, percentile=99.0))
+        assert doc["counters"]["quantize.clipped_elements"] == 1
+        assert doc["counters"]["quantize.calibrated_elements"] == 100
+        hist = doc["histograms"]["quantize.clipped_fraction"]
+        assert hist["count"] == 1
+        assert hist["max"] == pytest.approx(0.01)
+
+    def test_exact_max_calibration_records_nothing(self):
+        x = np.linspace(-1, 1, 50)
+        doc = self._with_registry(lambda: quantize_int8(x))
+        assert "quantize.clipped_elements" not in doc["counters"]
+        assert "quantize.clipped_fraction" not in doc["histograms"]
+
+    def test_fractions_accumulate_across_calls(self):
+        x = np.concatenate([np.full(9, 1.0), [10.0]])
+        doc = self._with_registry(lambda: [
+            quantize_int8(x, percentile=90.0) for _ in range(3)
+        ])
+        assert doc["counters"]["quantize.calibrated_elements"] == 30
+        assert doc["histograms"]["quantize.clipped_fraction"]["count"] == 3
+
+
+class TestQuantizedMatmulSplit:
+    def test_intn_matmul_quantized_matches_batched(self, rng):
+        a = rng.normal(size=(3, 4, 6))
+        b = rng.normal(size=(3, 6, 5))
+        ref = intn_matmul_batched(a, b, 8)
+        qa, sa = quantize_intn_sliced(a, 8)
+        qb, sb = quantize_intn_sliced(b, 8)
+        out = intn_matmul_quantized(qa, sa, qb, sb)
+        assert np.array_equal(out, ref)

@@ -102,3 +102,97 @@ def test_cli_profile_functional(tmp_path):
     assert doc["backend_stats"]["matmuls"] > 0
     # Mixed regime: both precisions appear in the attribution.
     assert set(doc["profile"]["by_precision"]) == {"bfp8", "fp32"}
+
+
+def _repro(*argv, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_cli_numerics_report_outputs(tmp_path):
+    json_out = tmp_path / "numerics.json"
+    md_out = tmp_path / "numerics.md"
+    metrics_out = tmp_path / "metrics.json"
+    trace_out = tmp_path / "numerics.perfetto.json"
+    proc = _repro(
+        "numerics-report", "--seed", "0", "--gen-tokens", "2",
+        "--json-out", str(json_out), "--markdown-out", str(md_out),
+        "--metrics-out", str(metrics_out), "--trace-out", str(trace_out),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "| layer " in proc.stdout  # markdown table printed
+
+    from repro.obs.baseline import validate_report
+    from repro.obs.tracer import validate_chrome_trace
+
+    doc = validate_report(json.loads(json_out.read_text()))
+    assert doc["config"]["backend"] == "bfp8-mixed"
+    assert doc["logits_sqnr_db"] > 20.0
+    layers = {e["layer"] for e in doc["entries"]}
+    assert "block0.attn" in layers and "head" in layers
+    assert all(e["precision"] == "bfp8" for e in doc["entries"])
+
+    assert "# Numerics report" in md_out.read_text()
+    metrics = json.loads(metrics_out.read_text())
+    assert any(k.startswith("numerics.") for k in metrics["counters"])
+    stats = validate_chrome_trace(json.loads(trace_out.read_text()))
+    assert stats["X"] > 0
+
+
+def test_cli_numerics_check_passes_against_self(tmp_path):
+    golden = tmp_path / "golden.json"
+    proc = _repro("numerics-report", "--gen-tokens", "2",
+                  "--json-out", str(golden))
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    proc = _repro("numerics-report", "--gen-tokens", "2",
+                  "--check", str(golden))
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "No drift" in proc.stdout
+
+
+def test_cli_numerics_check_catches_mantissa_truncation(tmp_path):
+    # The acceptance gate: injecting a 1-bit mantissa truncation into the
+    # bfp path must trip the drift check against an 8-bit golden.
+    golden = tmp_path / "golden.json"
+    proc = _repro("numerics-report", "--gen-tokens", "2",
+                  "--json-out", str(golden))
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    proc = _repro("numerics-report", "--gen-tokens", "2", "--man-bits", "7",
+                  "--check", str(golden))
+    assert proc.returncode == 1, proc.stdout[-2000:]
+    assert "DRIFT" in proc.stdout
+    assert "precision bfp8 -> bfp7" in proc.stdout
+    assert "SQNR degraded" in proc.stdout
+
+
+def test_cli_numerics_check_against_committed_golden():
+    golden = (Path(__file__).resolve().parents[2]
+              / "results" / "NUMERICS_golden_tinylm_bfp8.json")
+    proc = _repro("numerics-report", "--check", str(golden))
+    assert proc.returncode == 0, (proc.stdout[-2000:], proc.stderr[-1000:])
+    assert "No drift" in proc.stdout
+
+
+def test_cli_serve_sim_prom_metrics_and_numerics(tmp_path):
+    metrics_out = tmp_path / "metrics.prom"
+    numerics_out = tmp_path / "serve_numerics.json"
+    proc = _repro(
+        "serve-sim", "--requests", "60", "--seed", "3",
+        "--metrics-out", str(metrics_out), "--metrics-format", "prom",
+        "--numerics-out", str(numerics_out), "--numerics-requests", "2",
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    text = metrics_out.read_text()
+    assert "# TYPE repro_serve_arrivals_total counter" in text
+    assert "repro_serve_arrivals_total 60" in text
+    assert 'quantile="0.95"' in text
+
+    from repro.obs.baseline import validate_report
+
+    doc = validate_report(json.loads(numerics_out.read_text()))
+    assert doc["config"]["model"] == "tinylm-serve-replay"
+    assert "numerics report written to" in proc.stdout

@@ -1,0 +1,166 @@
+"""Golden-baseline reports: schema validation and the drift gate."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.formats.int8q import quantize_intn
+from repro.obs import baseline as bl
+from repro.obs.numerics import NumericsMonitor
+
+
+@pytest.fixture
+def report(rng):
+    mon = NumericsMonitor()
+    for layer in ("block0", "head"):
+        with mon.scope(layer):
+            x = rng.normal(size=(16, 16))
+            mon.observe_int("activation", x, quantize_intn(x, 8))
+    return bl.build_report(
+        mon, model="tinylm", backend="int8-linear", seed=0, gen_tokens=4,
+        logits_sqnr_db=30.0,
+    )
+
+
+def test_build_report_validates(report):
+    assert bl.validate_report(report) is report
+    assert report["version"] == bl.REPORT_SCHEMA_VERSION
+    assert len(report["entries"]) == 2
+
+
+def test_report_json_roundtrip(report, tmp_path):
+    p = tmp_path / "r.json"
+    p.write_text(json.dumps(report))
+    loaded = bl.load_report(p)
+    assert loaded["entries"] == report["entries"]
+
+
+@pytest.mark.parametrize(
+    "mutate, msg",
+    [
+        (lambda d: d.update(schema="nope"), "unknown schema"),
+        (lambda d: d.update(version=99), "unsupported version"),
+        (lambda d: d.update(entries=[]), "entries missing or empty"),
+        (lambda d: d["entries"][0].pop("sqnr_db"), "missing field"),
+        (lambda d: d["entries"][0].update(saturation_rate=1.5), "outside"),
+        (lambda d: d["entries"][0].update(tensors="three"), "has type"),
+        (lambda d: d["config"].pop("seed"), "missing field"),
+        (
+            lambda d: d["entries"].append(dict(d["entries"][0])),
+            "duplicates key",
+        ),
+    ],
+)
+def test_validate_rejects(report, mutate, msg):
+    bad = copy.deepcopy(report)
+    mutate(bad)
+    with pytest.raises(ConfigurationError, match=msg):
+        bl.validate_report(bad)
+
+
+# -- the gate ------------------------------------------------------------
+def test_identical_reports_have_no_drift(report):
+    assert bl.compare_reports(report, report) == []
+
+
+def test_precision_change_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["entries"][0]["precision"] = "int7"
+    drift = bl.compare_reports(cur, report)
+    assert any("precision int8 -> int7" in d for d in drift)
+
+
+def test_sqnr_degradation_beyond_tolerance_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["entries"][0]["sqnr_db"] -= 6.0  # one mantissa bit
+    drift = bl.compare_reports(cur, report, sqnr_tol_db=1.0)
+    assert any("SQNR degraded" in d for d in drift)
+    # A wide-open tolerance accepts the same report.
+    assert bl.compare_reports(cur, report, sqnr_tol_db=10.0) == []
+
+
+def test_sqnr_improvement_is_not_drift(report):
+    cur = copy.deepcopy(report)
+    for e in cur["entries"]:
+        e["sqnr_db"] += 20.0
+    assert bl.compare_reports(cur, report) == []
+
+
+def test_saturation_ceiling_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["entries"][0]["saturation_rate"] += 0.05
+    drift = bl.compare_reports(cur, report, clip_margin=0.005)
+    assert any("saturation_rate" in d and "ceiling" in d for d in drift)
+    assert bl.compare_reports(cur, report, clip_margin=0.1) == []
+
+
+def test_missing_and_new_entries_are_drift(report):
+    cur = copy.deepcopy(report)
+    gone = cur["entries"].pop(0)
+    drift = bl.compare_reports(cur, report)
+    assert any("disappeared" in d for d in drift)
+    extra = copy.deepcopy(report)
+    new = copy.deepcopy(gone)
+    new["layer"] = "block9"
+    extra["entries"].append(new)
+    drift = bl.compare_reports(extra, report)
+    assert any("new entry" in d for d in drift)
+
+
+def test_config_mismatch_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["config"]["backend"] = "bfp8-mixed"
+    drift = bl.compare_reports(cur, report)
+    assert any("config.backend" in d for d in drift)
+
+
+def test_logits_sqnr_degradation_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["logits_sqnr_db"] = report["logits_sqnr_db"] - 5.0
+    drift = bl.compare_reports(cur, report)
+    assert any(d.startswith("logits:") for d in drift)
+
+
+def test_unmeasurable_sqnr_is_drift(report):
+    cur = copy.deepcopy(report)
+    cur["entries"][0]["sqnr_db"] = None
+    cur["logits_sqnr_db"] = None
+    drift = bl.compare_reports(cur, report)
+    assert any("unmeasurable" in d for d in drift)
+    assert sum("unmeasurable" in d for d in drift) == 2
+
+
+# -- rendering -----------------------------------------------------------
+def test_render_markdown_table_and_drift(report):
+    md = bl.render_markdown(report, drift=["block0/activation: boom"])
+    assert "| block0 | activation | int8 |" in md
+    assert "## DRIFT (1)" in md
+    clean = bl.render_markdown(report, drift=[])
+    assert "No drift" in clean
+    plain = bl.render_markdown(report)
+    assert "DRIFT" not in plain and "No drift" not in plain
+
+
+def test_compare_handles_sqnr_none_in_golden(report):
+    # A golden with no measurable SQNR gates nothing on SQNR.
+    base = copy.deepcopy(report)
+    for e in base["entries"]:
+        e["sqnr_db"] = None
+    base["logits_sqnr_db"] = None
+    cur = copy.deepcopy(report)
+    assert bl.compare_reports(cur, base) == []
+
+
+def test_np_floats_serialize(rng):
+    # build_report carries numpy floats through json.dumps via float().
+    mon = NumericsMonitor()
+    x = rng.normal(size=(8, 8))
+    mon.observe_int("activation", x, quantize_intn(x, 8))
+    rep = bl.build_report(
+        mon, model="m", backend="b", seed=0, gen_tokens=1,
+        logits_sqnr_db=float(np.float64(12.5)),
+    )
+    json.dumps(rep)  # must not raise

@@ -99,3 +99,73 @@ def test_set_registry_swaps_process_default(scratch_registry):
     assert get_registry() is scratch_registry
     get_registry().counter("k").inc()
     assert scratch_registry.counter("k").snapshot() == 1
+
+
+# -- shared percentile helper --------------------------------------------
+def test_weighted_percentiles_unweighted_matches_percentiles():
+    from repro.obs.metrics import weighted_percentiles
+
+    samples = [3, 1, 4, 1, 5, 9, 2, 6]
+    assert weighted_percentiles(samples) == percentiles(samples)
+
+
+def test_weighted_percentiles_step_function_selection():
+    from repro.obs.metrics import weighted_percentiles
+
+    # Value 0 holds 90% of the mass, value 10 the last 10%: the p50 is 0
+    # and the p95 lands in the tail value.
+    p50, p95 = weighted_percentiles([0, 10], [9.0, 1.0], qs=(50, 95))
+    assert p50 == 0.0
+    assert p95 == 10.0
+
+
+def test_weighted_percentiles_order_independent():
+    from repro.obs.metrics import weighted_percentiles
+
+    a = weighted_percentiles([5, 1, 3], [1.0, 2.0, 3.0], qs=(50,))
+    b = weighted_percentiles([1, 3, 5], [2.0, 3.0, 1.0], qs=(50,))
+    assert a == b
+
+
+def test_weighted_percentiles_edge_cases():
+    from repro.obs.metrics import weighted_percentiles
+
+    assert weighted_percentiles([], qs=(50, 99)) == [0.0, 0.0]
+    assert weighted_percentiles([], [], qs=(50,)) == [0.0]
+    # Zero total weight falls back to unweighted semantics.
+    assert weighted_percentiles([1, 2, 3], [0.0, 0.0, 0.0], qs=(50,)) == [2.0]
+    with pytest.raises(ValueError):
+        weighted_percentiles([1, 2], [1.0], qs=(50,))
+
+
+# -- Prometheus exposition -----------------------------------------------
+def test_to_prom_text_counters_gauges_histograms():
+    r = MetricsRegistry()
+    r.counter("serve.arrivals").inc(7)
+    r.gauge("pool.util").set(0.5)
+    for v in (1, 2, 3, 4):
+        r.histogram("lat.us").observe(v)
+    text = r.to_prom_text()
+    assert "# TYPE repro_serve_arrivals_total counter" in text
+    assert "repro_serve_arrivals_total 7" in text
+    assert "# TYPE repro_pool_util gauge" in text
+    assert "repro_pool_util 0.5" in text
+    assert "repro_pool_util_max 0.5" in text
+    assert "# TYPE repro_lat_us summary" in text
+    assert 'repro_lat_us{quantile="0.5"} 2.5' in text
+    assert "repro_lat_us_sum 10" in text
+    assert "repro_lat_us_count 4" in text
+    assert text.endswith("\n")
+
+
+def test_to_prom_text_sanitizes_names():
+    r = MetricsRegistry()
+    r.counter("unit0.kv-hits").inc()
+    r.counter("9lives").inc()
+    text = r.to_prom_text(prefix="")
+    assert "unit0_kv_hits_total 1" in text
+    assert "_9lives_total 1" in text
+
+
+def test_to_prom_text_empty_registry():
+    assert MetricsRegistry().to_prom_text() == ""
