@@ -50,10 +50,14 @@ from repro.formats import (
 from repro.hw import MultiModePU, PUStats, SystolicArray
 from repro.models import (
     DEIT_SMALL,
+    PolicyBackend,
+    PrecisionPolicy,
     SequenceClassifier,
     VisionTransformer,
     evaluate_regimes,
     get_backend,
+    get_policy,
+    load_policy,
     train_classifier,
 )
 from repro.perf import ClockConfig, MemoryModel, fig6_designs, table2_breakdown
@@ -70,6 +74,8 @@ __all__ = [
     "MemoryModel",
     "MultiModePU",
     "PUStats",
+    "PolicyBackend",
+    "PrecisionPolicy",
     "SequenceClassifier",
     "SystolicArray",
     "VectorExecutor",
@@ -85,6 +91,8 @@ __all__ = [
     "evaluate_regimes",
     "fig6_designs",
     "get_backend",
+    "get_policy",
+    "load_policy",
     "plan_matmul",
     "quantize_block",
     "quantize_int8",

@@ -31,3 +31,13 @@ class ProgramError(ReproError):
 
 class ConfigurationError(ReproError):
     """An object was constructed with inconsistent or unsupported parameters."""
+
+
+class RegistryError(ReproError):
+    """A name-keyed registry was misused.
+
+    Raised when registering a quantization format, backend factory, or
+    policy preset under a name that is already taken (silent overwrite
+    would make ``get_format``/``get_backend`` resolution depend on import
+    order), and when looking up a name that was never registered.
+    """

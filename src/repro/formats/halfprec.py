@@ -72,11 +72,14 @@ FP16 = HalfFormat("fp16", exp_bits=5, man_bits=11)
 HALF_FORMATS = {"bf16": BF16, "fp16": FP16}
 
 
-def quantize_half(x: np.ndarray, fmt: HalfFormat) -> np.ndarray:
+def quantize_half(
+    x: np.ndarray, fmt: HalfFormat, *, role: str = "tensor"
+) -> np.ndarray:
     """Round float32 values to the half format's grid (RNE), as float32.
 
     Overflow saturates to the format's largest finite value; underflow
     flushes to zero (consistent with the fp32 path's no-denormal policy).
+    ``role`` labels the numerics-monitor tap (weight/activation/kv/tensor).
     """
     x = np.asarray(x, dtype=np.float32)
     sign, exp, man = fp32bits.decompose(x)
@@ -112,6 +115,7 @@ def quantize_half(x: np.ndarray, fmt: HalfFormat) -> np.ndarray:
             underflow=int(underflow.sum()),
             source=x,
             quantized=out,
+            role=role,
         )
     return out
 

@@ -1,0 +1,43 @@
+"""Minifloat fp8 formats (e4m3 / e5m2) for the per-layer precision study.
+
+Related FPGA work treats precision as a *per-layer* decision over a family
+of narrow float formats (Aggarwal et al., "Shedding the Bits"; Wang et
+al., "TransDot").  This module extends the sliced-datapath format family
+of :mod:`repro.formats.halfprec` down to 8 bits, giving the format
+registry a proof-of-extensibility member that is *not* one of the paper's
+original regimes:
+
+* **fp8-e4m3** — 4-bit exponent (bias 7), 4-bit magnitude mantissa
+  (3 stored + implicit);
+* **fp8-e5m2** — 5-bit exponent (bias 15), 3-bit magnitude mantissa
+  (2 stored + implicit).
+
+Both are a *single* 8-bit slice (one partial product per multiply), so a
+minifloat matmul maps onto the int8 systolic array exactly like a bfp8
+stream — the cost model charges it array cycles, not vector-unit cycles.
+
+Semantics follow the shared :func:`~repro.formats.halfprec.quantize_half`
+grid: round-to-nearest-even, overflow **saturates** to the largest finite
+value, underflow **flushes to zero** (no subnormals — the datapath keeps
+none, matching the fp32 path).  The top exponent code is reserved for
+special values and never used for finite data, so the dynamic ranges here
+are max |x| = 240 for e4m3 and 57344 for e5m2.  This deviates from the
+OCP-fp8 convention (where e4m3 spends the top code on finite values up to
+448): a deliberate simplification that keeps one quantizer for every
+float format in the registry, documented in DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from repro.formats.halfprec import HalfFormat, quantize_half
+
+__all__ = ["E4M3", "E5M2", "MINIFLOAT_FORMATS", "quantize_minifloat"]
+
+E4M3 = HalfFormat("fp8-e4m3", exp_bits=4, man_bits=4)
+E5M2 = HalfFormat("fp8-e5m2", exp_bits=5, man_bits=3)
+
+MINIFLOAT_FORMATS = {"fp8-e4m3": E4M3, "fp8-e5m2": E5M2}
+
+# The fp8 grids reuse the half-precision quantizer unchanged; the alias
+# exists so call sites read as what they are.
+quantize_minifloat = quantize_half

@@ -12,8 +12,15 @@ A backend supplies two primitives:
   layernorm internals) is evaluated: exactly, or squeezed through a
   quantization grid first.
 
-Backends
---------
+Since the format-registry refactor there is a single arithmetic engine:
+:class:`PolicyBackend` resolves every operation through a
+:class:`~repro.models.policy.PrecisionPolicy` — (layer scope path,
+tensor role) -> a :class:`~repro.formats.registry.QuantFormat` — so one
+model forward can run attention in bfp8, the MLP in minifloat fp8 and
+the non-linear functions in exact fp32.  The historical one-class-per-
+format backends survive as thin aliases that construct the equivalent
+single-format policies, bit-identical to their pre-refactor behaviour:
+
 ``FP32Backend``        float32 everywhere (reference).
 ``BFP8MixedBackend``   the paper's regime: bfp8 linear + fp32 non-linear.
 ``BFP8AllBackend``     ablation: non-linear inputs/outputs also pass
@@ -22,35 +29,31 @@ Backends
 ``INT8AllBackend``     conventional int8 inference: non-linear tensors are
                        also snapped to the int8 grid (what an integer-only
                        accelerator without retraining does).
+``IBERTBackend``       int8 linear + I-BERT integer non-linear programs.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager, nullcontext
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.arith.bfp_matmul import (
-    activation_blocks,
-    bfp_batched_tiles,
-    bfp_matmul_from_tiles,
-    bfp_matmul_prepared,
-)
-from repro.formats.blocking import BfpMatrix
-from repro.formats.int8q import (
-    int8_matmul,
-    intn_matmul_quantized,
-    quantize_intn,
-    quantize_intn_sliced,
+from repro.errors import RegistryError
+from repro.formats.registry import BfpFormat, IBertFormat, QuantFormat, get_format
+from repro.models.policy import (
+    PolicyRule,
+    PrecisionPolicy,
+    get_policy,
 )
 from repro.obs.numerics import get_monitor
 from repro.obs.profile import Profiler
-from repro.perf.prepared import PreparedTensor, get_cache
+from repro.perf.prepared import PreparedTensor
 
 __all__ = [
     "ComputeBackend",
+    "PolicyBackend",
     "FP32Backend",
     "BFP8MixedBackend",
     "BFP8AllBackend",
@@ -58,6 +61,7 @@ __all__ = [
     "INT8AllBackend",
     "IBERTBackend",
     "BACKENDS",
+    "register_backend",
     "get_backend",
 ]
 
@@ -73,8 +77,9 @@ class ComputeBackend:
 
     Attaching a :class:`~repro.obs.profile.Profiler` makes every matmul
     and non-linear evaluation land in the profiler's current scope with
-    its hardware cycle cost; models push scopes via :meth:`scope` (a
-    no-op ``nullcontext`` when no profiler is attached).
+    its hardware cycle cost; models push scopes via :meth:`scope`.  The
+    scope stack is always maintained (it is also the layer path a
+    :class:`PolicyBackend` resolves precision against).
     ``matmul_precision``/``nonlinear_precision`` label the attribution.
     """
 
@@ -85,6 +90,9 @@ class ComputeBackend:
     profiler: Profiler | None = field(default=None, repr=False, compare=False)
     matmul_precision: str = "fp32"
     nonlinear_precision: str = "fp32"
+    _scopes: list[str] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def matmul(
         self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
@@ -110,15 +118,7 @@ class ComputeBackend:
         """
         a = np.asarray(a)
         b = np.asarray(b)
-        if (
-            a.ndim != 3 or b.ndim != 3
-            or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]
-        ):
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                f"bad batched matmul shapes: {a.shape} @ {b.shape}"
-            )
+        self._check_batched(a, b)
         n_slices, m, k = a.shape
         n = b.shape[2]
         self.matmul_count += n_slices
@@ -130,6 +130,18 @@ class ComputeBackend:
                     m, k, n, precision=self.matmul_precision
                 )
         return self._matmul_batched(a, b)
+
+    @staticmethod
+    def _check_batched(a: np.ndarray, b: np.ndarray) -> None:
+        if (
+            a.ndim != 3 or b.ndim != 3
+            or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]
+        ):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"bad batched matmul shapes: {a.shape} @ {b.shape}"
+            )
 
     def prepare_weight(
         self, w: "np.ndarray | PreparedTensor"
@@ -154,20 +166,30 @@ class ComputeBackend:
     def reset_stats(self) -> None:
         self.matmul_count = self.matmul_macs = self.matmul_rows = 0
 
+    @contextmanager
     def scope(self, name: str):
-        """Profiling scope for a model component (no-op when unprofiled).
+        """Profiling/policy scope for a model component.
 
-        The same scope name feeds the cycle profiler and the value-domain
-        numerics monitor, so cycle and quantization-health attribution
-        share one layer taxonomy."""
+        The same scope name feeds the cycle profiler, the value-domain
+        numerics monitor and the policy layer path, so cycle attribution,
+        quantization-health attribution and per-layer precision all share
+        one layer taxonomy."""
         mon = get_monitor()
-        if self.profiler is not None and mon.enabled:
-            return _dual_scope(self.profiler, mon, name)
-        if mon.enabled:
-            return mon.scope(name)
-        if self.profiler is not None:
-            return self.profiler.scope(name)
-        return nullcontext()
+        self._scopes.append(name)
+        try:
+            with ExitStack() as stack:
+                if self.profiler is not None:
+                    stack.enter_context(self.profiler.scope(name))
+                if mon.enabled:
+                    stack.enter_context(mon.scope(name))
+                yield
+        finally:
+            self._scopes.pop()
+
+    @property
+    def layer_path(self) -> str:
+        """Dotted scope path of the component currently executing."""
+        return ".".join(self._scopes)
 
     def _matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         return (x.astype(np.float32) @ w.astype(np.float32)).astype(np.float32)
@@ -206,15 +228,124 @@ class ComputeBackend:
         return x.astype(np.float32)
 
 
-class FP32Backend(ComputeBackend):
+class PolicyBackend(ComputeBackend):
+    """The arithmetic engine: a policy decides each operation's format.
+
+    Every matmul / batched matmul / non-linear evaluation / residual
+    requantization resolves ``(layer_path, role)`` through the
+    :class:`~repro.models.policy.PrecisionPolicy` into a registry
+    :class:`~repro.formats.registry.QuantFormat`, whose kernel then runs
+    — with profiler attribution under the format's precision label and
+    its array-vs-vector cost mapping, and numerics-monitor taps keyed the
+    same way.  ``formats`` optionally overrides name -> format instances
+    (how the legacy aliases inject ``exact_accumulate`` bfp variants
+    without registering new global names).
+    """
+
+    def __init__(
+        self,
+        policy: PrecisionPolicy,
+        *,
+        name: str | None = None,
+        profiler: Profiler | None = None,
+        formats: dict[str, QuantFormat] | None = None,
+    ) -> None:
+        super().__init__(name=name or policy.name, profiler=profiler)
+        self.policy = policy
+        self._formats: dict[str, QuantFormat] = dict(formats or {})
+        self._fmt_cache: dict[tuple[str, str], QuantFormat] = {}
+        # Legacy attribution labels, resolved at the model root — purely
+        # informational for policy backends (per-call labels come from
+        # the resolved format).
+        self.matmul_precision = self._fmt_at("", "linear").precision
+        self.nonlinear_precision = self._fmt_at("", "nonlinear").precision
+
+    def _format(self, fmt_name: str) -> QuantFormat:
+        fmt = self._formats.get(fmt_name)
+        return fmt if fmt is not None else get_format(fmt_name)
+
+    def _fmt_at(self, layer: str, role: str) -> QuantFormat:
+        key = (layer, role)
+        fmt = self._fmt_cache.get(key)
+        if fmt is None:
+            fmt = self._format(self.policy.resolve_name(layer, role))
+            self._fmt_cache[key] = fmt
+        return fmt
+
+    def _fmt(self, role: str) -> QuantFormat:
+        return self._fmt_at(self.layer_path, role)
+
+    def _quantize_recorder(self, fmt: QuantFormat):
+        if self.profiler is None:
+            return None
+        profiler = self.profiler
+        return lambda n: profiler.record_quantize(
+            int(n), precision=fmt.precision
+        )
+
+    # -- primitives ----------------------------------------------------------
+    def matmul(
+        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
+    ) -> np.ndarray:
+        fmt = self._fmt("linear")
+        self.matmul_count += 1
+        self.matmul_macs += x.shape[0] * x.shape[1] * w.shape[1]
+        self.matmul_rows += x.shape[0]
+        if self.profiler is not None:
+            self.profiler.record_matmul(
+                x.shape[0], x.shape[1], w.shape[1],
+                precision=fmt.precision, array=fmt.uses_array,
+            )
+        return fmt.matmul(x, w, record=self._quantize_recorder(fmt))
+
+    def matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        self._check_batched(a, b)
+        fmt = self._fmt("attention")
+        n_slices, m, k = a.shape
+        n = b.shape[2]
+        self.matmul_count += n_slices
+        self.matmul_macs += n_slices * m * k * n
+        self.matmul_rows += n_slices * m
+        if self.profiler is not None:
+            for _ in range(n_slices):
+                self.profiler.record_matmul(
+                    m, k, n, precision=fmt.precision, array=fmt.uses_array
+                )
+        return fmt.matmul_batched(a, b, record=self._quantize_recorder(fmt))
+
+    def prepare_weight(
+        self, w: "np.ndarray | PreparedTensor"
+    ) -> "np.ndarray | PreparedTensor":
+        fmt = self._fmt("linear")
+        return fmt.prepare_weight(w, record=self._quantize_recorder(fmt))
+
+    def nonlinear(
+        self, kind: str, fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
+    ) -> np.ndarray:
+        fmt = self._fmt("nonlinear")
+        if self.profiler is not None:
+            self.profiler.record_nonlinear(
+                kind, int(x.size), precision=fmt.precision
+            )
+        return fmt.nonlinear(kind, fn, x)
+
+    def requantize(self, x: np.ndarray) -> np.ndarray:
+        return self._fmt("residual").requantize(x)
+
+
+# ---------------------------------------------------------------------------
+# Legacy single-format aliases (bit-identical to the pre-registry classes)
+# ---------------------------------------------------------------------------
+
+
+class FP32Backend(PolicyBackend):
     def __init__(self) -> None:
-        super().__init__(name="fp32")
-
-    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float32)
+        super().__init__(get_policy("fp32"), name="fp32")
 
 
-class BFP8MixedBackend(ComputeBackend):
+class BFP8MixedBackend(PolicyBackend):
     """The paper's regime: block-fp MatMul + exact fp32 non-linear.
 
     ``man_bits`` selects the block-fp mantissa width (8 = the paper's bfp8;
@@ -224,131 +355,50 @@ class BFP8MixedBackend(ComputeBackend):
     """
 
     def __init__(self, *, exact_accumulate: bool = False, man_bits: int = 8) -> None:
+        fmt = BfpFormat(man_bits=man_bits, exact_accumulate=exact_accumulate)
         name = "bfp8-mixed" if man_bits == 8 else f"bfp{man_bits}-mixed"
-        super().__init__(name=name, matmul_precision=f"bfp{man_bits}")
+        policy = PrecisionPolicy(
+            name=name,
+            rules=(
+                PolicyRule("*", "linear", fmt.name),
+                PolicyRule("*", "attention", fmt.name),
+            ),
+            default="fp32",
+        )
+        super().__init__(policy, name=name, formats={fmt.name: fmt})
         self.exact_accumulate = exact_accumulate
         self.man_bits = man_bits
-
-    def prepare_weight(
-        self, w: "np.ndarray | PreparedTensor"
-    ) -> "np.ndarray | PreparedTensor":
-        if isinstance(w, PreparedTensor):
-            return w
-        prepared, hit = get_cache().prepare_bfp(w, man_bits=self.man_bits)
-        if not hit:
-            self._record_quantize(int(np.prod(prepared.shape)))
-        return prepared
-
-    def _weight_blocks(self, w: "np.ndarray | PreparedTensor") -> BfpMatrix:
-        if isinstance(w, PreparedTensor):
-            return w.payload
-        self._record_quantize(np.asarray(w).size)
-        bm = BfpMatrix.from_dense(
-            np.asarray(w, dtype=np.float64), man_bits=self.man_bits
-        )
-        mon = get_monitor()
-        if mon.enabled:
-            mon.observe_bfp("weight", w, bm, man_bits=self.man_bits)
-        return bm
-
-    def _matmul(
-        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
-    ) -> np.ndarray:
-        wm = self._weight_blocks(w)
-        self._record_quantize(np.asarray(x).size)
-        am = activation_blocks(x, man_bits=self.man_bits)
-        mon = get_monitor()
-        if mon.enabled:
-            mon.observe_bfp("activation", x, am, man_bits=self.man_bits)
-        return bfp_matmul_prepared(
-            am, wm, exact_accumulate=self.exact_accumulate
-        ).astype(np.float32)
-
-    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        self._record_quantize(a.size + b.size)
-        tiles = bfp_batched_tiles(a, b, man_bits=self.man_bits)
-        mon = get_monitor()
-        if mon.enabled:
-            # Batched matmuls are the attention kernels: the left operand
-            # streams from the residual path (activation role), the right
-            # is KV-cache-derived (K^T, V).
-            a_man, a_exp, b_man, b_exp = tiles[:4]
-            mon.observe_bfp_tiles(
-                "activation", a, a_man, a_exp, man_bits=self.man_bits
-            )
-            mon.observe_bfp_tiles("kv", b, b_man, b_exp, man_bits=self.man_bits)
-        return bfp_matmul_from_tiles(
-            *tiles, exact_accumulate=self.exact_accumulate
-        ).astype(np.float32)
 
 
 class BFP8AllBackend(BFP8MixedBackend):
     """Ablation: non-linear tensors also snap to the block-fp grid."""
 
     def __init__(self, *, man_bits: int = 8) -> None:
-        super().__init__(man_bits=man_bits)
-        self.name = "bfp8-all" if man_bits == 8 else f"bfp{man_bits}-all"
-        self.nonlinear_precision = f"bfp{man_bits}"
-
-    def _snap(self, x):
-        return (
-            BfpMatrix.from_dense(_as2d(x), man_bits=self.man_bits)
-            .to_dense()
-            .reshape(x.shape)
-            .astype(np.float32)
+        fmt = BfpFormat(man_bits=man_bits)
+        name = "bfp8-all" if man_bits == 8 else f"bfp{man_bits}-all"
+        policy = PrecisionPolicy(name=name, rules=(), default=fmt.name)
+        PolicyBackend.__init__(
+            self, policy, name=name, formats={fmt.name: fmt}
         )
-
-    def _nonlinear(self, kind, fn, x):
-        return self._snap(fn(self._snap(x)))
-
-    def requantize(self, x):
-        return self._snap(x)
+        self.exact_accumulate = False
+        self.man_bits = man_bits
 
 
-class INT8LinearBackend(ComputeBackend):
+class INT8LinearBackend(PolicyBackend):
     """Per-tensor integer linear layers, exact fp32 non-linear."""
 
     def __init__(self, *, bits: int = 8) -> None:
-        super().__init__(name="int8-linear" if bits == 8 else f"int{bits}-linear",
-                         matmul_precision=f"int{bits}")
+        name = "int8-linear" if bits == 8 else f"int{bits}-linear"
+        policy = PrecisionPolicy(
+            name=name,
+            rules=(
+                PolicyRule("*", "linear", f"int{bits}"),
+                PolicyRule("*", "attention", f"int{bits}"),
+            ),
+            default="fp32",
+        )
+        super().__init__(policy, name=name)
         self.bits = bits
-
-    def prepare_weight(
-        self, w: "np.ndarray | PreparedTensor"
-    ) -> "np.ndarray | PreparedTensor":
-        if isinstance(w, PreparedTensor):
-            return w
-        prepared, hit = get_cache().prepare_int(w, bits=self.bits)
-        if not hit:
-            self._record_quantize(int(np.prod(prepared.shape)))
-        return prepared
-
-    def _matmul(
-        self, x: np.ndarray, w: "np.ndarray | PreparedTensor"
-    ) -> np.ndarray:
-        mon = get_monitor()
-        if isinstance(w, PreparedTensor):
-            wq = w.payload
-            self._record_quantize(np.asarray(x).size)
-        else:
-            self._record_quantize(np.asarray(x).size + np.asarray(w).size)
-            wq = quantize_intn(w, self.bits)
-            if mon.enabled:
-                mon.observe_int("weight", w, wq, bits=self.bits)
-        xq = quantize_intn(x, self.bits)
-        if mon.enabled:
-            mon.observe_int("activation", x, xq, bits=self.bits)
-        return int8_matmul(xq, wq).astype(np.float32)
-
-    def _matmul_batched(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        self._record_quantize(a.size + b.size)
-        qa, sa = quantize_intn_sliced(a, self.bits)
-        qb, sb = quantize_intn_sliced(b, self.bits)
-        mon = get_monitor()
-        if mon.enabled:
-            mon.observe_int_sliced("activation", a, qa, sa, bits=self.bits)
-            mon.observe_int_sliced("kv", b, qb, sb, bits=self.bits)
-        return intn_matmul_quantized(qa, sa, qb, sb).astype(np.float32)
 
 
 class INT8AllBackend(INT8LinearBackend):
@@ -361,18 +411,10 @@ class INT8AllBackend(INT8LinearBackend):
     """
 
     def __init__(self, *, bits: int = 8) -> None:
-        super().__init__(bits=bits)
-        self.name = "int8-all" if bits == 8 else f"int{bits}-all"
-        self.nonlinear_precision = f"int{bits}"
-
-    def _snap(self, x):
-        return quantize_intn(x, self.bits).decode().reshape(x.shape).astype(np.float32)
-
-    def _nonlinear(self, kind, fn, x):
-        return self._snap(fn(self._snap(x)))
-
-    def requantize(self, x):
-        return self._snap(x)
+        name = "int8-all" if bits == 8 else f"int{bits}-all"
+        policy = PrecisionPolicy(name=name, rules=(), default=f"int{bits}")
+        PolicyBackend.__init__(self, policy, name=name)
+        self.bits = bits
 
 
 class IBERTBackend(INT8LinearBackend):
@@ -387,67 +429,42 @@ class IBERTBackend(INT8LinearBackend):
     """
 
     def __init__(self, *, bits: int = 8, act_bits: int = 8) -> None:
-        super().__init__(bits=bits)
-        self.name = "ibert"
-        self.act_bits = act_bits
-        self.nonlinear_precision = f"int{act_bits}"
-
-    def _nonlinear(self, kind, fn, x):
-        from repro.models.integer_nonlinear import i_gelu, i_softmax, i_sqrt
-
-        xq = quantize_intn(x, self.act_bits)
-        q = xq.values.astype(np.int64).reshape(x.shape)
-        scale = xq.scale
-        if kind == "softmax":
-            out_q, out_scale = i_softmax(q, scale)
-            return (out_q * out_scale).astype(np.float32)
-        if kind == "gelu":
-            out_q, out_scale = i_gelu(q, scale)
-            return (out_q * out_scale).astype(np.float32)
-        if kind in ("layernorm", "rmsnorm"):
-            # Integer mean/variance with the Newton integer sqrt.  The
-            # integer-normalized tensor (zero mean, unit variance on a 2^7
-            # fixed-point grid) is handed back to the layer's own function,
-            # which re-normalizes (a near-no-op) and applies gamma/beta —
-            # so only the integer normalization's quantization error enters.
-            n = q.shape[-1]
-            mean = q.sum(-1, keepdims=True) // n if kind == "layernorm" else 0
-            c = q - mean
-            var = np.maximum((c * c).sum(-1, keepdims=True) // n, 1)
-            std = np.maximum(i_sqrt(var), 1)
-            norm = (c << 7) // std
-            return fn((norm.astype(np.float32) / (1 << 7))).astype(np.float32)
-        # Unknown non-linearity (e.g. swiglu): integer pipelines have no
-        # program for it; fall back to quantize-evaluate-quantize.
-        y = fn((q * scale).astype(np.float32))
-        yq = quantize_intn(y, self.act_bits)
-        return yq.decode().reshape(y.shape).astype(np.float32)
-
-    def requantize(self, x):
-        return quantize_intn(x, self.act_bits).decode().reshape(x.shape).astype(
-            np.float32
+        fmt = IBertFormat(bits=bits, act_bits=act_bits)
+        policy = PrecisionPolicy(
+            name="ibert",
+            rules=(
+                PolicyRule("*", "linear", f"int{bits}"),
+                PolicyRule("*", "attention", f"int{bits}"),
+            ),
+            default="ibert",
         )
+        PolicyBackend.__init__(
+            self, policy, name="ibert", formats={"ibert": fmt}
+        )
+        self.bits = bits
+        self.act_bits = act_bits
 
 
-def _as2d(x: np.ndarray) -> np.ndarray:
-    return x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+BACKENDS: dict[str, Callable[[], ComputeBackend]] = {}
 
 
-@contextmanager
-def _dual_scope(profiler, monitor, name: str):
-    """Push one scope name onto both the profiler and the monitor."""
-    with profiler.scope(name), monitor.scope(name):
-        yield
+def register_backend(name: str, factory: Callable[[], ComputeBackend]) -> None:
+    """Register a backend factory; duplicate names raise (no silent
+    overwrite — resolution must not depend on import order)."""
+    if name in BACKENDS:
+        raise RegistryError(f"backend {name!r} is already registered")
+    BACKENDS[name] = factory
 
 
-BACKENDS: dict[str, Callable[[], ComputeBackend]] = {
-    "fp32": FP32Backend,
-    "bfp8-mixed": BFP8MixedBackend,
-    "bfp8-all": BFP8AllBackend,
-    "int8-linear": INT8LinearBackend,
-    "int8-all": INT8AllBackend,
-    "ibert": IBERTBackend,
-}
+for _name, _factory in (
+    ("fp32", FP32Backend),
+    ("bfp8-mixed", BFP8MixedBackend),
+    ("bfp8-all", BFP8AllBackend),
+    ("int8-linear", INT8LinearBackend),
+    ("int8-all", INT8AllBackend),
+    ("ibert", IBERTBackend),
+):
+    register_backend(_name, _factory)
 
 
 def get_backend(name: str) -> ComputeBackend:

@@ -62,12 +62,26 @@ class TransformerBlock(Module):
         self.ln2 = LayerNorm(dim)
         self.mlp = MLP(dim, int(dim * mlp_ratio), rng=rng)
 
+    def prepare(self, backend: ComputeBackend) -> None:
+        # Warm under the same scope names forward() pushes, so prepare-time
+        # weight quantization resolves the same per-layer policy format.
+        with backend.scope("attn"):
+            self.attn.prepare(backend)
+        with backend.scope("mlp"):
+            self.mlp.prepare(backend)
+
     def forward(self, x: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         backend = backend or FP32Backend()
         # The residual stream lives in the regime's storage format: a real
         # integer pipeline keeps these tensors quantized too.
-        x = backend.requantize(x + self.attn.forward(self.ln1.forward(x, backend), backend))
-        x = backend.requantize(x + self.mlp.forward(self.ln2.forward(x, backend), backend))
+        with backend.scope("attn"):
+            x = backend.requantize(
+                x + self.attn.forward(self.ln1.forward(x, backend), backend)
+            )
+        with backend.scope("mlp"):
+            x = backend.requantize(
+                x + self.mlp.forward(self.ln2.forward(x, backend), backend)
+            )
         return x.astype(np.float32)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -136,17 +150,30 @@ class VisionTransformer(Module):
         self.norm = LayerNorm(dim)
         self.head = Linear(dim, n_classes, rng=rng)
 
+    def prepare(self, backend: ComputeBackend) -> None:
+        with backend.scope("patch_embed"):
+            self.patch_embed.prepare(backend)
+        for i, blk in enumerate(self.blocks):
+            with backend.scope(f"block{i}"):
+                blk.prepare(backend)
+        with backend.scope("head"):
+            self.head.prepare(backend)
+
     def forward(self, images: np.ndarray, backend: ComputeBackend | None = None) -> np.ndarray:
         backend = backend or FP32Backend()
-        x = self.patch_embed.forward(images, backend)
+        with backend.scope("patch_embed"):
+            x = self.patch_embed.forward(images, backend)
         b = x.shape[0]
         cls = np.broadcast_to(self.params["cls_token"], (b, 1, self.dim))
         x = np.concatenate([cls, x], axis=1) + self.params["pos_embed"]
         x = x.astype(np.float32)
-        for blk in self.blocks:
-            x = blk.forward(x, backend)
-        x = self.norm.forward(x, backend)
-        return self.head.forward(x[:, 0], backend)
+        for i, blk in enumerate(self.blocks):
+            with backend.scope(f"block{i}"):
+                x = blk.forward(x, backend)
+        with backend.scope("final_norm"):
+            x = self.norm.forward(x, backend)
+        with backend.scope("head"):
+            return self.head.forward(x[:, 0], backend)
 
 
 class SequenceClassifier(Module):
@@ -190,12 +217,15 @@ class SequenceClassifier(Module):
             )
         x = self.embed.forward(tokens) + self.params["pos_embed"]
         x = x.astype(np.float32)
-        for blk in self.blocks:
-            x = blk.forward(x, backend)
-        x = self.norm.forward(x, backend)
+        for i, blk in enumerate(self.blocks):
+            with backend.scope(f"block{i}"):
+                x = blk.forward(x, backend)
+        with backend.scope("final_norm"):
+            x = self.norm.forward(x, backend)
         self._n = x.shape[1]
         pooled = x.mean(axis=1)
-        return self.head.forward(pooled, backend)
+        with backend.scope("head"):
+            return self.head.forward(pooled, backend)
 
     def backward(self, dlogits: np.ndarray) -> None:
         assert self._n is not None

@@ -56,6 +56,11 @@ def add_profile_parser(subparsers) -> argparse.ArgumentParser:
                    help="profile the functional TinyLM instead of a schedule")
     p.add_argument("--backend", default="bfp8-mixed",
                    help="functional mode: arithmetic backend name")
+    p.add_argument("--policy", default=None, metavar="NAME_OR_JSON",
+                   help="per-layer precision policy: a preset name or a "
+                        "policy JSON file; overrides --backend in functional "
+                        "mode and re-modes the compiled matmul stages in "
+                        "schedule mode")
     p.add_argument("--seed", type=int, default=0,
                    help="functional mode: model/token seed")
     p.add_argument("--gen-tokens", type=int, default=4,
@@ -68,16 +73,26 @@ def add_profile_parser(subparsers) -> argparse.ArgumentParser:
     return p
 
 
+def _policy(args):
+    if getattr(args, "policy", None) is None:
+        return None
+    from repro.models.policy import load_policy
+
+    return load_policy(args.policy)
+
+
 def _compile(args):
     from repro.models.configs import CONFIGS
     from repro.runtime.scheduler import compile_decoder, compile_vit
 
+    policy = _policy(args)
     if args.model in CONFIGS:
-        return compile_vit(CONFIGS[args.model], batch=args.batch)
+        return compile_vit(CONFIGS[args.model], batch=args.batch,
+                           policy=policy)
     phase = args.model.split("-", 1)[1]
     return compile_decoder(
         vocab=args.vocab, dim=args.dim, depth=args.depth, n_heads=args.heads,
-        context=args.context, phase=phase, batch=args.batch,
+        context=args.context, phase=phase, batch=args.batch, policy=policy,
     )
 
 
@@ -88,6 +103,7 @@ def _run_schedule(args) -> int:
     model = _compile(args)
     n = args.units or model.clock.n_units
     rows = model.workload_split(n)
+    policy = _policy(args)
     print(render_table(
         ["partition", "ops", "ops%", "cycles", "latency%"],
         [(r["name"], f"{r['ops']:.3g}", f"{r['ops_pct']:.1f}",
@@ -105,6 +121,10 @@ def _run_schedule(args) -> int:
         "fp32_latency_share": model.fp32_latency_share(n),
         "unit_cycles_per_item": model.unit_cycles_per_item(),
     }
+    if policy is not None:
+        summary["policy"] = policy.name
+        for mode, cyc in sorted(model.latency_by_mode(n).items()):
+            summary[f"latency_cycles.{mode}"] = cyc
     print(render_metrics("schedule profile", summary))
 
     if args.trace_out is not None:
@@ -131,11 +151,15 @@ def _run_functional(args) -> int:
     import numpy as np
 
     from repro.eval.reporting import render_metrics
-    from repro.models.backend import get_backend
+    from repro.models.backend import PolicyBackend, get_backend
     from repro.models.decoder import TinyLM
     from repro.obs.profile import Profiler
 
-    backend = get_backend(args.backend)
+    policy = _policy(args)
+    if policy is not None:
+        backend = PolicyBackend(policy)
+    else:
+        backend = get_backend(args.backend)
     backend.profiler = Profiler()
     model = TinyLM(seed=args.seed)
     rng = np.random.default_rng(args.seed)

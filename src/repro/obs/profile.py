@@ -137,10 +137,22 @@ class Profiler:
         e.cycles += cycles
         e.host_ops += host_ops
 
-    def record_matmul(self, m: int, k: int, n: int, *, precision: str) -> None:
-        """One linear-layer matmul under the backend's matmul precision."""
+    def record_matmul(
+        self, m: int, k: int, n: int, *, precision: str,
+        array: bool | None = None,
+    ) -> None:
+        """One linear-layer matmul under the backend's matmul precision.
+
+        ``array`` says whether the matmul maps onto the systolic array
+        (Eqn-9 stream cycles) or runs MAC-by-MAC on the vector unit; when
+        ``None`` it is inferred from the precision label (bfp/int map to
+        the array — the legacy heuristic, which knows nothing of the
+        minifloat formats).
+        """
         macs = m * k * n
-        if precision.startswith(("bfp", "int")):
+        if array is None:
+            array = precision.startswith(("bfp", "int"))
+        if array:
             cycles = bfp_matmul_unit_cycles(m, k, n)
         else:
             # No array mapping: every MAC goes through the vector unit.

@@ -112,11 +112,18 @@ def vit_batch_unit_cycles(
     *,
     mem: MemoryModel = DEFAULT_MEMORY,
     clock: ClockConfig = DEFAULT_CLOCK,
+    policy=None,
 ) -> int:
-    """Unit-occupancy cycles of one ViT classify job over ``batch`` images."""
+    """Unit-occupancy cycles of one ViT classify job over ``batch`` images.
+
+    ``policy`` is an optional frozen :class:`~repro.models.policy.
+    PrecisionPolicy` (hashable, so it composes with the memo); ``None``
+    keeps the historical all-bfp8 schedule.
+    """
     from repro.runtime.scheduler import compile_vit
 
-    model = compile_vit(cfg_vit, batch=batch, clock=clock, mem=mem)
+    model = compile_vit(cfg_vit, batch=batch, clock=clock, mem=mem,
+                        policy=policy)
     return model.unit_cycles_per_item()
 
 
@@ -133,17 +140,21 @@ def decoder_batch_unit_cycles(
     mlp_ratio: float = 8 / 3,
     mem: MemoryModel = DEFAULT_MEMORY,
     clock: ClockConfig = DEFAULT_CLOCK,
+    policy=None,
 ) -> int:
     """Unit-occupancy cycles of one batched decoder prefill/decode job.
 
     ``context`` is the prompt length (prefill) or current KV length
     (decode); the serving layer buckets it so this cache stays small.
+    ``policy`` (frozen, hashable) selects per-layer formats; ``None`` is
+    the historical all-bfp8 schedule.
     """
     from repro.runtime.scheduler import compile_decoder
 
     model = compile_decoder(
         vocab=vocab, dim=dim, depth=depth, n_heads=n_heads, context=context,
         mlp_ratio=mlp_ratio, phase=phase, batch=batch, clock=clock, mem=mem,
+        policy=policy,
     )
     return model.unit_cycles_per_item()
 

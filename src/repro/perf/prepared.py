@@ -10,11 +10,12 @@ useful row work, exactly the cost the hardware never pays.
 
 :class:`PreparedOperandCache` closes that gap.  It memoizes the quantized
 form of an operand — a :class:`~repro.arith.bfp_matmul.BfpWeight` (block
-encoding plus its matmul-ready flat layout) for the block-fp backends, an
-:class:`~repro.formats.int8q.Int8Tensor` for the
-integer backends — keyed by the format parameters (``bfp``/``int``,
-``man_bits``/``bits``, rounding) crossed with a content fingerprint of
-the source array.  The fingerprint makes in-place mutation safe: updating
+encoding plus its matmul-ready flat layout) for the block-fp formats, an
+:class:`~repro.formats.int8q.Int8Tensor` for the integer formats, a
+grid-snapped float32 array for the half/minifloat formats — keyed by the
+full format id from the format registry (``bfp8``, ``int6``,
+``fp8-e4m3``, ...) plus any residual parameters (rounding mode), crossed
+with a content fingerprint of the source array.  The fingerprint makes in-place mutation safe: updating
 a weight changes its digest, so the next lookup re-quantizes instead of
 serving stale data (an array-identity memo skips re-hashing only while
 the same array object provably cannot have changed).  Cached payload
@@ -93,13 +94,14 @@ def _checksum(arr: np.ndarray) -> int:
 class PreparedTensor:
     """A quantized operand ready for repeated matmul use.
 
-    ``payload`` is the format-specific quantized form (``BfpMatrix`` or
-    ``Int8Tensor``) with its arrays frozen read-only; ``shape`` is the
-    source matrix shape, so a prepared weight can stand in for the dense
-    array wherever only the shape is consulted (op statistics, profiler).
+    ``payload`` is the format-specific quantized form (``BfpWeight``,
+    ``Int8Tensor``, grid-snapped float32 array) with its arrays frozen
+    read-only; ``shape`` is the source matrix shape, so a prepared weight
+    can stand in for the dense array wherever only the shape is consulted
+    (op statistics, profiler).
     """
 
-    fmt: str  # "bfp" | "int"
+    fmt: str  # registry format id: "bfp8" | "int8" | "fp8-e4m3" | ...
     params: tuple
     payload: object
     shape: tuple[int, ...]
@@ -118,9 +120,10 @@ def _freeze(*arrays: np.ndarray) -> None:
 class PreparedOperandCache:
     """LRU cache of prepared (quantized) operands.
 
-    Entries are keyed by ``(fmt, params, fingerprint)`` so arrays with
-    identical content share one prepared form regardless of object
-    identity.  An identity memo (``id`` -> weak ref + checksum + digest)
+    Entries are keyed by ``(format_id, params, fingerprint)`` so arrays
+    with identical content share one prepared form regardless of object
+    identity — and two formats (or two widths of one family) never serve
+    each other's payloads.  An identity memo (``id`` -> weak ref + checksum + digest)
     lets lookups of an unchanged array skip the blake2b content hash: a
     read-only array is trusted outright, a writable one is revalidated
     with a fast CRC32 over its bytes — every byte is still read on every
@@ -237,7 +240,7 @@ class PreparedOperandCache:
             )
             return bw, nbytes
 
-        return self.prepare(arr, "bfp", (man_bits, rounding), build)
+        return self.prepare(arr, f"bfp{man_bits}", (rounding,), build)
 
     def prepare_int(
         self, arr: np.ndarray, *, bits: int = 8
@@ -254,7 +257,26 @@ class PreparedOperandCache:
             _freeze(q.values)
             return q, q.values.nbytes + 8  # values + the float scale
 
-        return self.prepare(arr, "int", (bits,), build)
+        return self.prepare(arr, f"int{bits}", (), build)
+
+    def prepare_half(self, arr: np.ndarray, *, fmt) -> tuple[PreparedTensor, bool]:
+        """Prepared half/minifloat encoding: the grid-snapped float32 array.
+
+        ``fmt`` is a :class:`~repro.formats.halfprec.HalfFormat`; the
+        stored payload carries one byte per mantissa/exponent/sign field
+        pair in the modeled hardware, but the emulation keeps the decoded
+        float32 values (4 bytes each) since that is what the matmul
+        kernel consumes."""
+        from repro.formats.halfprec import quantize_half
+
+        def build(a: np.ndarray) -> tuple[np.ndarray, int]:
+            # Build runs only on a miss — the observe tap inside
+            # quantize_half fires exactly once per weight residency.
+            q = quantize_half(np.asarray(a, dtype=np.float32), fmt, role="weight")
+            _freeze(q)
+            return q, q.nbytes
+
+        return self.prepare(arr, fmt.name, (fmt.exp_bits, fmt.man_bits), build)
 
     # -- bookkeeping ---------------------------------------------------------
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.models.configs import ViTConfig
@@ -35,6 +36,9 @@ from repro.runtime.vector_ops import (
     build_silu,
     build_softmax,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.models.policy import PrecisionPolicy
 
 __all__ = ["Stage", "CompiledModel", "compile_vit", "compile_decoder"]
 
@@ -87,6 +91,14 @@ class CompiledModel:
         out: dict[str, int] = {}
         for s in self.stages:
             out[s.kind] = out.get(s.kind, 0) + s.latency_cycles(n)
+        return out
+
+    def latency_by_mode(self, n_units: int | None = None) -> dict[str, int]:
+        """Per-format cycle attribution — the policy view of the schedule."""
+        n = n_units or self.clock.n_units
+        out: dict[str, int] = {}
+        for s in self.stages:
+            out[s.mode] = out.get(s.mode, 0) + s.latency_cycles(n)
         return out
 
     def fp32_latency_share(self, n_units: int | None = None) -> float:
@@ -181,6 +193,24 @@ def _publish_compile(model: CompiledModel) -> CompiledModel:
     return model
 
 
+def _resolve_mode(
+    policy: "PrecisionPolicy | None", layer: str, role: str
+) -> tuple[str, bool]:
+    """``(format name, maps onto the array)`` for one scheduled matmul.
+
+    With no policy the compiler keeps its historical behaviour — every
+    matmul is a bfp8 array stage.  The layer paths mirror the functional
+    backends' scope paths (``block0.attn``, ``block0.mlp``, ``head``), so
+    one policy document governs both the emulation and the compiler.
+    """
+    if policy is None:
+        return "bfp8", True
+    from repro.formats.registry import get_format
+
+    name = policy.resolve_name(layer, role)
+    return name, get_format(name).uses_array
+
+
 def _matmul_stage(
     name: str,
     m: int,
@@ -189,16 +219,35 @@ def _matmul_stage(
     *,
     copies: int,
     mem: MemoryModel,
+    fmt: str = "bfp8",
+    array: bool = True,
 ) -> Stage:
-    """A (possibly head-replicated) matmul as one stage."""
+    """A (possibly head-replicated) matmul as one stage.
+
+    Array-mapped formats (bfp/int/single-slice minifloat) cost through the
+    Eqn-9 stream schedule; formats without an array mapping fall back to
+    MAC-by-MAC execution on the 4-lane fp32 vector personality — the
+    cliff the paper's bfp slicing exists to avoid.
+    """
     plan: MatmulPlan = plan_matmul(m, k, n)
+    if not array:
+        fpu_ops = 2 * m * k * n * copies
+        chunks = max(1, ceil(fpu_ops / _FP32_STREAM_ELEMS))
+        return Stage(
+            name=name,
+            kind="matmul",
+            mode=fmt,
+            chunks=chunks,
+            chunk_cycles=measured_fp32_stream_cycles(128, mem),
+            ops=float(fpu_ops),
+        )
     per_stream_compute = 8 * plan.stream_len + 15
     rd, wr = mem.bfp_stream_bytes(plan.stream_len)
     chunk_cycles = mem.stream_total_cycles("bfp8", per_stream_compute, rd, wr)
     return Stage(
         name=name,
         kind="matmul",
-        mode="bfp8",
+        mode=fmt,
         chunks=plan.streams * copies,
         chunk_cycles=chunk_cycles,
         ops=float(plan.ops * copies),
@@ -256,6 +305,7 @@ def compile_vit(
     mem: MemoryModel = DEFAULT_MEMORY,
     exp_degree: int = 6,
     include_head: bool = True,
+    policy: "PrecisionPolicy | None" = None,
 ) -> CompiledModel:
     """Lower a ViT configuration to a hardware schedule.
 
@@ -263,9 +313,18 @@ def compile_vit(
     matmuls see ``batch * n_tokens`` rows (longer N_X streams, Eqn-9
     efficiency) while attention score/context matmuls replicate per image
     (each image attends only to its own tokens).
+
+    ``policy`` maps each matmul's (layer path, role) to a registry format;
+    ``None`` keeps the historical all-bfp8 schedule.
     """
     if batch <= 0:
         raise ConfigurationError("batch must be positive")
+
+    def mm(name, m_, k_, n_, *, copies, layer, role):
+        fmt, array = _resolve_mode(policy, layer, role)
+        return _matmul_stage(name, m_, k_, n_, copies=copies, mem=mem,
+                             fmt=fmt, array=array)
+
     n, d, h, m = cfg.n_tokens, cfg.dim, cfg.n_heads, cfg.mlp_hidden
     hd = cfg.head_dim
     rows = batch * n  # token rows through the shared-weight matmuls
@@ -277,28 +336,34 @@ def compile_vit(
     st = model.stages
 
     patch_in = cfg.patch_size**2 * cfg.in_chans
-    st.append(_matmul_stage("patch_embed", batch * cfg.n_patches, patch_in, d,
-                            copies=1, mem=mem))
+    st.append(mm("patch_embed", batch * cfg.n_patches, patch_in, d,
+                 copies=1, layer="patch_embed", role="linear"))
 
     for layer in range(cfg.depth):
         p = f"block{layer}."
+        attn, mlp = p + "attn", p + "mlp"
         st.append(_vector_stage(p + "ln1", "layernorm", rows * d, ln_pe, mem=mem))
-        st.append(_matmul_stage(p + "qkv", rows, d, 3 * d, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "scores", n, hd, n, copies=h * batch, mem=mem))
+        st.append(mm(p + "qkv", rows, d, 3 * d, copies=1,
+                     layer=attn, role="linear"))
+        st.append(mm(p + "scores", n, hd, n, copies=h * batch,
+                     layer=attn, role="attention"))
         st.append(_vector_stage(p + "softmax", "softmax", batch * h * n * n,
                                 softmax_pe, mem=mem))
-        st.append(_matmul_stage(p + "context", n, n, hd, copies=h * batch, mem=mem))
-        st.append(_matmul_stage(p + "proj", rows, d, d, copies=1, mem=mem))
+        st.append(mm(p + "context", n, n, hd, copies=h * batch,
+                     layer=attn, role="attention"))
+        st.append(mm(p + "proj", rows, d, d, copies=1,
+                     layer=attn, role="linear"))
         st.append(_residual_stage(p + "residual1", rows * d, mem))
         st.append(_vector_stage(p + "ln2", "layernorm", rows * d, ln_pe, mem=mem))
-        st.append(_matmul_stage(p + "fc1", rows, d, m, copies=1, mem=mem))
+        st.append(mm(p + "fc1", rows, d, m, copies=1, layer=mlp, role="linear"))
         st.append(_vector_stage(p + "gelu", "gelu", rows * m, gelu_pe, mem=mem))
-        st.append(_matmul_stage(p + "fc2", rows, m, d, copies=1, mem=mem))
+        st.append(mm(p + "fc2", rows, m, d, copies=1, layer=mlp, role="linear"))
         st.append(_residual_stage(p + "residual2", rows * d, mem))
 
     st.append(_vector_stage("final_ln", "layernorm", rows * d, ln_pe, mem=mem))
     if include_head:
-        st.append(_matmul_stage("head", batch, d, cfg.n_classes, copies=1, mem=mem))
+        st.append(mm("head", batch, d, cfg.n_classes, copies=1,
+                     layer="head", role="linear"))
     return _publish_compile(model)
 
 
@@ -315,6 +380,7 @@ def compile_decoder(
     clock: ClockConfig = DEFAULT_CLOCK,
     mem: MemoryModel = DEFAULT_MEMORY,
     exp_degree: int = 6,
+    policy: "PrecisionPolicy | None" = None,
 ) -> CompiledModel:
     """Lower a LLaMA-family decoder to a hardware schedule.
 
@@ -349,24 +415,36 @@ def compile_decoder(
 
     model = CompiledModel(name=f"decoder-{phase}", clock=clock)
     st = model.stages
+
+    def mm(name, m_, k_, n_, *, copies, layer, role):
+        fmt, array = _resolve_mode(policy, layer, role)
+        return _matmul_stage(name, m_, k_, n_, copies=copies, mem=mem,
+                             fmt=fmt, array=array)
+
     for layer in range(depth):
         p = f"layer{layer}."
+        # Policy paths use the functional model's scope names (TinyLM
+        # pushes block{i}.attn / block{i}.mlp / head), so the same policy
+        # document drives the emulation and the compiled schedule.
+        attn, mlp = f"block{layer}.attn", f"block{layer}.mlp"
         st.append(_vector_stage(p + "rmsnorm1", "rmsnorm", rows * dim, rms_pe, mem=mem))
-        st.append(_matmul_stage(p + "qkv", rows, dim, 3 * dim, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "scores", n, hd, ctx, copies=n_heads * batch,
-                                mem=mem))
+        st.append(mm(p + "qkv", rows, dim, 3 * dim, copies=1,
+                     layer=attn, role="linear"))
+        st.append(mm(p + "scores", n, hd, ctx, copies=n_heads * batch,
+                     layer=attn, role="attention"))
         st.append(_vector_stage(p + "softmax", "softmax", batch * n_heads * n * ctx,
                                 softmax_pe, mem=mem))
-        st.append(_matmul_stage(p + "context", n, ctx, hd, copies=n_heads * batch,
-                                mem=mem))
-        st.append(_matmul_stage(p + "proj", rows, dim, dim, copies=1, mem=mem))
+        st.append(mm(p + "context", n, ctx, hd, copies=n_heads * batch,
+                     layer=attn, role="attention"))
+        st.append(mm(p + "proj", rows, dim, dim, copies=1,
+                     layer=attn, role="linear"))
         st.append(_residual_stage(p + "residual1", rows * dim, mem))
         st.append(_vector_stage(p + "rmsnorm2", "rmsnorm", rows * dim, rms_pe, mem=mem))
-        st.append(_matmul_stage(p + "gate", rows, dim, m, copies=1, mem=mem))
-        st.append(_matmul_stage(p + "up", rows, dim, m, copies=1, mem=mem))
+        st.append(mm(p + "gate", rows, dim, m, copies=1, layer=mlp, role="linear"))
+        st.append(mm(p + "up", rows, dim, m, copies=1, layer=mlp, role="linear"))
         st.append(_vector_stage(p + "swiglu", "swiglu", rows * m, swiglu_pe, mem=mem))
-        st.append(_matmul_stage(p + "down", rows, m, dim, copies=1, mem=mem))
+        st.append(mm(p + "down", rows, m, dim, copies=1, layer=mlp, role="linear"))
         st.append(_residual_stage(p + "residual2", rows * dim, mem))
     st.append(_vector_stage("final_rmsnorm", "rmsnorm", rows * dim, rms_pe, mem=mem))
-    st.append(_matmul_stage("lm_head", rows, dim, vocab, copies=1, mem=mem))
+    st.append(mm("lm_head", rows, dim, vocab, copies=1, layer="head", role="linear"))
     return _publish_compile(model)

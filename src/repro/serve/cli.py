@@ -61,10 +61,22 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
     p.add_argument("--numerics-out", type=Path, default=None, metavar="FILE",
                    help="write a quantization-health report (JSON) from a "
                         "functional replay of the trace's first LLM requests "
-                        "under bfp8-mixed")
+                        "under bfp8-mixed (or the --policy backend)")
     p.add_argument("--numerics-requests", type=int, default=4,
                    help="LLM requests to replay for --numerics-out")
+    p.add_argument("--policy", default=None, metavar="NAME_OR_JSON",
+                   help="per-layer precision policy: a preset name or a "
+                        "policy JSON file; shapes the cost model's compiled "
+                        "schedules (default: the all-bfp8 schedule)")
     return p
+
+
+def _precision(args):
+    if getattr(args, "policy", None) is None:
+        return None
+    from repro.models.policy import load_policy
+
+    return load_policy(args.policy)
 
 
 def _config(args, max_batch: int) -> ServeConfig:
@@ -73,6 +85,7 @@ def _config(args, max_batch: int) -> ServeConfig:
                            vit_max_batch=args.vit_max_batch),
         max_queue=args.max_queue,
         max_sessions_per_unit=args.max_sessions,
+        precision=_precision(args),
     )
 
 
@@ -92,12 +105,15 @@ def run_serve_sim(args) -> int:
             "clock_freq_hz": _config(args, args.max_batch).clock.freq_hz,
         })
     registry = MetricsRegistry() if args.metrics_out is not None else None
-    report: ServeReport = simulate(trace, _config(args, args.max_batch),
+    config = _config(args, args.max_batch)
+    report: ServeReport = simulate(trace, config,
                                    tracer=tracer, registry=registry)
     print(report.render(
         f"serve-sim: {args.requests} requests, rate {args.rate:g}/s, "
         f"seed {args.seed}, max_batch {args.max_batch}"
     ))
+    if config.precision is not None:
+        _print_precision_split(config)
     if args.compare_batch1:
         base = simulate(trace, _config(args, 1))
         got, ref = report.summary, base.summary
@@ -126,21 +142,47 @@ def run_serve_sim(args) -> int:
     return 0
 
 
+def _print_precision_split(config: ServeConfig) -> None:
+    """Per-format unit-cycle attribution of the policy-compiled batch jobs."""
+    from repro.eval.reporting import render_metrics
+    from repro.runtime.scheduler import compile_decoder
+
+    p = config.profile
+    for phase in ("prefill", "decode"):
+        model = compile_decoder(
+            vocab=p.vocab, dim=p.dim, depth=p.depth, n_heads=p.n_heads,
+            context=p.context, mlp_ratio=p.mlp_ratio, phase=phase,
+            clock=config.clock, mem=config.mem, policy=config.precision,
+        )
+        total = sum(model.latency_by_mode(1).values())
+        split = {
+            f"cycles.{mode}": cyc
+            for mode, cyc in sorted(model.latency_by_mode(1).items())
+        }
+        split["cycles.total"] = total
+        print()
+        print(render_metrics(
+            f"precision policy {config.precision.name!r}: "
+            f"{phase} unit-cycles by format", split))
+
+
 def _write_serving_numerics(trace, args) -> None:
     """Value-domain health of the serving path: functional shadow replay.
 
     The dispatcher itself moves no tensors (it is a cycle-accurate cost
     model), so the numerics of the online path are measured by replaying
     the trace's first LLM requests through the functional ``TinyLM``
-    decode under the paper's bfp8-mixed backend — same shapes (prompt +
-    greedy decode, KV cache), same quantization kernels the hardware
-    would run — with the numerics monitor attached.
+    decode under the paper's bfp8-mixed backend (or, with ``--policy``, a
+    :class:`~repro.models.backend.PolicyBackend` over the same policy the
+    cost model compiled) — same shapes (prompt + greedy decode, KV
+    cache), same quantization kernels the hardware would run — with the
+    numerics monitor attached.
     """
     import json
 
     import numpy as np
 
-    from repro.models.backend import get_backend
+    from repro.models.backend import PolicyBackend, get_backend
     from repro.models.decoder import TinyLM
     from repro.obs import baseline as bl
     from repro.obs.numerics import NumericsMonitor, set_monitor
@@ -148,7 +190,11 @@ def _write_serving_numerics(trace, args) -> None:
 
     llm = [r for r in trace if r.kind == "llm"][: args.numerics_requests]
     model = TinyLM(seed=args.seed)
-    backend = get_backend("bfp8-mixed")
+    precision = _precision(args)
+    if precision is not None:
+        backend = PolicyBackend(precision)
+    else:
+        backend = get_backend("bfp8-mixed")
     rng = np.random.default_rng(args.seed)
     monitor = NumericsMonitor()
     prev_monitor = set_monitor(monitor)

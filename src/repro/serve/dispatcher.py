@@ -25,6 +25,7 @@ from math import ceil
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
 from repro.models.configs import DEIT_TINY, ViTConfig
+from repro.models.policy import PrecisionPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.latency import decoder_batch_unit_cycles, vit_batch_unit_cycles
@@ -63,7 +64,12 @@ class ModelProfile:
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Everything the simulation needs besides the trace itself."""
+    """Everything the simulation needs besides the trace itself.
+
+    ``policy`` shapes batching; ``precision`` is an optional per-layer
+    :class:`~repro.models.policy.PrecisionPolicy` the cost model compiles
+    batch jobs under (``None`` = the historical all-bfp8 schedule).
+    """
 
     profile: ModelProfile = ModelProfile()
     policy: BatchPolicy = BatchPolicy()
@@ -71,6 +77,7 @@ class ServeConfig:
     max_sessions_per_unit: int = 8
     clock: ClockConfig = DEFAULT_CLOCK
     mem: MemoryModel = DEFAULT_MEMORY
+    precision: PrecisionPolicy | None = None
 
 
 class CostModel:
@@ -90,6 +97,7 @@ class CostModel:
             phase, batch, context,
             vocab=p.vocab, dim=p.dim, depth=p.depth, n_heads=p.n_heads,
             mlp_ratio=p.mlp_ratio, mem=self.cfg.mem, clock=self.cfg.clock,
+            policy=self.cfg.precision,
         )
 
     def batch_cycles(self, batch: Batch) -> int:
@@ -97,6 +105,7 @@ class CostModel:
             return vit_batch_unit_cycles(
                 self.cfg.profile.vit, batch.size,
                 mem=self.cfg.mem, clock=self.cfg.clock,
+                policy=self.cfg.precision,
             )
         bucket = self.DECODE_BUCKET if batch.phase == "decode" else self.PREFILL_BUCKET
         ctx = min(

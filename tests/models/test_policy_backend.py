@@ -1,0 +1,111 @@
+"""PolicyBackend equivalence: legacy regimes are policies, bit-identically.
+
+The registry/policy refactor replaced the class-per-format backend zoo
+with :class:`~repro.models.backend.PolicyBackend`; the legacy ``BACKENDS``
+names survive as thin aliases that construct the equivalent
+:class:`~repro.models.policy.PrecisionPolicy`.  These tests pin that
+equivalence two ways:
+
+* the SHA-256 of the TinyLM logits under every legacy backend name equals
+  the value recorded on the pre-refactor tree (bit-identity across the
+  refactor), and
+* a ``PolicyBackend`` built from the matching policy preset reproduces
+  the alias bit-for-bit (aliases add no arithmetic of their own).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.models.backend import BACKENDS, PolicyBackend, get_backend
+from repro.models.decoder import TinyLM
+from repro.models.policy import get_policy
+
+# Recorded on the pre-refactor tree: TinyLM(seed=0), tokens from
+# default_rng(0) with shape (2, seq_len), forward logits hashed raw.
+PRE_REFACTOR_LOGITS_SHA256 = {
+    "bfp8-all":
+        "500d3d2abd606a2912631fa7fafb8f06aa7ac1494164d125b9507984fef0e9d1",
+    "bfp8-mixed":
+        "249e62cd17ef485d8011754192d1b08962ac2d862804ce393ccd0f97c14c261e",
+    "fp32":
+        "0aa7981b545ad8609429429a0d9ffd25aadc2762bf91b261bdd504acce7e02f5",
+    "ibert":
+        "f5475241300e47bde7a83bc86791804f26cc709201b23df13b913025d9ee5b65",
+    "int8-all":
+        "6dce73506fad90e2435675bc0e3ddfc809b893b7242dc9e7efbeea058d9bc31a",
+    "int8-linear":
+        "fb07e81e89814ef8053055a409ef8cdd6d15e76f5d56ed800ba225327300df0c",
+}
+
+# Greedy decode from tokens[0, :4] for 6 steps (prompt + generated).
+PRE_REFACTOR_GENERATION = {
+    name: [13, 10, 8, 4, 2, 4, 6, 3, 3, 3]
+    for name in PRE_REFACTOR_LOGITS_SHA256
+}
+PRE_REFACTOR_GENERATION["ibert"] = [13, 10, 8, 4, 2, 4, 3, 10, 10, 10]
+
+
+def _fixture():
+    model = TinyLM(seed=0)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, model.vocab, size=(2, model.seq_len))
+    return model, tokens
+
+
+def _sha256(logits: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(logits).tobytes()).hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(PRE_REFACTOR_LOGITS_SHA256))
+def test_legacy_backend_bit_identical_to_pre_refactor(name):
+    model, tokens = _fixture()
+    logits = model.forward(tokens, get_backend(name))
+    assert _sha256(logits) == PRE_REFACTOR_LOGITS_SHA256[name]
+    gen = model.generate_cached(tokens[0, :4], 6, get_backend(name))
+    assert list(gen) == PRE_REFACTOR_GENERATION[name]
+
+
+@pytest.mark.parametrize("name", sorted(PRE_REFACTOR_LOGITS_SHA256))
+def test_policy_backend_matches_legacy_alias(name):
+    model, tokens = _fixture()
+    via_alias = model.forward(tokens, get_backend(name))
+    via_policy = model.forward(tokens, PolicyBackend(get_policy(name)))
+    np.testing.assert_array_equal(via_alias, via_policy)
+
+
+def test_backends_registry_unchanged():
+    # The legacy regime set is a public contract (results tables, CLI);
+    # new policies belong in POLICY_PRESETS, not BACKENDS.
+    assert sorted(BACKENDS) == sorted(PRE_REFACTOR_LOGITS_SHA256)
+
+
+def test_alias_attributes_preserved():
+    from repro.models.backend import (
+        BFP8AllBackend,
+        BFP8MixedBackend,
+        IBERTBackend,
+        INT8LinearBackend,
+    )
+
+    b = BFP8MixedBackend(man_bits=4)
+    assert b.man_bits == 4 and not b.exact_accumulate
+    assert isinstance(BFP8AllBackend(), BFP8MixedBackend)
+    assert BFP8MixedBackend(exact_accumulate=True).exact_accumulate
+    assert INT8LinearBackend(bits=6).bits == 6
+    assert IBERTBackend().act_bits == 8
+
+
+def test_policy_backend_strict_policy_raises_on_unmatched_layer():
+    from repro.errors import ConfigurationError
+    from repro.models.policy import PolicyRule, PrecisionPolicy
+
+    policy = PrecisionPolicy(
+        rules=(PolicyRule("head", "linear", "bfp8"),), default=None
+    )
+    model, tokens = _fixture()
+    with pytest.raises(ConfigurationError, match="no rule"):
+        model.forward(tokens, PolicyBackend(policy))

@@ -1,0 +1,94 @@
+"""Policy-driven compilation: per-layer formats in the compiled schedule."""
+
+from __future__ import annotations
+
+from math import ceil
+
+import pytest
+
+from repro.models.configs import DEIT_TINY
+from repro.models.policy import PolicyRule, PrecisionPolicy, get_policy
+from repro.runtime.scheduler import compile_decoder, compile_vit
+
+DEC = dict(vocab=256, dim=64, depth=2, n_heads=4, context=32)
+
+
+def test_no_policy_matches_uniform_bfp8_policy():
+    # policy=None is the legacy all-bfp8 schedule; the uniform bfp8
+    # preset must compile to the identical stage list.
+    legacy = compile_decoder(**DEC, phase="decode")
+    uniform = compile_decoder(**DEC, phase="decode",
+                              policy=get_policy("bfp8-all"))
+    assert legacy.stages == uniform.stages
+
+
+@pytest.mark.parametrize("phase", ["prefill", "decode"])
+def test_mixed_policy_decoder_stage_modes(phase):
+    model = compile_decoder(**DEC, phase=phase, policy=get_policy("mixed-fp8"))
+    modes = {s.name: s.mode for s in model.stages if s.kind == "matmul"}
+    for layer in range(2):
+        assert modes[f"layer{layer}.qkv"] == "bfp8"
+        assert modes[f"layer{layer}.scores"] == "bfp8"
+        assert modes[f"layer{layer}.context"] == "bfp8"
+        assert modes[f"layer{layer}.proj"] == "bfp8"
+        assert modes[f"layer{layer}.gate"] == "fp8-e4m3"
+        assert modes[f"layer{layer}.up"] == "fp8-e4m3"
+        assert modes[f"layer{layer}.down"] == "fp8-e4m3"
+    assert modes["lm_head"] == "bfp8"
+    # Vector stages keep their fp32 mode regardless of the policy.
+    assert all(s.mode == "fp32" for s in model.stages if s.kind != "matmul")
+
+
+def test_mixed_policy_vit_stage_modes():
+    model = compile_vit(DEIT_TINY, policy=get_policy("mixed-fp8"))
+    modes = {s.name: s.mode for s in model.stages if s.kind == "matmul"}
+    assert modes["block0.qkv"] == "bfp8"
+    assert modes["block0.fc1"] == "fp8-e4m3"
+    assert modes["block0.fc2"] == "fp8-e4m3"
+    assert modes["patch_embed"] == "bfp8"
+    assert modes["head"] == "bfp8"
+
+
+def test_latency_by_mode_partitions_total():
+    model = compile_decoder(**DEC, phase="decode",
+                            policy=get_policy("mixed-fp8"))
+    by_mode = model.latency_by_mode(1)
+    assert set(by_mode) == {"bfp8", "fp8-e4m3", "fp32"}
+    assert sum(by_mode.values()) == model.latency_cycles(1)
+
+
+def test_non_array_format_pays_the_vector_cliff():
+    # A linear layer forced to fp32 has no array mapping: every MAC goes
+    # through the 4-lane vector personality, with chunking to match.
+    fp32_linear = PrecisionPolicy(
+        name="fp32-linear", rules=(PolicyRule("*", "linear", "fp32"),),
+        default="bfp8",
+    )
+    array = compile_decoder(**DEC, phase="prefill")
+    vector = compile_decoder(**DEC, phase="prefill", policy=fp32_linear)
+    a = {s.name: s for s in array.stages}
+    v = {s.name: s for s in vector.stages}
+    qkv_a, qkv_v = a["layer0.qkv"], v["layer0.qkv"]
+    assert qkv_a.mode == "bfp8" and qkv_v.mode == "fp32"
+    m, k, n = 32, 64, 3 * 64
+    assert qkv_v.chunks == ceil(2 * m * k * n / 512)
+    assert qkv_v.chunks * qkv_v.chunk_cycles > qkv_a.chunks * qkv_a.chunk_cycles
+    # Attention matmuls were left on the array by the policy.
+    assert v["layer0.scores"].mode == "bfp8"
+    assert v["layer0.scores"] == a["layer0.scores"]
+
+
+def test_batch_unit_cycle_lookups_accept_policies():
+    from repro.perf.latency import (
+        decoder_batch_unit_cycles,
+        vit_batch_unit_cycles,
+    )
+
+    fp32_all = get_policy("fp32")
+    base = decoder_batch_unit_cycles("decode", 1, 32, vocab=256, dim=64,
+                                     depth=2, n_heads=4)
+    poli = decoder_batch_unit_cycles("decode", 1, 32, vocab=256, dim=64,
+                                     depth=2, n_heads=4, policy=fp32_all)
+    assert poli > base  # all-fp32 loses the array everywhere
+    assert vit_batch_unit_cycles(DEIT_TINY, 1) == vit_batch_unit_cycles(
+        DEIT_TINY, 1, policy=get_policy("bfp8-all"))
