@@ -1,0 +1,169 @@
+"""Cluster bench: replica scaling, autoscaler behaviour, sharding overhead.
+
+Three seeded studies over :mod:`repro.cluster`, all recorded in
+``results/BENCH_cluster_scaling.json``:
+
+* **replica scaling** — the same saturating trace against 1..4 fixed
+  replicas; the acceptance gate is >=1.8x tokens/s from 1 -> 2 replicas
+  (near-linear request-level scaling, since replicas share nothing but
+  the router);
+* **autoscaled diurnal** — a sinusoidal trace against a 1-replica fleet
+  with the autoscaler enabled: at least one scale-up and one scale-down
+  must fire, and every admitted request completes;
+* **sharding overhead** — tp1 vs tp3 vs pp3 on the same trace: the
+  interconnect-cycle share each plan pays for its smaller per-lane
+  compute footprint.
+"""
+
+import pytest
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    ClusterSpec,
+    ShardPlan,
+    simulate_cluster,
+)
+from repro.serve.request import (
+    DiurnalConfig,
+    TrafficConfig,
+    diurnal_trace,
+    poisson_trace,
+)
+
+SEED = 7
+SATURATING = TrafficConfig(rate_rps=2000.0)
+DIURNAL_MEAN = TrafficConfig(rate_rps=1500.0)
+
+
+@pytest.fixture(scope="module")
+def saturating_trace():
+    return poisson_trace(600, SATURATING, seed=SEED, n_users=64)
+
+
+def _per_replica_row(row):
+    return {
+        "rid": row["rid"],
+        "state": row["state"],
+        "completed": row["completed"],
+        "utilization": row["utilization"],
+        "latency_p95_ms": row["latency_p95_ms"],
+        "latency_p99_ms": row["latency_p99_ms"],
+        "interconnect_share": row["interconnect_share"],
+    }
+
+
+def test_cluster_scaling_and_autoscaler(saturating_trace, save_report,
+                                        bench_artifact):
+    # -- fixed-fleet scaling sweep -------------------------------------------
+    sweep = {}
+    for n in (1, 2, 3, 4):
+        report = simulate_cluster(
+            saturating_trace,
+            ClusterConfig(spec=ClusterSpec(boards=4), initial_replicas=n),
+        )
+        s = report.summary
+        sweep[n] = {
+            "tokens_per_s": s["tokens_per_s"],
+            "utilization": s["utilization"],
+            "latency_p95_ms": s["latency_p95_ms"],
+            "latency_p99_ms": s["latency_p99_ms"],
+            "completed": s["completed"],
+            "rejected": s["rejected"],
+            "affinity_hit_rate": s["affinity_hit_rate"],
+            "per_replica": [_per_replica_row(r) for r in report.per_replica],
+        }
+    scaling_1_to_2 = sweep[2]["tokens_per_s"] / sweep[1]["tokens_per_s"]
+
+    # -- autoscaled diurnal ---------------------------------------------------
+    trace = diurnal_trace(
+        1200, DIURNAL_MEAN, DiurnalConfig(period_s=0.6, amplitude=0.9),
+        seed=42, n_users=64,
+    )
+    auto = simulate_cluster(trace, ClusterConfig(
+        spec=ClusterSpec(boards=4),
+        autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4),
+        initial_replicas=1,
+    ))
+    a = auto.summary
+
+    # -- sharding overhead ----------------------------------------------------
+    shard_trace = poisson_trace(300, TrafficConfig(rate_rps=800.0),
+                                seed=SEED, n_users=64)
+    shards = {}
+    for plan in (ShardPlan(), ShardPlan(tp=3), ShardPlan(pp=3)):
+        rep = simulate_cluster(shard_trace, ClusterConfig(
+            spec=ClusterSpec(boards=2, plan=plan), initial_replicas=2))
+        shards[plan.describe()] = {
+            "tokens_per_s": rep.summary["tokens_per_s"],
+            "latency_p95_ms": rep.summary["latency_p95_ms"],
+            "interconnect_share": rep.summary["interconnect_share"],
+            "lanes_per_replica": rep.summary["lanes_per_replica"],
+        }
+
+    lines = [
+        f"replica scaling, saturating trace ({len(saturating_trace)} "
+        f"requests, {SATURATING.rate_rps:g} req/s, seed {SEED}):",
+        f"{'replicas':>8s} {'tokens/s':>10s} {'util':>6s} {'p95 ms':>8s} "
+        f"{'p99 ms':>8s} {'rejected':>8s}",
+    ]
+    for n, s in sweep.items():
+        lines.append(
+            f"{n:8d} {s['tokens_per_s']:10.1f} {s['utilization']:6.3f} "
+            f"{s['latency_p95_ms']:8.1f} {s['latency_p99_ms']:8.1f} "
+            f"{s['rejected']:8d}"
+        )
+    lines.append(f"1 -> 2 replica scaling: {scaling_1_to_2:.2f}x")
+    lines.append("")
+    lines.append(
+        f"autoscaled diurnal ({a['arrivals']} requests): "
+        f"{a['scale_ups']} scale-ups, {a['scale_downs']} scale-downs, "
+        f"{a['replicas_spawned']} replicas spawned, "
+        f"p95 {a['latency_p95_ms']:.1f} ms, util {a['utilization']:.3f}"
+    )
+    for ev in auto.scale_events:
+        lines.append(
+            f"  cycle {ev['cycle']:>12}  {ev['action']:<10} r{ev['rid']} "
+            f"active={ev['n_active']}  ({ev['reason']})"
+        )
+    lines.append("")
+    lines.append("sharding plans (2 replicas, same trace):")
+    lines.append(f"{'plan':>10s} {'lanes':>6s} {'tokens/s':>10s} "
+                 f"{'p95 ms':>8s} {'ic share':>9s}")
+    for name, s in shards.items():
+        lines.append(
+            f"{name:>10s} {s['lanes_per_replica']:6d} "
+            f"{s['tokens_per_s']:10.1f} {s['latency_p95_ms']:8.1f} "
+            f"{s['interconnect_share']:9.4f}"
+        )
+    save_report("cluster_scaling", "\n".join(lines))
+
+    bench_artifact("cluster_scaling", {
+        "replica_sweep": {str(k): v for k, v in sweep.items()},
+        "scaling_1_to_2": scaling_1_to_2,
+        "autoscaled_diurnal": {
+            "arrivals": a["arrivals"],
+            "completed": a["completed"],
+            "rejected": a["rejected"],
+            "tokens_per_s": a["tokens_per_s"],
+            "utilization": a["utilization"],
+            "latency_p95_ms": a["latency_p95_ms"],
+            "latency_p99_ms": a["latency_p99_ms"],
+            "scale_ups": a["scale_ups"],
+            "scale_downs": a["scale_downs"],
+            "replicas_spawned": a["replicas_spawned"],
+            "scale_events": auto.scale_events,
+            "per_replica": [_per_replica_row(r) for r in auto.per_replica],
+        },
+        "sharding": shards,
+    }, seed=SEED)
+
+    # Acceptance gates (ISSUE 6): near-linear 1 -> 2 scaling on a
+    # saturating trace; the autoscaler must both grow and shrink the
+    # fleet on the diurnal trace.
+    assert scaling_1_to_2 >= 1.8, f"1->2 scaling only {scaling_1_to_2:.2f}x"
+    assert a["scale_ups"] >= 1 and a["scale_downs"] >= 1
+    assert a["completed"] + a["rejected"] == a["arrivals"]
+    # sharded plans pay a real but sane interconnect share
+    assert 0.0 < shards["tp3xpp1"]["interconnect_share"] < 0.5
+    assert 0.0 < shards["tp1xpp3"]["interconnect_share"] < 0.5

@@ -1,0 +1,32 @@
+"""Multi-board cluster serving: sharded replicas, routing, autoscaling.
+
+Layers over :mod:`repro.serve`: a fleet of boards hosts replicas (whole
+model instances, possibly tensor-/pipeline-sharded across units and
+boards), a router steers requests with session affinity, and an optional
+load-driven autoscaler grows and drains the fleet mid-trace.  See
+DESIGN.md §13.
+"""
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from repro.cluster.interconnect import DEFAULT_INTERCONNECT, InterconnectModel
+from repro.cluster.router import Router
+from repro.cluster.sharding import ShardedCostModel, ShardPlan
+from repro.cluster.simulate import ClusterConfig, ClusterReport, simulate_cluster
+from repro.cluster.topology import Board, ClusterSpec, Replica
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleEvent",
+    "InterconnectModel",
+    "DEFAULT_INTERCONNECT",
+    "Router",
+    "ShardPlan",
+    "ShardedCostModel",
+    "ClusterConfig",
+    "ClusterReport",
+    "simulate_cluster",
+    "ClusterSpec",
+    "Board",
+    "Replica",
+]

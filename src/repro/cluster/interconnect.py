@@ -1,0 +1,94 @@
+"""Inter-board interconnect model: the latency term the single-board
+simulator never had to charge.
+
+The paper's cost model stops at the HBM/AXI boundary of one U280 (two
+256-bit channels per unit, :mod:`repro.perf.memory`).  A fleet of boards
+adds a second memory-system boundary: tensor shards exchanging partial
+sums and pipeline stages handing activations across a serial link (QSFP /
+Aurora-class on real U280 deployments, the multi-engine AI-fabric regime
+of TransDot in PAPERS.md).  This module models that boundary in the same
+idiom as :class:`~repro.perf.memory.AxiChannel` — a fixed per-message
+issue latency plus streaming beats — with two quality tiers:
+
+* **intra-board** — units on the same board exchange through HBM/the
+  on-chip crossbar: wide (one 32-byte beat per cycle), short issue
+  latency (an AXI round trip);
+* **inter-board** — a serial link: narrower effective beat rate once
+  8b/10b-style encoding and protocol framing are paid, and an issue
+  latency in the hundreds of cycles (SerDes + protocol round trip at the
+  300 MHz system clock).
+
+All returns are integer cycles of the system clock, so interconnect
+cycles add directly onto the compiled-schedule occupancy the dispatcher
+charges a lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InterconnectModel", "DEFAULT_INTERCONNECT"]
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Two-tier link model: on-board crossbar vs board-to-board serial.
+
+    ``*_bytes_per_cycle`` is the streaming rate once a message is issued;
+    ``*_issue_latency`` the fixed cost per message (cycles).  Defaults:
+    the intra-board tier matches one AXI beat (32 B/cycle) with the HBM
+    issue latency of :class:`~repro.perf.memory.MemoryModel`; the
+    inter-board tier is a 100 Gbit-class serial link at the 300 MHz
+    system clock (~40 B/cycle raw, ~32 B/cycle after framing) with a
+    500-cycle protocol round trip (~1.7 us).
+    """
+
+    inter_bytes_per_cycle: int = 32
+    inter_issue_latency: int = 500
+    intra_bytes_per_cycle: int = 32
+    intra_issue_latency: int = 16
+
+    def __post_init__(self) -> None:
+        if self.inter_bytes_per_cycle <= 0 or self.intra_bytes_per_cycle <= 0:
+            raise ConfigurationError("interconnect bandwidth must be positive")
+        if self.inter_issue_latency < 0 or self.intra_issue_latency < 0:
+            raise ConfigurationError("interconnect latency cannot be negative")
+
+    def _tier(self, cross_board: bool) -> tuple[int, int]:
+        if cross_board:
+            return self.inter_bytes_per_cycle, self.inter_issue_latency
+        return self.intra_bytes_per_cycle, self.intra_issue_latency
+
+    # -- primitives ----------------------------------------------------------
+    def transfer_cycles(self, n_bytes: int, *, cross_board: bool) -> int:
+        """One point-to-point message of ``n_bytes`` (latency + beats)."""
+        if n_bytes < 0:
+            raise ConfigurationError("negative transfer size")
+        if n_bytes == 0:
+            return 0
+        bw, lat = self._tier(cross_board)
+        return lat + ceil(n_bytes / bw)
+
+    def allreduce_cycles(
+        self, n_bytes: int, world: int, *, cross_board: bool
+    ) -> int:
+        """Ring all-reduce of an ``n_bytes`` tensor across ``world`` peers.
+
+        The standard ring moves ``2 * (world - 1) / world`` of the tensor
+        through each link in ``2 * (world - 1)`` latency-bearing steps —
+        the tensor-parallel partial-sum exchange charged per layer.
+        """
+        if world <= 0:
+            raise ConfigurationError("all-reduce needs at least one peer")
+        if world == 1 or n_bytes == 0:
+            return 0
+        bw, lat = self._tier(cross_board)
+        steps = 2 * (world - 1)
+        chunk = ceil(n_bytes / world)
+        return steps * (lat + ceil(chunk / bw))
+
+
+DEFAULT_INTERCONNECT = InterconnectModel()

@@ -1,0 +1,80 @@
+"""Cluster-edge routing: replica selection with session affinity.
+
+The router is the cluster's front door.  Per arriving request it picks an
+``active`` replica:
+
+1. **Session affinity** — a request carrying a ``user`` id goes back to
+   the replica that served that user last, provided it is still active
+   and its queue has room.  Decoder KV caches, prepared-weight residency
+   and any per-user prefix state live on the replica that built them
+   (:mod:`repro.serve.sessions` pins sessions *within* a replica the same
+   way), so keeping a user's traffic sticky avoids re-warming.
+2. **Least-loaded** — otherwise the replica with the shallowest batcher
+   queue wins (join-the-shortest-queue over the fleet).
+
+**Deterministic tie-breaking (reproducibility contract).**  When several
+replicas tie on queue depth, the winner is drawn from the tied set by a
+``numpy`` generator seeded at construction — *not* by replica id, which
+would pile every cold-start burst onto replica 0, and *not* by wall-clock
+or dict order, which would make runs irreproducible.  The generator is
+consumed only on ties, in event order, so a given ``(trace seed, router
+seed)`` pair replays byte-identically; changing the router seed is the
+supported way to resample placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import Replica
+from repro.serve.request import Request
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Affinity-then-least-loaded replica selection with seeded ties."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._affinity: dict[int, int] = {}  # user -> replica id
+        self.affinity_hits = 0
+        self.affinity_misses = 0
+
+    def forget(self, rid: int) -> None:
+        """Drop all stickiness to a replica (called when it drains)."""
+        self._affinity = {u: r for u, r in self._affinity.items() if r != rid}
+
+    def route(self, req: Request, replicas: list[Replica]) -> Replica | None:
+        """Pick the replica ``req`` should run on, or ``None`` (no capacity).
+
+        Only ``active`` replicas are candidates; a sticky replica whose
+        queue is already at its admission bound falls through to
+        least-loaded (the request is not worth a 503 just to stay warm).
+        """
+        candidates = [r for r in replicas if r.active]
+        if not candidates:
+            return None
+        if req.user is not None:
+            sticky_rid = self._affinity.get(req.user)
+            if sticky_rid is not None:
+                sticky = next(
+                    (r for r in candidates if r.rid == sticky_rid), None
+                )
+                if sticky is not None and (
+                    sticky.dispatcher.depth()
+                    < sticky.dispatcher.config.max_queue
+                ):
+                    self.affinity_hits += 1
+                    return sticky
+            self.affinity_misses += 1
+        depths = [r.dispatcher.depth() for r in candidates]
+        best = min(depths)
+        tied = [r for r, d in zip(candidates, depths) if d == best]
+        if len(tied) == 1:
+            chosen = tied[0]
+        else:
+            chosen = tied[int(self._rng.integers(0, len(tied)))]
+        if req.user is not None:
+            self._affinity[req.user] = chosen.rid
+        return chosen

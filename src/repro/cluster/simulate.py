@@ -1,0 +1,460 @@
+"""Cluster serving simulation: a fleet of replicas behind one router.
+
+This is the multi-board driver over the per-replica engine the serving
+refactor exposed (:class:`repro.serve.dispatcher.Dispatcher`).  One event
+heap carries the whole fleet — arrivals hit the cluster edge, get routed
+(:class:`~repro.cluster.router.Router`: session affinity, then
+join-the-shortest-queue with seeded ties), and land in one replica's
+batcher; each replica dispatches onto its own *lanes* (shard groups of
+``tp * pp`` units, :class:`~repro.cluster.sharding.ShardedCostModel`
+pricing compute + interconnect per batch).
+
+When an :class:`~repro.cluster.autoscaler.AutoscalerConfig` is given, a
+periodic autoscale event samples fleet pressure and spawns or drains
+replicas mid-trace: new replicas become routable after a provisioning
+delay; draining replicas finish their queued and resident work before
+their boards return to the free pool (live KV is never evicted).  Every
+decision lands in the report as a
+:class:`~repro.cluster.autoscaler.ScaleEvent`.
+
+Determinism carries over from the single-pool simulator: integer cycle
+time, ``(cycle, sequence)`` event order, a seeded trace and a seeded
+router — one ``(trace seed, router seed)`` pair replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.router import Router
+from repro.cluster.sharding import ShardedCostModel
+from repro.cluster.topology import Board, ClusterSpec, Replica
+from repro.errors import ConfigurationError
+from repro.hw.system import UnitPool
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.dispatcher import Dispatcher, ServeConfig
+from repro.serve.metrics import MetricsCollector, percentiles
+from repro.serve.request import Request
+
+__all__ = ["ClusterConfig", "ClusterReport", "simulate_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster run: serving config, fleet shape, scaling policy."""
+
+    serve: ServeConfig = ServeConfig()
+    spec: ClusterSpec = ClusterSpec()
+    autoscaler: AutoscalerConfig | None = None
+    initial_replicas: int = 1
+    max_cluster_queue: int = 4096
+    router_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.initial_replicas <= self.spec.max_replicas:
+            raise ConfigurationError(
+                f"initial_replicas must be in [1, {self.spec.max_replicas}]"
+            )
+        if self.max_cluster_queue <= 0:
+            raise ConfigurationError("cluster admission bound must be positive")
+        a = self.autoscaler
+        if a is not None:
+            if a.max_replicas > self.spec.max_replicas:
+                raise ConfigurationError(
+                    f"autoscaler max_replicas ({a.max_replicas}) exceeds "
+                    f"fleet capacity ({self.spec.max_replicas})"
+                )
+            if not a.min_replicas <= self.initial_replicas <= a.max_replicas:
+                raise ConfigurationError(
+                    "initial_replicas outside the autoscaler's "
+                    f"[{a.min_replicas}, {a.max_replicas}] band"
+                )
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one cluster run: fleet summary, per-replica rows, events."""
+
+    summary: dict
+    per_replica: list[dict]
+    scale_events: list[dict]
+    config: ClusterConfig
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER, repr=False)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "summary": self.summary,
+                "per_replica": self.per_replica,
+                "scale_events": self.scale_events,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self, title: str = "cluster-sim") -> str:
+        from repro.eval.reporting import render_metrics
+
+        lines = [render_metrics(title, self.summary)]
+        lines.append("")
+        lines.append(
+            f"{'replica':>8} {'state':>9} {'boards':>8} {'completed':>9} "
+            f"{'util':>6} {'p95 ms':>8} {'p99 ms':>8} {'ic %':>6}"
+        )
+        for row in self.per_replica:
+            lines.append(
+                f"{row['rid']:>8} {row['state']:>9} "
+                f"{','.join(str(b) for b in row['boards']):>8} "
+                f"{row['completed']:>9} {row['utilization']:>6.2f} "
+                f"{row['latency_p95_ms']:>8.3f} {row['latency_p99_ms']:>8.3f} "
+                f"{100 * row['interconnect_share']:>6.2f}"
+            )
+        if self.scale_events:
+            lines.append("")
+            for ev in self.scale_events:
+                lines.append(
+                    f"  cycle {ev['cycle']:>12}  {ev['action']:<10} "
+                    f"r{ev['rid']}  active={ev['n_active']}  "
+                    f"({ev['reason']})"
+                )
+        return "\n".join(lines)
+
+
+def simulate_cluster(
+    requests: list[Request],
+    config: ClusterConfig = ClusterConfig(),
+    *,
+    tracer: Tracer = NULL_TRACER,
+    registry: MetricsRegistry | None = None,
+) -> ClusterReport:
+    """Run the cluster serving simulation over a request trace.
+
+    Event tags on the shared heap: ``arrive`` (a request at the cluster
+    edge), ``finish``/``wake`` (a replica's dispatcher events, tagged with
+    the replica id by its push wrapper), ``spawn`` (a provisioning replica
+    becoming routable) and ``autoscale`` (a periodic policy sample).
+    """
+    spec = config.spec
+    clock = config.serve.clock
+    reg = get_registry() if registry is None else registry
+    router = Router(config.router_seed)
+    scaler = (
+        Autoscaler(config.autoscaler, clock)
+        if config.autoscaler is not None
+        else None
+    )
+
+    boards = [Board(b) for b in range(spec.boards)]
+    replicas: list[Replica] = []
+
+    events: list[tuple[int, int, str, object]] = []
+    seq = 0
+
+    def push(t: int, tag: str, payload: object = None) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, tag, payload))
+        seq += 1
+
+    def replica_push(rid: int):
+        """Event sink handed to one replica's dispatcher: tags events
+        with the replica id so the loop can route them back."""
+
+        def _push(t: int, tag: str, payload: object = None) -> None:
+            push(t, tag, (rid, payload))
+
+        return _push
+
+    def allocate_boards(rid: int) -> tuple[int, ...] | None:
+        free = [b for b in boards if b.free][: spec.boards_per_replica]
+        if len(free) < spec.boards_per_replica:
+            return None
+        for b in free:
+            b.owner = rid
+        return tuple(b.bid for b in free)
+
+    def spawn_replica(now: int, active_at: int) -> Replica | None:
+        rid = len(replicas)
+        owned = allocate_boards(rid)
+        if owned is None:
+            return None
+        r = Replica(rid, owned, spawned_at=active_at,
+                    state="active" if active_at <= now else "provisioning")
+        r.cost = ShardedCostModel(
+            config.serve, spec.plan,
+            interconnect=spec.interconnect,
+            tp_cross_board=spec.tp_cross_board,
+            pp_cross_boundaries=spec.pp_cross_boundaries,
+        )
+        r.dispatcher = Dispatcher(
+            config.serve,
+            UnitPool(spec.lanes_per_replica),
+            replica_push(rid),
+            cost=r.cost,
+            tracer=tracer,
+            registry=reg,
+            track_prefix=f"r{rid}.",
+        )
+        replicas.append(r)
+        if active_at > now:
+            push(active_at, "spawn", rid)
+        return r
+
+    def retire_if_drained(r: Replica, now: int) -> None:
+        if r.state == "draining" and r.drained():
+            r.state = "retired"
+            r.retired_at = now
+            for b in boards:
+                if b.owner == r.rid:
+                    b.owner = None
+            note_active(now)
+
+    _last_active = -1
+
+    def note_active(now: int) -> None:
+        nonlocal _last_active
+        n = sum(1 for r in replicas if r.active)
+        if tracer.enabled and n != _last_active:
+            tracer.counter("cluster.active_replicas", cycle=now, value=n)
+            _last_active = n
+
+    for _ in range(config.initial_replicas):
+        spawn_replica(0, 0)
+    note_active(0)
+
+    arrivals_remaining = len(requests)
+    edge_rejected = 0
+    cluster_queue_samples: list[tuple[int, int]] = []
+
+    def fleet_depth() -> int:
+        return sum(r.dispatcher.depth() for r in replicas if r.active)
+
+    def work_pending() -> bool:
+        if arrivals_remaining:
+            return True
+        for r in replicas:
+            if r.state == "retired":
+                continue
+            if r.state == "provisioning":
+                return True
+            d = r.dispatcher
+            if d.depth() or len(d.idle) < d.pool.n_units:
+                return True
+        return False
+
+    def run_autoscale(now: int) -> None:
+        pending_up = sum(1 for r in replicas if r.state == "provisioning")
+        free_capacity = (
+            sum(1 for b in boards if b.free) // spec.boards_per_replica
+        )
+        action = scaler.decide(
+            now, replicas, pending_up=pending_up, free_capacity=free_capacity
+        )
+        if action is None:
+            return
+        depth, util = scaler._last_signals
+        n_active = sum(1 for r in replicas if r.active)
+        if action == "up":
+            r = spawn_replica(now, now + scaler.provision)
+            if r is None:  # pragma: no cover - guarded by free_capacity
+                return
+            reason = (
+                f"queue {depth:.1f} > {scaler.cfg.scale_up_queue:g}"
+                if depth > scaler.cfg.scale_up_queue
+                else f"util {util:.2f} > {scaler.cfg.scale_up_utilization:g}"
+            )
+            ev = scaler.record(
+                now, "scale_up", r.rid, n_active + pending_up + 1,
+                depth, util, reason,
+            )
+        else:
+            # Drain the shallowest-queue active replica; ties go to the
+            # youngest (highest rid) so long-lived replicas keep their
+            # warm sessions.
+            active = [r for r in replicas if r.active]
+            victim = min(
+                active, key=lambda r: (r.dispatcher.depth(), -r.rid)
+            )
+            victim.state = "draining"
+            router.forget(victim.rid)
+            ev = scaler.record(
+                now, "scale_down", victim.rid, n_active - 1, depth, util,
+                f"queue {depth:.1f} < {scaler.cfg.scale_down_queue:g} and "
+                f"util {util:.2f} < {scaler.cfg.scale_down_utilization:g}",
+            )
+            retire_if_drained(victim, now)
+        note_active(now)
+        if reg.enabled:
+            reg.counter(f"cluster.{ev.action}").inc()
+        if tracer.enabled:
+            tracer.span(
+                f"{ev.action} r{ev.rid}",
+                track="cluster",
+                start=now,
+                end=now,
+                cat="autoscale",
+                args=ev.as_dict(),
+            )
+
+    for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
+        push(r.arrival, "arrive", r)
+    if scaler is not None:
+        push(scaler.interval, "autoscale", None)
+
+    while events:
+        now, _, tag, payload = heapq.heappop(events)
+        touched: list[Replica] = []
+        if tag == "arrive":
+            arrivals_remaining -= 1
+            req: Request = payload
+            if fleet_depth() >= config.max_cluster_queue:
+                edge_rejected += 1
+                if reg.enabled:
+                    reg.counter("cluster.edge_rejections").inc()
+            else:
+                target = router.route(req, replicas)
+                if target is None:  # pragma: no cover - min_replicas >= 1
+                    edge_rejected += 1
+                else:
+                    target.dispatcher.admit(req, now)
+                    touched.append(target)
+        elif tag == "finish":
+            rid, (unit, batch) = payload
+            r = replicas[rid]
+            r.dispatcher.on_finish(unit, batch, now)
+            touched.append(r)
+        elif tag == "wake":
+            rid, _ = payload
+            r = replicas[rid]
+            r.dispatcher.on_wake(now)
+            touched.append(r)
+        elif tag == "spawn":
+            r = replicas[payload]
+            if r.state == "provisioning":
+                r.state = "active"
+                note_active(now)
+                touched.append(r)
+        elif tag == "autoscale":
+            run_autoscale(now)
+            touched.extend(r for r in replicas if r.state != "retired")
+            if work_pending():
+                push(now + scaler.interval, "autoscale", None)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown event tag {tag!r}")
+        for r in touched:
+            r.dispatcher.try_dispatch(now)
+            r.dispatcher.observe_queue(now)
+            retire_if_drained(r, now)
+        cluster_queue_samples.append((now, fleet_depth()))
+
+    # -- merge ----------------------------------------------------------------
+    merged = MetricsCollector()
+    total_busy = 0
+    for r in replicas:
+        m = r.dispatcher.metrics
+        merged.arrivals += m.arrivals
+        merged.rejections += m.rejections
+        merged.completed += m.completed
+        merged.tokens_out += m.tokens_out
+        merged.deadline_misses += m.deadline_misses
+        merged.latencies.extend(m.latencies)
+        merged.ttft.extend(m.ttft)
+        merged.last_completion = max(merged.last_completion, m.last_completion)
+        for phase, sizes in m.batch_sizes.items():
+            merged.batch_sizes.setdefault(phase, []).extend(sizes)
+        total_busy += r.dispatcher.busy_cycles
+    merged.queue_samples = cluster_queue_samples
+    horizon = merged.last_completion
+
+    summary = merged.summary(clock=clock, busy_cycles=total_busy)
+    capacity = sum(
+        r.active_span(horizon) * r.dispatcher.pool.n_units for r in replicas
+    )
+    summary["utilization"] = total_busy / capacity if capacity else 0.0
+    summary["arrivals"] = merged.arrivals + edge_rejected
+    summary["rejected"] = merged.rejections + edge_rejected
+    summary["rejection_rate"] = (
+        summary["rejected"] / summary["arrivals"] if summary["arrivals"] else 0.0
+    )
+    compute_total = sum(r.cost.compute_cycles_total for r in replicas)
+    inter_total = sum(r.cost.interconnect_cycles_total for r in replicas)
+    lane_total = compute_total + inter_total
+    summary.update(
+        {
+            "edge_rejected": edge_rejected,
+            "replicas_spawned": len(replicas),
+            "replicas_final": sum(1 for r in replicas if r.active),
+            "scale_ups": sum(
+                1 for e in (scaler.events if scaler else [])
+                if e.action == "scale_up"
+            ),
+            "scale_downs": sum(
+                1 for e in (scaler.events if scaler else [])
+                if e.action == "scale_down"
+            ),
+            "interconnect_share": inter_total / lane_total if lane_total else 0.0,
+            "interconnect_cycles": inter_total,
+            "affinity_hit_rate": (
+                router.affinity_hits
+                / (router.affinity_hits + router.affinity_misses)
+                if (router.affinity_hits + router.affinity_misses)
+                else 0.0
+            ),
+            "shard_plan": spec.plan.describe(),
+            "lanes_per_replica": spec.lanes_per_replica,
+            "active_sessions_peak_kv_mib": sum(
+                r.dispatcher.sessions.peak_kv_bytes for r in replicas
+            ) / 2**20,
+        }
+    )
+
+    per_replica: list[dict] = []
+    f = clock.freq_hz
+    for r in replicas:
+        m = r.dispatcher.metrics
+        span = r.active_span(horizon)
+        lanes = r.dispatcher.pool.n_units
+        _, p95, p99 = percentiles(m.latencies)
+        mean_q, _, _, _ = m._queue_stats()
+        per_replica.append(
+            {
+                "rid": r.rid,
+                "state": r.state,
+                "boards": list(r.boards),
+                "spawned_at": r.spawned_at,
+                "retired_at": r.retired_at,
+                "lanes": lanes,
+                "plan": spec.plan.describe(),
+                "arrivals": m.arrivals,
+                "completed": m.completed,
+                "rejected": m.rejections,
+                "tokens_out": m.tokens_out,
+                "dispatches": sum(len(v) for v in m.batch_sizes.values()),
+                "busy_cycles": r.dispatcher.busy_cycles,
+                "utilization": (
+                    r.dispatcher.busy_cycles / (span * lanes)
+                    if span and lanes else 0.0
+                ),
+                "latency_p95_ms": p95 / f * 1e3,
+                "latency_p99_ms": p99 / f * 1e3,
+                "mean_queue_depth": mean_q,
+                "interconnect_share": r.cost.interconnect_share,
+            }
+        )
+
+    if reg.enabled:
+        reg.counter("cluster.arrivals").inc(summary["arrivals"])
+        reg.counter("cluster.tokens_out").inc(merged.tokens_out)
+        reg.gauge("cluster.replicas_spawned").set(len(replicas))
+        reg.gauge("cluster.horizon_cycles").set(horizon)
+
+    return ClusterReport(
+        summary,
+        per_replica,
+        [e.as_dict() for e in (scaler.events if scaler else [])],
+        config,
+        tracer,
+    )

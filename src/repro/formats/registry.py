@@ -41,6 +41,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import RegistryError
+from repro.obs.numerics import get_monitor
 
 __all__ = [
     "QuantFormat",
@@ -170,7 +171,6 @@ class BfpFormat(QuantFormat):
 
     def _weight_blocks(self, w, record: Recorder | None):
         from repro.formats.blocking import BfpMatrix
-        from repro.obs.numerics import get_monitor
         from repro.perf.prepared import PreparedTensor
 
         if isinstance(w, PreparedTensor):
@@ -186,7 +186,6 @@ class BfpFormat(QuantFormat):
 
     def matmul(self, x, w, record: Recorder | None = None) -> np.ndarray:
         from repro.arith.bfp_matmul import activation_blocks, bfp_matmul_prepared
-        from repro.obs.numerics import get_monitor
 
         wm = self._weight_blocks(w, record)
         _record(record, np.asarray(x).size)
@@ -200,7 +199,6 @@ class BfpFormat(QuantFormat):
 
     def matmul_batched(self, a, b, record: Recorder | None = None) -> np.ndarray:
         from repro.arith.bfp_matmul import bfp_batched_tiles, bfp_matmul_from_tiles
-        from repro.obs.numerics import get_monitor
 
         _record(record, a.size + b.size)
         tiles = bfp_batched_tiles(a, b, man_bits=self.man_bits)
@@ -255,7 +253,6 @@ class IntFormat(QuantFormat):
 
     def matmul(self, x, w, record: Recorder | None = None) -> np.ndarray:
         from repro.formats.int8q import int8_matmul, quantize_intn
-        from repro.obs.numerics import get_monitor
         from repro.perf.prepared import PreparedTensor
 
         mon = get_monitor()
@@ -274,7 +271,6 @@ class IntFormat(QuantFormat):
 
     def matmul_batched(self, a, b, record: Recorder | None = None) -> np.ndarray:
         from repro.formats.int8q import intn_matmul_quantized, quantize_intn_sliced
-        from repro.obs.numerics import get_monitor
 
         _record(record, a.size + b.size)
         qa, sa = quantize_intn_sliced(a, self.bits)

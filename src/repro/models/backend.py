@@ -177,12 +177,18 @@ class ComputeBackend:
         mon = get_monitor()
         self._scopes.append(name)
         try:
-            with ExitStack() as stack:
-                if self.profiler is not None:
-                    stack.enter_context(self.profiler.scope(name))
-                if mon.enabled:
-                    stack.enter_context(mon.scope(name))
+            if self.profiler is None and not mon.enabled:
+                # Fast path: nothing to observe — skip the ExitStack and
+                # nested context managers entirely (this runs per layer
+                # per token in decode).
                 yield
+            else:
+                with ExitStack() as stack:
+                    if self.profiler is not None:
+                        stack.enter_context(self.profiler.scope(name))
+                    if mon.enabled:
+                        stack.enter_context(mon.scope(name))
+                    yield
         finally:
             self._scopes.pop()
 

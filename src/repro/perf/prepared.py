@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.obs.metrics import get_registry
+from repro.obs.numerics import get_monitor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.arith.bfp_matmul import BfpWeight
@@ -220,7 +221,6 @@ class PreparedOperandCache:
         re-layout as well as the quantization."""
         from repro.arith.bfp_matmul import BfpWeight
         from repro.formats.blocking import BfpMatrix
-        from repro.obs.numerics import get_monitor
 
         def build(a: np.ndarray) -> tuple["BfpWeight", int]:
             bm = BfpMatrix.from_dense(
@@ -247,7 +247,6 @@ class PreparedOperandCache:
     ) -> tuple[PreparedTensor, bool]:
         """Prepared :class:`Int8Tensor` encoding of a dense tensor."""
         from repro.formats.int8q import quantize_intn
-        from repro.obs.numerics import get_monitor
 
         def build(a: np.ndarray) -> tuple["Int8Tensor", int]:
             q = quantize_intn(np.asarray(a, dtype=np.float64), bits)

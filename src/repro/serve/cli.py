@@ -68,6 +68,50 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
                    help="per-layer precision policy: a preset name or a "
                         "policy JSON file; shapes the cost model's compiled "
                         "schedules (default: the all-bfp8 schedule)")
+    cluster = p.add_argument_group(
+        "cluster mode",
+        "simulate a fleet of boards behind an affinity router "
+        "(repro.cluster); --compare-batch1/--numerics-out do not apply",
+    )
+    cluster.add_argument("--cluster", action="store_true",
+                         help="run the multi-board cluster simulation")
+    cluster.add_argument("--boards", type=int, default=4,
+                         help="boards in the fleet (default 4)")
+    cluster.add_argument("--units-per-board", type=int, default=15,
+                         help="processing units per board (default 15)")
+    cluster.add_argument("--boards-per-replica", type=int, default=1,
+                         help="boards one replica occupies (default 1)")
+    cluster.add_argument("--tp", type=int, default=1,
+                         help="tensor-parallel degree per lane")
+    cluster.add_argument("--pp", type=int, default=1,
+                         help="pipeline-parallel stages per lane")
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="replicas at cycle 0 (default 1)")
+    cluster.add_argument("--users", type=int, default=64,
+                         help="distinct user ids for session affinity "
+                              "(0 disables user tagging; default 64)")
+    cluster.add_argument("--router-seed", type=int, default=0,
+                         help="seed for the router's tie-break draws")
+    cluster.add_argument("--max-cluster-queue", type=int, default=4096,
+                         help="fleet-wide admission bound at the edge")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable the load-driven autoscaler")
+    cluster.add_argument("--min-replicas", type=int, default=1,
+                         help="autoscaler floor (default 1)")
+    cluster.add_argument("--max-replicas", type=int, default=None,
+                         help="autoscaler ceiling (default: fleet capacity)")
+    cluster.add_argument("--scale-interval-us", type=float, default=2000.0,
+                         help="autoscaler sampling interval, us")
+    cluster.add_argument("--scale-cooldown-us", type=float, default=8000.0,
+                         help="cool-down after any scale action, us")
+    cluster.add_argument("--provision-us", type=float, default=1000.0,
+                         help="delay before a new replica serves, us")
+    cluster.add_argument("--diurnal", action="store_true",
+                         help="modulate the arrival rate sinusoidally")
+    cluster.add_argument("--diurnal-period-s", type=float, default=0.6,
+                         help="diurnal period in trace seconds")
+    cluster.add_argument("--diurnal-amplitude", type=float, default=0.9,
+                         help="diurnal swing as a fraction of the mean rate")
     return p
 
 
@@ -93,6 +137,8 @@ def run_serve_sim(args) -> int:
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import NULL_TRACER, Tracer
 
+    if args.cluster:
+        return _run_cluster_sim(args)
     traffic = TrafficConfig(rate_rps=args.rate, vit_fraction=args.vit_frac)
     trace = poisson_trace(args.requests, traffic, seed=args.seed)
     tracer = NULL_TRACER
@@ -139,6 +185,92 @@ def run_serve_sim(args) -> int:
             args.metrics_out.write_text(registry.to_json() + "\n")
     if args.numerics_out is not None:
         _write_serving_numerics(trace, args)
+    return 0
+
+
+def _run_cluster_sim(args) -> int:
+    """``serve-sim --cluster``: fleet simulation via :mod:`repro.cluster`."""
+    from repro.cluster import (
+        AutoscalerConfig,
+        ClusterConfig,
+        ClusterSpec,
+        ShardPlan,
+        simulate_cluster,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NULL_TRACER, Tracer
+    from repro.serve.request import DiurnalConfig, diurnal_trace
+
+    traffic = TrafficConfig(rate_rps=args.rate, vit_fraction=args.vit_frac)
+    n_users = args.users if args.users > 0 else None
+    if args.diurnal:
+        trace = diurnal_trace(
+            args.requests, traffic,
+            DiurnalConfig(period_s=args.diurnal_period_s,
+                          amplitude=args.diurnal_amplitude),
+            seed=args.seed, n_users=n_users,
+        )
+    else:
+        trace = poisson_trace(args.requests, traffic,
+                              seed=args.seed, n_users=n_users)
+
+    spec = ClusterSpec(
+        boards=args.boards,
+        units_per_board=args.units_per_board,
+        boards_per_replica=args.boards_per_replica,
+        plan=ShardPlan(tp=args.tp, pp=args.pp),
+    )
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerConfig(
+            min_replicas=args.min_replicas,
+            max_replicas=(args.max_replicas if args.max_replicas is not None
+                          else spec.max_replicas),
+            interval_us=args.scale_interval_us,
+            cooldown_us=args.scale_cooldown_us,
+            provision_us=args.provision_us,
+        )
+    config = ClusterConfig(
+        serve=_config(args, args.max_batch),
+        spec=spec,
+        autoscaler=autoscaler,
+        initial_replicas=args.replicas,
+        max_cluster_queue=args.max_cluster_queue,
+        router_seed=args.router_seed,
+    )
+
+    tracer = NULL_TRACER
+    if args.trace_out is not None:
+        tracer = Tracer(meta={
+            "seed": args.seed,
+            "requests": args.requests,
+            "rate_rps": args.rate,
+            "boards": args.boards,
+            "plan": spec.plan.describe(),
+            "clock_freq_hz": config.serve.clock.freq_hz,
+        })
+    registry = MetricsRegistry() if args.metrics_out is not None else None
+    report = simulate_cluster(trace, config, tracer=tracer, registry=registry)
+    shape = (f"{args.boards} boards, {spec.plan.describe()}, "
+             f"{args.replicas} initial replica(s)"
+             + (", autoscaled" if autoscaler else ""))
+    print(report.render(
+        f"serve-sim --cluster: {args.requests} requests, rate "
+        f"{args.rate:g}/s, seed {args.seed}, {shape}"
+    ))
+    json_out = args.json_out if args.json_out is not None else args.json
+    if json_out is not None:
+        json_out.write_text(report.to_json() + "\n")
+    if args.trace_out is not None:
+        args.trace_out.write_text(tracer.to_json() + "\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans, {len(tracer.counters)} counter "
+              "samples; open in ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        if args.metrics_format == "prom":
+            args.metrics_out.write_text(registry.to_prom_text())
+        else:
+            args.metrics_out.write_text(registry.to_json() + "\n")
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Event-driven online dispatcher over the unit pool.
+"""Event-driven online dispatcher over a unit pool.
 
 This is the serving counterpart of :meth:`repro.hw.system.MultiUnitSystem.
 schedule`: instead of a static job list scheduled longest-first, requests
@@ -12,6 +12,18 @@ Flow control is preemption-free: a bounded intake queue sheds new arrivals
 with a 503-style rejection once full, and per-unit KV session slots
 throttle prefill dispatch (backpressure, never eviction of live sessions).
 
+Since the cluster refactor the engine is split in two:
+
+* :class:`Dispatcher` — *one replica's* serving state machine (batcher,
+  session table, cost model, idle-unit set) over an externally-owned
+  :class:`~repro.hw.system.UnitPool` handle and an externally-owned event
+  heap (a ``push(t, tag, payload)`` sink).  It never owns the pool or the
+  clock of the simulation, so a driver can run one of them (classic
+  single-board serving) or a fleet of them (``repro.cluster``).
+* :func:`simulate` — the historical single-pool driver: builds one pool,
+  one dispatcher, and runs the event loop.  Its output is bit-identical
+  to the pre-refactor monolithic loop for any seed/trace.
+
 The whole simulation is deterministic: integer cycle time, a seeded trace,
 and a (time, sequence) event order with no wall-clock reads.
 """
@@ -21,6 +33,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from math import ceil
+from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
@@ -36,7 +49,17 @@ from repro.serve.metrics import MetricsCollector
 from repro.serve.request import PhaseItem, Request
 from repro.serve.sessions import SessionTable
 
-__all__ = ["ModelProfile", "ServeConfig", "ServeReport", "CostModel", "simulate"]
+__all__ = [
+    "ModelProfile",
+    "ServeConfig",
+    "ServeReport",
+    "CostModel",
+    "Dispatcher",
+    "simulate",
+]
+
+#: Event sink signature: ``push(cycle, tag, payload)``.
+EventSink = Callable[[int, str, object], None]
 
 
 @dataclass(frozen=True)
@@ -134,77 +157,119 @@ class ServeReport:
         return render_metrics(title, self.summary)
 
 
-def simulate(
-    requests: list[Request],
-    config: ServeConfig = ServeConfig(),
-    *,
-    tracer: Tracer = NULL_TRACER,
-    registry: MetricsRegistry | None = None,
-) -> ServeReport:
-    """Run the open-loop serving simulation over a request trace.
+class Dispatcher:
+    """One replica's serving engine over an externally-owned unit pool.
 
-    ``tracer`` (default: the no-op :data:`NULL_TRACER`) records the run as
-    per-unit dispatch spans, per-request async spans and a queue-depth
-    counter series, all in simulated cycles — export with
-    ``report.tracer.to_json()``.  ``registry`` (default: the process-wide
-    one) receives serving counters/histograms (dispatches, batch fill,
-    queue depth, rejections, KV pressure).
+    The dispatcher holds the per-replica state — dynamic batcher, KV
+    session table, cost model, idle-unit set, metrics collector — but
+    takes its :class:`~repro.hw.system.UnitPool` and its event sink from
+    the driver.  Events it emits through ``push``:
+
+    * ``("finish", (unit, batch))`` at a batch's completion cycle;
+    * ``("wake", None)`` at the next batch-window expiry while units
+      idle on a non-empty queue.
+
+    The driver routes those events back into :meth:`on_finish` /
+    :meth:`on_wake` and calls :meth:`try_dispatch` + :meth:`observe_queue`
+    after every event it processes for this replica.  A cluster driver
+    wraps ``push`` to tag events with the replica identity; the dispatcher
+    itself is replica-agnostic.
+
+    ``track_prefix`` namespaces tracer tracks (``r3.unit7`` in cluster
+    runs, bare ``unit7`` in single-pool runs).  ``cost`` lets the cluster
+    layer substitute a sharded cost model without subclassing.
     """
-    clock = config.clock
-    pool = UnitPool(clock.n_units)
-    batcher = DynamicBatcher(config.policy, clock)
-    sessions = SessionTable(
-        clock.n_units,
-        max_sessions_per_unit=config.max_sessions_per_unit,
-        kv_bytes_per_token=config.profile.kv_bytes_per_token,
-    )
-    metrics = MetricsCollector()
-    cost = CostModel(config)
-    reg = get_registry() if registry is None else registry
-    trace_on = tracer.enabled
 
-    events: list[tuple[int, int, str, object]] = []
-    seq = 0
+    def __init__(
+        self,
+        config: ServeConfig,
+        pool: UnitPool,
+        push: EventSink,
+        *,
+        cost: CostModel | None = None,
+        metrics: MetricsCollector | None = None,
+        tracer: Tracer = NULL_TRACER,
+        registry: MetricsRegistry | None = None,
+        track_prefix: str = "",
+    ) -> None:
+        self.config = config
+        self.pool = pool
+        self.push = push
+        self.batcher = DynamicBatcher(config.policy, config.clock)
+        self.sessions = SessionTable(
+            pool.n_units,
+            max_sessions_per_unit=config.max_sessions_per_unit,
+            kv_bytes_per_token=config.profile.kv_bytes_per_token,
+        )
+        self.cost = cost if cost is not None else CostModel(config)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.tracer = tracer
+        self.registry = get_registry() if registry is None else registry
+        self.track_prefix = track_prefix
+        self.idle = set(range(pool.n_units))
+        self._pending_wakes: set[int] = set()
+        self._last_depth = -1
 
-    def push(t: int, tag: str, payload: object = None) -> None:
-        nonlocal seq
-        heapq.heappush(events, (t, seq, tag, payload))
-        seq += 1
+    # -- intake ---------------------------------------------------------------
+    def depth(self) -> int:
+        """Queued phase items (the admission-control pressure signal)."""
+        return self.batcher.depth()
 
-    for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
-        push(r.arrival, "arrive", r)
+    def admit(self, req: Request, now: int) -> bool:
+        """Bounded-queue admission: enqueue the request or shed it (503).
 
-    idle = set(range(clock.n_units))
-    pending_wakes: set[int] = set()
+        Records the arrival either way; returns ``True`` when admitted.
+        """
+        self.metrics.record_arrival(req)
+        if self.batcher.depth() >= self.config.max_queue:
+            self.metrics.record_rejection(req)
+            if self.registry.enabled:
+                self.registry.counter("serve.rejections").inc()
+            return False
+        self.enqueue(req, now)
+        return True
 
-    def try_dispatch(now: int) -> None:
-        while idle:
+    def enqueue(self, req: Request, now: int) -> None:
+        """Queue a request's first phase item without an admission check
+        (the cluster edge does its own admission before routing here)."""
+        phase = "vit" if req.kind == "vit" else "prefill"
+        self.batcher.add(PhaseItem(req, phase, ready=now,
+                                   context=req.prompt_tokens))
+
+    # -- dispatch -------------------------------------------------------------
+    def try_dispatch(self, now: int) -> None:
+        """Launch every batch that can start now on an idle unit."""
+        while self.idle:
             launched = False
-            for u in sorted(idle):
-                batch = batcher.pop_ready(
+            for u in sorted(self.idle):
+                batch = self.batcher.pop_ready(
                     now, u,
-                    prefill_slots=sessions.free_slots(u),
-                    decode_sessions=sessions.active(u),
+                    prefill_slots=self.sessions.free_slots(u),
+                    decode_sessions=self.sessions.active(u),
                 )
                 if batch is None:
                     continue
                 if batch.phase == "prefill":
                     for item in batch.items:
-                        sessions.open(item.request, u)
-                cycles = cost.batch_cycles(batch)
-                finish = pool.assign(u, now, cycles,
-                                     f"{batch.phase}x{batch.size}")
-                idle.discard(u)
-                metrics.record_dispatch(batch.phase, batch.size)
-                if reg.enabled:
-                    reg.counter(f"serve.dispatches.{batch.phase}").inc()
-                    reg.histogram(f"serve.batch_fill.{batch.phase}").observe(
-                        batch.size / config.policy.batch_limit(batch.phase)
+                        self.sessions.open(item.request, u)
+                cycles = self.cost.batch_cycles(batch)
+                finish = self.pool.assign(u, now, cycles,
+                                          f"{batch.phase}x{batch.size}")
+                self.idle.discard(u)
+                self.metrics.record_dispatch(batch.phase, batch.size)
+                if self.registry.enabled:
+                    self.registry.counter(
+                        f"serve.dispatches.{batch.phase}"
+                    ).inc()
+                    self.registry.histogram(
+                        f"serve.batch_fill.{batch.phase}"
+                    ).observe(
+                        batch.size / self.config.policy.batch_limit(batch.phase)
                     )
-                if trace_on:
-                    tracer.span(
+                if self.tracer.enabled:
+                    self.tracer.span(
                         f"{batch.phase}x{batch.size}",
-                        track=f"unit{u}",
+                        track=f"{self.track_prefix}unit{u}",
                         start=now,
                         end=finish,
                         cat="dispatch",
@@ -215,7 +280,7 @@ def simulate(
                             "rids": [i.request.rid for i in batch.items],
                         },
                     )
-                push(finish, "finish", (u, batch))
+                self.push(finish, "finish", (u, batch))
                 launched = True
                 break
             if not launched:
@@ -225,16 +290,37 @@ def simulate(
         # An already-expired but undispatchable queue (KV slots exhausted,
         # decode pinned to a busy unit) can only unblock at a finish
         # event, which re-runs this function — no wake would help it.
-        if idle and batcher.depth():
-            expiry = batcher.next_expiry(now)
-            if expiry is not None and expiry not in pending_wakes:
-                pending_wakes.add(expiry)
-                push(expiry, "wake")
+        if self.idle and self.batcher.depth():
+            expiry = self.batcher.next_expiry(now)
+            if expiry is not None and expiry not in self._pending_wakes:
+                self._pending_wakes.add(expiry)
+                self.push(expiry, "wake", None)
 
-    def complete_request(req: Request, now: int) -> None:
-        metrics.record_completion(req, now)
-        if trace_on:
-            tracer.async_span(
+    # -- event handlers -------------------------------------------------------
+    def on_finish(self, unit: int, batch: Batch, now: int) -> None:
+        self.idle.add(unit)
+        for item in batch.items:
+            self._complete_item(item, now)
+
+    def on_wake(self, now: int) -> None:
+        self._pending_wakes.discard(now)
+
+    def observe_queue(self, now: int) -> None:
+        """Post-event queue-depth sample (metrics + tracer counter)."""
+        depth = self.batcher.depth()
+        self.metrics.record_queue_depth(now, depth)
+        if self.tracer.enabled and depth != self._last_depth:
+            self.tracer.counter(f"{self.track_prefix}queue_depth",
+                                cycle=now, value=depth)
+            self._last_depth = depth
+        if self.registry.enabled:
+            self.registry.histogram("serve.queue_depth").observe(depth)
+
+    # -- request lifecycle ----------------------------------------------------
+    def _complete_request(self, req: Request, now: int) -> None:
+        self.metrics.record_completion(req, now)
+        if self.tracer.enabled:
+            self.tracer.async_span(
                 f"{req.kind}-{req.rid}",
                 span_id=req.rid,
                 start=req.arrival,
@@ -244,61 +330,87 @@ def simulate(
                       "gen_tokens": req.gen_tokens},
             )
 
-    def complete_item(item: PhaseItem, now: int) -> None:
+    def _complete_item(self, item: PhaseItem, now: int) -> None:
         req = item.request
         if item.phase == "vit":
-            complete_request(req, now)
+            self._complete_request(req, now)
         elif item.phase == "prefill":
-            batcher.add(sessions.first_decode_item(req.rid, now))
+            self.batcher.add(self.sessions.first_decode_item(req.rid, now))
         else:  # decode: one generated token
-            metrics.record_token()
+            self.metrics.record_token()
             if item.step == 0:
-                metrics.record_first_token(req, now)
-            nxt = sessions.step(req.rid, now)
+                self.metrics.record_first_token(req, now)
+            nxt = self.sessions.step(req.rid, now)
             if nxt is None:
-                complete_request(req, now)
+                self._complete_request(req, now)
             else:
-                batcher.add(nxt)
+                self.batcher.add(nxt)
 
-    last_depth = -1
+    # -- accounting -----------------------------------------------------------
+    @property
+    def busy_cycles(self) -> int:
+        return sum(t.busy_cycles for t in self.pool.timelines)
+
+    def active_sessions(self) -> int:
+        return self.sessions.active()
+
+
+def simulate(
+    requests: list[Request],
+    config: ServeConfig = ServeConfig(),
+    *,
+    tracer: Tracer = NULL_TRACER,
+    registry: MetricsRegistry | None = None,
+) -> ServeReport:
+    """Run the open-loop serving simulation over a request trace.
+
+    The single-pool driver: one :class:`~repro.hw.system.UnitPool`, one
+    :class:`Dispatcher`, one event heap.  ``tracer`` (default: the no-op
+    :data:`NULL_TRACER`) records the run as per-unit dispatch spans,
+    per-request async spans and a queue-depth counter series, all in
+    simulated cycles — export with ``report.tracer.to_json()``.
+    ``registry`` (default: the process-wide one) receives serving
+    counters/histograms (dispatches, batch fill, queue depth, rejections,
+    KV pressure).
+    """
+    clock = config.clock
+    pool = UnitPool(clock.n_units)
+    reg = get_registry() if registry is None else registry
+
+    events: list[tuple[int, int, str, object]] = []
+    seq = 0
+
+    def push(t: int, tag: str, payload: object = None) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, tag, payload))
+        seq += 1
+
+    d = Dispatcher(config, pool, push, tracer=tracer, registry=reg)
+
+    for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
+        push(r.arrival, "arrive", r)
+
     while events:
         now, _, tag, payload = heapq.heappop(events)
         if tag == "arrive":
-            req = payload
-            metrics.record_arrival(req)
-            if batcher.depth() >= config.max_queue:
-                metrics.record_rejection(req)
-                if reg.enabled:
-                    reg.counter("serve.rejections").inc()
-            else:
-                phase = "vit" if req.kind == "vit" else "prefill"
-                batcher.add(PhaseItem(req, phase, ready=now,
-                                      context=req.prompt_tokens))
+            d.admit(payload, now)
         elif tag == "finish":
             unit, batch = payload
-            idle.add(unit)
-            for item in batch.items:
-                complete_item(item, now)
+            d.on_finish(unit, batch, now)
         elif tag == "wake":
-            pending_wakes.discard(now)
+            d.on_wake(now)
         else:  # pragma: no cover - defensive
             raise ConfigurationError(f"unknown event tag {tag!r}")
-        try_dispatch(now)
-        depth = batcher.depth()
-        metrics.record_queue_depth(now, depth)
-        if trace_on and depth != last_depth:
-            tracer.counter("queue_depth", cycle=now, value=depth)
-            last_depth = depth
-        if reg.enabled:
-            reg.histogram("serve.queue_depth").observe(depth)
+        d.try_dispatch(now)
+        d.observe_queue(now)
 
-    busy = sum(t.busy_cycles for t in pool.timelines)
+    busy = d.busy_cycles
     if reg.enabled:
-        reg.counter("serve.arrivals").inc(metrics.arrivals)
-        reg.counter("serve.tokens_out").inc(metrics.tokens_out)
+        reg.counter("serve.arrivals").inc(d.metrics.arrivals)
+        reg.counter("serve.tokens_out").inc(d.metrics.tokens_out)
         reg.counter("serve.busy_cycles").inc(busy)
-        reg.gauge("serve.kv_bytes_peak").set(sessions.peak_kv_bytes)
-        reg.gauge("serve.horizon_cycles").set(metrics.last_completion)
-    summary = metrics.summary(clock=clock, busy_cycles=busy)
-    summary["active_sessions_peak_kv_mib"] = sessions.peak_kv_bytes / 2**20
-    return ServeReport(summary, config, pool, metrics, tracer)
+        reg.gauge("serve.kv_bytes_peak").set(d.sessions.peak_kv_bytes)
+        reg.gauge("serve.horizon_cycles").set(d.metrics.last_completion)
+    summary = d.metrics.summary(clock=clock, busy_cycles=busy)
+    summary["active_sessions_peak_kv_mib"] = d.sessions.peak_kv_bytes / 2**20
+    return ServeReport(summary, config, pool, d.metrics, tracer)

@@ -25,7 +25,8 @@ from repro.errors import ConfigurationError
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
 
 __all__ = ["KINDS", "PHASES", "Request", "PhaseItem", "TrafficConfig",
-           "poisson_trace", "trace_from_rows"]
+           "DiurnalConfig", "poisson_trace", "diurnal_trace",
+           "trace_from_rows"]
 
 KINDS = ("vit", "llm")
 PHASES = ("vit", "prefill", "decode")
@@ -33,7 +34,13 @@ PHASES = ("vit", "prefill", "decode")
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request with arrival time and latency deadline."""
+    """One inference request with arrival time and latency deadline.
+
+    ``user`` identifies the logical end user (session key): a cluster
+    router keeps a user's consecutive requests on the replica that already
+    warmed caches for them (session affinity).  ``None`` means anonymous —
+    every such request routes purely on load.
+    """
 
     rid: int
     kind: str  # "vit" | "llm"
@@ -41,6 +48,7 @@ class Request:
     deadline: int | None = None  # absolute cycles, or None for best-effort
     prompt_tokens: int = 0  # llm only
     gen_tokens: int = 0  # llm only
+    user: int | None = None  # affinity key for cluster routing
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -99,14 +107,51 @@ def _deadline(arrival: int, ms: float | None, clock: ClockConfig) -> int | None:
     return arrival + int(ms * 1e-3 * clock.freq_hz)
 
 
+def _emit_request(
+    rng: np.random.Generator,
+    rid: int,
+    t: int,
+    cfg: TrafficConfig,
+    clock: ClockConfig,
+    n_users: int | None,
+) -> Request:
+    """Draw one request's kind/shape (shared by the trace generators).
+
+    The rng consumption order (kind, then token bounds, then — only when a
+    user pool exists — the user id) is part of the reproducibility
+    contract: traces are pinned by seed across releases.
+    """
+    if rng.random() < cfg.vit_fraction:
+        req = Request(rid, "vit", t, _deadline(t, cfg.vit_deadline_ms, clock))
+    else:
+        lo, hi = cfg.prompt_tokens
+        prompt = int(rng.integers(lo, hi + 1))
+        lo, hi = cfg.gen_tokens
+        gen = int(rng.integers(lo, hi + 1))
+        req = Request(rid, "llm", t, _deadline(t, cfg.llm_deadline_ms, clock),
+                      prompt_tokens=prompt, gen_tokens=gen)
+    if n_users is not None:
+        req = Request(req.rid, req.kind, req.arrival, req.deadline,
+                      req.prompt_tokens, req.gen_tokens,
+                      user=int(rng.integers(0, n_users)))
+    return req
+
+
 def poisson_trace(
     n_requests: int,
     cfg: TrafficConfig = TrafficConfig(),
     *,
     seed: int = 0,
     clock: ClockConfig = DEFAULT_CLOCK,
+    n_users: int | None = None,
 ) -> list[Request]:
-    """Generate ``n_requests`` Poisson arrivals (seeded, cycle timestamps)."""
+    """Generate ``n_requests`` Poisson arrivals (seeded, cycle timestamps).
+
+    ``n_users`` (optional) tags each request with a user id drawn uniformly
+    from a pool of that size — the affinity key cluster routing uses.  The
+    default ``None`` draws nothing extra, so historical seeds reproduce
+    byte-identical traces.
+    """
     if n_requests < 0:
         raise ConfigurationError("cannot generate a negative request count")
     rng = np.random.default_rng(seed)
@@ -115,17 +160,71 @@ def poisson_trace(
     t = 0
     for rid in range(n_requests):
         t += max(1, int(round(rng.exponential(mean_gap))))
-        if rng.random() < cfg.vit_fraction:
-            out.append(Request(rid, "vit", t,
-                               _deadline(t, cfg.vit_deadline_ms, clock)))
-        else:
-            lo, hi = cfg.prompt_tokens
-            prompt = int(rng.integers(lo, hi + 1))
-            lo, hi = cfg.gen_tokens
-            gen = int(rng.integers(lo, hi + 1))
-            out.append(Request(rid, "llm", t,
-                               _deadline(t, cfg.llm_deadline_ms, clock),
-                               prompt_tokens=prompt, gen_tokens=gen))
+        out.append(_emit_request(rng, rid, t, cfg, clock, n_users))
+    return out
+
+
+@dataclass(frozen=True)
+class DiurnalConfig:
+    """Sinusoidal day/night modulation of the Poisson arrival rate.
+
+    The instantaneous rate at cycle ``t`` is::
+
+        rate(t) = rate_rps * (1 + amplitude * sin(2 pi t / period - phase))
+
+    ``period_s`` is the "day" length in simulated seconds (scaled down
+    from 86400 so a bench trace spans multiple peaks), ``amplitude`` in
+    ``[0, 1)`` how deep the night trough is relative to the mean, and
+    ``phase`` shifts where in the day the trace starts (the default
+    starts at the mean on the way up, so a short trace sees a ramp to
+    peak and a fall into the trough — one scale-up and one scale-down).
+    """
+
+    period_s: float = 2.0
+    amplitude: float = 0.8
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError("diurnal period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+
+    def rate_factor(self, t_cycles: int, clock: ClockConfig) -> float:
+        """Multiplier on the mean rate at cycle ``t`` (always positive)."""
+        t_s = t_cycles / clock.freq_hz
+        return 1.0 + self.amplitude * float(
+            np.sin(2.0 * np.pi * t_s / self.period_s - self.phase)
+        )
+
+
+def diurnal_trace(
+    n_requests: int,
+    cfg: TrafficConfig = TrafficConfig(),
+    diurnal: DiurnalConfig = DiurnalConfig(),
+    *,
+    seed: int = 0,
+    clock: ClockConfig = DEFAULT_CLOCK,
+    n_users: int | None = None,
+) -> list[Request]:
+    """Seeded inhomogeneous-Poisson arrivals with day/night modulation.
+
+    Arrival gaps are exponential with the *instantaneous* mean at the
+    current simulated time — the classic thinning-free approximation for
+    slowly-varying rates (the diurnal period is many orders of magnitude
+    above a single gap).  ``cfg.rate_rps`` is the mean rate; the peak runs
+    at ``1 + amplitude`` times it and the trough at ``1 - amplitude``.
+    """
+    if n_requests < 0:
+        raise ConfigurationError("cannot generate a negative request count")
+    rng = np.random.default_rng(seed)
+    out: list[Request] = []
+    t = 0
+    for rid in range(n_requests):
+        rate = cfg.rate_rps * diurnal.rate_factor(t, clock)
+        mean_gap = clock.freq_hz / rate
+        t += max(1, int(round(rng.exponential(mean_gap))))
+        out.append(_emit_request(rng, rid, t, cfg, clock, n_users))
     return out
 
 

@@ -1,0 +1,140 @@
+"""Autoscaler policy: thresholds, hysteresis, cool-down, signal math."""
+
+import heapq
+
+import pytest
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.topology import Replica
+from repro.errors import ConfigurationError
+from repro.hw.system import UnitPool
+from repro.serve.dispatcher import Dispatcher, ServeConfig
+from repro.serve.request import Request
+
+
+def _replica(rid, n_units=2):
+    events = []
+    seq = [0]
+
+    def push(t, tag, payload=None):
+        heapq.heappush(events, (t, seq[0], tag, payload))
+        seq[0] += 1
+
+    r = Replica(rid, (rid,), spawned_at=0)
+    r.dispatcher = Dispatcher(ServeConfig(), UnitPool(n_units), push)
+    return r
+
+
+def _fill(r, n):
+    for i in range(n):
+        r.dispatcher.enqueue(
+            Request(rid=i, kind="vit", arrival=0), now=0
+        )
+
+
+def _cfg(**kw):
+    base = dict(min_replicas=1, max_replicas=4, interval_us=1000.0,
+                cooldown_us=3000.0, provision_us=500.0,
+                scale_up_queue=8.0, scale_down_queue=1.0,
+                scale_up_utilization=0.85, scale_down_utilization=0.30)
+    base.update(kw)
+    return AutoscalerConfig(**base)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(min_replicas=0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(min_replicas=3, max_replicas=2)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(scale_up_queue=4.0, scale_down_queue=4.0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(scale_up_utilization=0.3,
+                         scale_down_utilization=0.3)
+
+
+def test_scale_up_on_queue_pressure():
+    s = Autoscaler(_cfg())
+    r = _replica(0)
+    _fill(r, 20)
+    assert s.decide(s.interval, [r], free_capacity=3) == "up"
+
+
+def test_no_scale_up_without_free_boards():
+    s = Autoscaler(_cfg())
+    r = _replica(0)
+    _fill(r, 20)
+    assert s.decide(s.interval, [r], free_capacity=0) is None
+
+
+def test_no_scale_up_past_max():
+    s = Autoscaler(_cfg(max_replicas=2))
+    replicas = [_replica(0), _replica(1)]
+    for r in replicas:
+        _fill(r, 20)
+    assert s.decide(s.interval, replicas, free_capacity=2) is None
+    # provisioning replicas count against the budget too
+    s2 = Autoscaler(_cfg(max_replicas=2))
+    r = _replica(0)
+    _fill(r, 20)
+    assert s2.decide(s2.interval, [r], pending_up=1, free_capacity=2) is None
+
+
+def test_scale_down_needs_both_signals_low():
+    s = Autoscaler(_cfg())
+    idle = [_replica(0), _replica(1)]
+    assert s.decide(s.interval, idle) == "down"
+    # queue low but utilization high: stay
+    s2 = Autoscaler(_cfg(scale_down_utilization=0.3))
+    busy = [_replica(0), _replica(1)]
+    for r in busy:
+        r.dispatcher.pool.assign(0, 0, s2.interval, "x")
+        r.dispatcher.pool.assign(1, 0, s2.interval, "x")
+    assert s2.decide(s2.interval, busy) is None
+
+
+def test_scale_down_respects_min():
+    s = Autoscaler(_cfg(min_replicas=1))
+    assert s.decide(s.interval, [_replica(0)]) is None
+
+
+def test_cooldown_gates_consecutive_actions():
+    s = Autoscaler(_cfg())
+    r = _replica(0)
+    _fill(r, 20)
+    assert s.decide(s.interval, [r], free_capacity=3) == "up"
+    _fill(r, 20)
+    # still hot one interval later, but inside the cool-down window
+    assert s.decide(2 * s.interval, [r], free_capacity=3) is None
+    # after the cool-down expires the signal counts again
+    later = s.interval + s.cooldown
+    assert s.decide(later, [r], free_capacity=3) == "up"
+
+
+def test_hysteresis_band_holds_steady():
+    # pressure between the two thresholds: no action either way
+    s = Autoscaler(_cfg(scale_up_queue=10.0, scale_down_queue=2.0))
+    r = _replica(0)
+    _fill(r, 5)
+    r.dispatcher.pool.assign(0, 0, s.interval // 2, "x")  # util ~0.25... mid
+    assert s.decide(s.interval, [_replica(1), r],
+                    free_capacity=2) is None
+
+
+def test_window_utilization_is_delta_based():
+    s = Autoscaler(_cfg())
+    r = _replica(0, n_units=1)
+    r.dispatcher.pool.assign(0, 0, s.interval, "x")
+    _, util1 = s.signals(s.interval, [r])
+    assert util1 == pytest.approx(1.0)
+    # nothing new in the second window: utilization collapses
+    _, util2 = s.signals(2 * s.interval, [r])
+    assert util2 == 0.0
+
+
+def test_events_record():
+    s = Autoscaler(_cfg())
+    ev = s.record(100, "scale_up", 1, 2, 12.0, 0.9, "queue 12 > 8")
+    assert s.events == [ev]
+    d = ev.as_dict()
+    assert d["action"] == "scale_up" and d["cycle"] == 100

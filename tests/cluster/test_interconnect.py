@@ -1,0 +1,63 @@
+"""Interconnect cost model: tiers, transfer and all-reduce math."""
+
+import pytest
+
+from repro.cluster.interconnect import DEFAULT_INTERCONNECT, InterconnectModel
+from repro.errors import ConfigurationError
+
+
+def test_transfer_is_latency_plus_beats():
+    ic = InterconnectModel(
+        inter_bytes_per_cycle=32, inter_issue_latency=500,
+        intra_bytes_per_cycle=32, intra_issue_latency=16,
+    )
+    assert ic.transfer_cycles(64, cross_board=False) == 16 + 2
+    assert ic.transfer_cycles(64, cross_board=True) == 500 + 2
+    # partial beat rounds up
+    assert ic.transfer_cycles(33, cross_board=False) == 16 + 2
+
+
+def test_zero_bytes_is_free():
+    assert DEFAULT_INTERCONNECT.transfer_cycles(0, cross_board=True) == 0
+    assert DEFAULT_INTERCONNECT.allreduce_cycles(0, 4, cross_board=True) == 0
+
+
+def test_cross_board_tier_never_cheaper():
+    for n in (1, 32, 4096, 10**6):
+        assert DEFAULT_INTERCONNECT.transfer_cycles(
+            n, cross_board=True
+        ) >= DEFAULT_INTERCONNECT.transfer_cycles(n, cross_board=False)
+
+
+def test_allreduce_world_one_is_free():
+    assert DEFAULT_INTERCONNECT.allreduce_cycles(4096, 1, cross_board=False) == 0
+
+
+def test_allreduce_ring_steps():
+    ic = InterconnectModel(
+        intra_bytes_per_cycle=32, intra_issue_latency=16,
+    )
+    # world=4: 2*(4-1)=6 steps, chunk = ceil(1024/4)=256 -> 8 beats
+    assert ic.allreduce_cycles(1024, 4, cross_board=False) == 6 * (16 + 8)
+
+
+def test_allreduce_latency_grows_with_world():
+    prev = 0
+    for world in (2, 3, 4, 8):
+        c = DEFAULT_INTERCONNECT.allreduce_cycles(1 << 20, world,
+                                                  cross_board=True)
+        assert c > 0
+        # more peers -> more latency-bearing steps dominate at this size
+        assert c != prev
+        prev = c
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        InterconnectModel(inter_bytes_per_cycle=0)
+    with pytest.raises(ConfigurationError):
+        InterconnectModel(intra_issue_latency=-1)
+    with pytest.raises(ConfigurationError):
+        DEFAULT_INTERCONNECT.transfer_cycles(-1, cross_board=False)
+    with pytest.raises(ConfigurationError):
+        DEFAULT_INTERCONNECT.allreduce_cycles(64, 0, cross_board=False)

@@ -1,0 +1,85 @@
+"""Sharded cost model: plan validation, compute/comm split, monotonicity."""
+
+import pytest
+
+from repro.cluster.sharding import ShardedCostModel, ShardPlan
+from repro.errors import ConfigurationError
+from repro.serve.batcher import Batch
+from repro.serve.dispatcher import CostModel, ServeConfig
+from repro.serve.request import PhaseItem, Request
+
+
+def _batch(phase="decode", size=4, context=64):
+    req = Request(rid=0, kind="llm", arrival=0,
+                  prompt_tokens=context, gen_tokens=8)
+    items = [PhaseItem(req, phase, ready=0, context=context)
+             for _ in range(size)]
+    return Batch(phase=phase, items=items, formed_at=0)
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigurationError):
+        ShardPlan(tp=0)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(pp=-1)
+    assert ShardPlan(tp=3, pp=2).degree == 6
+    assert ShardPlan(tp=3, pp=2).describe() == "tp3xpp2"
+
+
+def test_degree_one_matches_base_cost():
+    cfg = ServeConfig()
+    base = CostModel(cfg)
+    sharded = ShardedCostModel(cfg, ShardPlan())
+    for phase in ("prefill", "decode", "vit"):
+        b = _batch(phase)
+        assert sharded.batch_cycles(b) == base.batch_cycles(b)
+    assert sharded.interconnect_cycles_total == 0
+    assert sharded.interconnect_share == 0.0
+
+
+def test_tp_split_reduces_compute_adds_comm():
+    cfg = ServeConfig()
+    base = CostModel(cfg)
+    sharded = ShardedCostModel(cfg, ShardPlan(tp=4))
+    b = _batch("prefill", size=4, context=64)
+    compute, comm = sharded.split_cycles(b)
+    assert compute < base.batch_cycles(b)
+    assert comm > 0
+
+
+def test_pp_split_adds_fill_and_boundary_transfers():
+    cfg = ServeConfig()
+    sharded = ShardedCostModel(cfg, ShardPlan(pp=3))
+    b = _batch("prefill", size=4, context=64)
+    compute, comm = sharded.split_cycles(b)
+    base = CostModel(cfg).batch_cycles(b)
+    per_unit = -(-base // 3)
+    assert compute > per_unit  # fill overhead on top of the split
+    assert comm > 0
+
+
+def test_cross_board_costs_more_than_intra():
+    cfg = ServeConfig()
+    b = _batch("prefill", size=8, context=128)
+    on_board = ShardedCostModel(cfg, ShardPlan(tp=4), tp_cross_board=False)
+    off_board = ShardedCostModel(cfg, ShardPlan(tp=4), tp_cross_board=True)
+    assert off_board.split_cycles(b)[1] > on_board.split_cycles(b)[1]
+
+    pp_on = ShardedCostModel(cfg, ShardPlan(pp=2), pp_cross_boundaries=0)
+    pp_off = ShardedCostModel(cfg, ShardPlan(pp=2), pp_cross_boundaries=1)
+    assert pp_off.split_cycles(b)[1] > pp_on.split_cycles(b)[1]
+
+
+def test_cross_boundary_count_validated():
+    with pytest.raises(ConfigurationError):
+        ShardedCostModel(ServeConfig(), ShardPlan(pp=2), pp_cross_boundaries=2)
+
+
+def test_accumulators_track_dispatches():
+    cfg = ServeConfig()
+    sharded = ShardedCostModel(cfg, ShardPlan(tp=2))
+    b = _batch("decode", size=8, context=64)
+    total = sharded.batch_cycles(b)
+    assert (sharded.compute_cycles_total
+            + sharded.interconnect_cycles_total) == total
+    assert 0.0 < sharded.interconnect_share < 1.0

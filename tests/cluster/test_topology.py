@@ -1,0 +1,65 @@
+"""Cluster topology: footprint math, placement tiers, replica lifecycle."""
+
+import pytest
+
+from repro.cluster.sharding import ShardPlan
+from repro.cluster.topology import Board, ClusterSpec, Replica
+from repro.errors import ConfigurationError
+
+
+def test_default_spec_footprint():
+    spec = ClusterSpec()
+    assert spec.units_per_replica == 15
+    assert spec.lanes_per_replica == 15
+    assert spec.max_replicas == 4
+    assert not spec.tp_cross_board
+    assert spec.pp_cross_boundaries == 0
+
+
+def test_sharded_lanes():
+    spec = ClusterSpec(plan=ShardPlan(tp=3))
+    assert spec.lanes_per_replica == 5
+    spec = ClusterSpec(boards_per_replica=2, plan=ShardPlan(tp=3, pp=2))
+    assert spec.units_per_replica == 30
+    assert spec.lanes_per_replica == 5
+    assert spec.max_replicas == 2
+
+
+def test_placement_tiers():
+    # tp overflowing one board crosses the serial link
+    spec = ClusterSpec(boards_per_replica=2, plan=ShardPlan(tp=30))
+    assert spec.tp_cross_board
+    # pipeline stages round-robin across boards: one boundary per extra board
+    spec = ClusterSpec(boards_per_replica=2, plan=ShardPlan(pp=4))
+    assert spec.pp_cross_boundaries == 1
+    spec = ClusterSpec(boards=4, boards_per_replica=4, plan=ShardPlan(pp=2))
+    assert spec.pp_cross_boundaries == 1
+    # single-board replicas never pay the serial tier
+    spec = ClusterSpec(plan=ShardPlan(pp=5))
+    assert spec.pp_cross_boundaries == 0
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(boards=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(boards_per_replica=5, boards=4)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(plan=ShardPlan(tp=16))  # > 15 units on one board
+
+
+def test_board_ownership():
+    b = Board(0)
+    assert b.free
+    b.owner = 2
+    assert not b.free
+
+
+def test_replica_lifecycle_span():
+    r = Replica(0, (0,), spawned_at=100)
+    assert r.active
+    assert r.active_span(1000) == 900
+    r.state = "retired"
+    r.retired_at = 400
+    assert not r.active
+    assert r.active_span(1000) == 300
