@@ -1,0 +1,129 @@
+"""Observability overhead bench: the disabled path must cost ~nothing.
+
+The whole observability stack (tracer, metrics registry, SLO tracker,
+request-path decomposition) follows the null-object discipline: disabled,
+each hook is one ``.enabled`` attribute check in the dispatch hot loop.
+This bench measures the serving simulator's wall-clock rate with
+everything disabled vs everything enabled at full sampling, proves the
+two runs produce identical serving summaries (observation must never
+steer the simulation), and records the result as
+``BENCH_obs_overhead.json`` for the bench gate's history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import NULL_SLO, SLOConfig, SLOTracker
+from repro.obs.tracer import NULL_TRACER, RequestPathConfig, Tracer
+from repro.serve.dispatcher import ServeConfig, simulate
+from repro.serve.request import TrafficConfig, poisson_trace
+
+SEED = 0
+N_REQUESTS = 600
+TRAFFIC = TrafficConfig(rate_rps=1500.0, vit_fraction=0.1)
+
+
+def _run(trace, *, observed: bool):
+    cfg = ServeConfig()
+    if observed:
+        report = simulate(
+            trace, cfg,
+            tracer=Tracer(meta={"seed": SEED}),
+            registry=MetricsRegistry(),
+            slo=SLOTracker(SLOConfig()),
+            path=RequestPathConfig(detail_every=1),
+        )
+    else:
+        report = simulate(trace, cfg, tracer=NULL_TRACER,
+                          registry=MetricsRegistry(enabled=False),
+                          slo=NULL_SLO, path=None)
+    return report
+
+
+def _best_rate(trace, *, observed: bool, runs: int = 5):
+    best, report = 0.0, None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        report = _run(trace, observed=observed)
+        dt = time.perf_counter() - t0
+        best = max(best, len(trace) / dt)
+    return best, report
+
+
+def _core_summary(summary: dict) -> dict:
+    """The simulation outcome minus observability-only keys."""
+    return {k: v for k, v in summary.items() if k != "slo"}
+
+
+def test_obs_disabled_overhead(save_report, bench_artifact):
+    """Disabled observability must not bend the serving hot loop.
+
+    Gated two ways: the disabled and enabled runs must produce an
+    identical serving summary (determinism — observation never steers
+    the simulation), and the disabled rate must stay within a
+    conservative margin of the committed artifact's own previous
+    measurement (an accidentally-hot disabled path shows up as a cliff,
+    scheduler noise does not).
+    """
+    trace = poisson_trace(N_REQUESTS, TRAFFIC, seed=SEED)
+    _best_rate(trace, observed=False, runs=1)  # warm numpy + allocator
+
+    off_rate, off_report = _best_rate(trace, observed=False)
+    on_rate, on_report = _best_rate(trace, observed=True)
+    overhead = off_rate / on_rate - 1.0
+
+    assert _core_summary(off_report.summary) == \
+        _core_summary(on_report.summary), (
+            "observability changed the simulation outcome"
+        )
+    # Full-detail tracing records every stage of every request; its cost
+    # is real and bounded by the span budget, not gated here.
+    n_spans = (len(on_report.tracer.spans)
+               + len(on_report.tracer.async_spans))
+
+    baseline_path = (Path(__file__).parent.parent / "results"
+                     / "BENCH_obs_overhead.json")
+    base_rate = vs_baseline = None
+    if baseline_path.exists():
+        base = json.loads(baseline_path.read_text())
+        base_rate = base["summary"].get("requests_per_sec_disabled")
+        if base_rate:
+            vs_baseline = off_rate / base_rate - 1.0
+
+    lines = [
+        f"serving sim, {N_REQUESTS} requests @ {TRAFFIC.rate_rps:g} req/s "
+        f"(seed {SEED}), best of 5:",
+        f"observability disabled: {off_rate:10.1f} requests/sec (wall)",
+        f"observability enabled:  {on_rate:10.1f} requests/sec "
+        f"({overhead * 100:+.1f}% slower; full 1-in-1 request-path "
+        f"detail, {n_spans} spans)",
+        "identical serving summaries: True",
+    ]
+    if base_rate is not None:
+        lines.append(
+            f"disabled vs committed baseline: {off_rate:.1f} vs "
+            f"{base_rate:.1f} requests/sec ({vs_baseline * 100:+.1f}%)"
+        )
+    save_report("obs_overhead", "\n".join(lines))
+    bench_artifact("obs_overhead", {
+        "n_requests": N_REQUESTS,
+        "rate_rps": TRAFFIC.rate_rps,
+        "requests_per_sec_disabled": off_rate,
+        "requests_per_sec_enabled": on_rate,
+        "enabled_overhead_fraction": overhead,
+        "enabled_spans": n_spans,
+        "baseline_requests_per_sec_disabled": base_rate,
+        "disabled_vs_baseline_fraction": vs_baseline,
+    }, seed=SEED)
+
+    # Same conservative 20% margin as the numerics-overhead gate:
+    # back-to-back best-of-5 runs on a shared machine swing +-15%.
+    if base_rate is not None:
+        assert off_rate > base_rate * 0.80, (
+            f"disabled observability cost {-vs_baseline * 100:.1f}% "
+            "serving throughput vs committed baseline"
+        )

@@ -11,6 +11,9 @@ Usage::
                                      # compiled-schedule cycle profile
     python -m repro numerics-report --check results/NUMERICS_golden_tinylm_bfp8.json
                                      # quantization health vs golden baseline
+    python -m repro slo-report --trace run.perfetto.json --summary run.json
+                                     # SLO story rebuilt from the trace alone
+    python -m repro bench-gate       # history append + headline-metric gate
 """
 
 from __future__ import annotations
@@ -65,17 +68,22 @@ def main() -> None:
                         help="directory to write per-artifact text files")
     subparsers = parser.add_subparsers(dest="command")
 
+    from repro.obs.bench_gate import add_bench_gate_parser, run_bench_gate
     from repro.obs.cli import (
         add_numerics_report_parser,
         add_profile_parser,
+        add_slo_report_parser,
         run_numerics_report,
         run_profile,
+        run_slo_report,
     )
     from repro.serve.cli import add_serve_sim_parser, run_serve_sim
 
     add_serve_sim_parser(subparsers)
     add_profile_parser(subparsers)
     add_numerics_report_parser(subparsers)
+    add_slo_report_parser(subparsers)
+    add_bench_gate_parser(subparsers)
 
     args = parser.parse_args()
     if args.command == "serve-sim":
@@ -84,6 +92,10 @@ def main() -> None:
         raise SystemExit(run_profile(args))
     if args.command == "numerics-report":
         raise SystemExit(run_numerics_report(args))
+    if args.command == "slo-report":
+        raise SystemExit(run_slo_report(args))
+    if args.command == "bench-gate":
+        raise SystemExit(run_bench_gate(args))
     raise SystemExit(_run_report(args))
 
 

@@ -19,8 +19,15 @@ from flapping the fleet at the crossover points.  New replicas take
 replicas finish their resident sessions before releasing boards — live KV
 is never evicted.
 
+When an SLO tracker is wired in (``scale_up_burn_rate``), a third signal
+joins: the fleet's sustained error-budget **burn rate**.  A burn above
+the trigger scales up even before queue/utilization trip (deadline
+misses lead the load signals under bursty traffic), and any burn >= 1.0
+vetoes scale-down — the fleet never shrinks while the budget is burning.
+
 Every decision is recorded as a :class:`ScaleEvent` with the signals that
-triggered it, so a run's scaling story is an artifact, not a log line.
+triggered it (including the burn rate), so a run's scaling story is an
+artifact, not a log line.
 """
 
 from __future__ import annotations
@@ -47,8 +54,15 @@ class AutoscalerConfig:
     scale_down_queue: float = 2.0
     scale_up_utilization: float = 0.85
     scale_down_utilization: float = 0.40
+    #: Sustained SLO burn rate above which the fleet scales up even
+    #: before the queue/utilization thresholds trip (None = no SLO
+    #: coupling).  Any burn >= 1.0 also vetoes scale-down: never shrink
+    #: while the error budget is burning.
+    scale_up_burn_rate: float | None = None
 
     def __post_init__(self) -> None:
+        if self.scale_up_burn_rate is not None and self.scale_up_burn_rate <= 0:
+            raise ConfigurationError("scale_up_burn_rate must be positive")
         if self.min_replicas <= 0 or self.max_replicas < self.min_replicas:
             raise ConfigurationError(
                 "need 1 <= min_replicas <= max_replicas"
@@ -85,6 +99,7 @@ class ScaleEvent:
     queue_per_replica: float
     utilization: float
     reason: str
+    burn_rate: float = 0.0  # sustained SLO burn at decision time (0 = no SLO)
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -149,12 +164,18 @@ class Autoscaler:
         *,
         pending_up: int = 0,
         free_capacity: int = 0,
+        burn_rate: float = 0.0,
     ) -> str | None:
         """``"up"``, ``"down"`` or ``None`` for this sampling point.
 
         ``pending_up`` counts replicas already provisioning (they hold
         fleet budget before they serve); ``free_capacity`` how many more
-        replicas the boards can physically host.
+        replicas the boards can physically host.  ``burn_rate`` is the
+        fleet's sustained SLO burn (0 when no SLO tracker is wired): it
+        can trigger a scale-up before the load signals trip
+        (``cfg.scale_up_burn_rate``), and any burn >= 1.0 vetoes a
+        scale-down — the fleet never shrinks while the error budget is
+        actively burning.
         """
         cfg = self.cfg
         depth, util = self.signals(now, replicas)
@@ -163,8 +184,13 @@ class Autoscaler:
         n_committed = n_active + pending_up
         if self._cooling(now):
             return None
+        burn_up = (
+            cfg.scale_up_burn_rate is not None
+            and burn_rate > cfg.scale_up_burn_rate
+        )
         if (
-            (depth > cfg.scale_up_queue or util > cfg.scale_up_utilization)
+            (depth > cfg.scale_up_queue or util > cfg.scale_up_utilization
+             or burn_up)
             and n_committed < cfg.max_replicas
             and free_capacity > 0
         ):
@@ -173,6 +199,7 @@ class Autoscaler:
         if (
             depth < cfg.scale_down_queue
             and util < cfg.scale_down_utilization
+            and burn_rate < 1.0
             and n_committed > cfg.min_replicas
             and pending_up == 0
         ):
@@ -189,7 +216,9 @@ class Autoscaler:
         depth: float,
         util: float,
         reason: str,
+        burn_rate: float = 0.0,
     ) -> ScaleEvent:
-        ev = ScaleEvent(now, action, rid, n_active, depth, util, reason)
+        ev = ScaleEvent(now, action, rid, n_active, depth, util, reason,
+                        burn_rate)
         self.events.append(ev)
         return ev

@@ -20,6 +20,15 @@ or dict order, which would make runs irreproducible.  The generator is
 consumed only on ties, in event order, so a given ``(trace seed, router
 seed)`` pair replays byte-identically; changing the router seed is the
 supported way to resample placement.
+
+**SLO-aware affinity bypass.**  With an :class:`~repro.obs.slo.SLOTracker`
+wired in, a sticky hit is skipped when the request's class is actively
+burning its error budget (sustained burn > 1) *and* the sticky replica's
+queue is deeper than the shallowest queue by more than
+``burn_bypass_margin`` items: warmth is worth a short detour through a
+deeper queue, but not a deadline miss while an idle replica sits next
+door.  With the default :data:`~repro.obs.slo.NULL_SLO` the bypass never
+fires and routing (and rng consumption) is exactly the historical one.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.topology import Replica
+from repro.obs.slo import NULL_SLO, SLOTracker
 from repro.serve.request import Request
 
 __all__ = ["Router"]
@@ -35,22 +45,40 @@ __all__ = ["Router"]
 class Router:
     """Affinity-then-least-loaded replica selection with seeded ties."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, slo: SLOTracker = NULL_SLO,
+                 burn_bypass_margin: float = 16.0) -> None:
         self._rng = np.random.default_rng(seed)
         self._affinity: dict[int, int] = {}  # user -> replica id
+        self.slo = slo
+        self.burn_bypass_margin = burn_bypass_margin
         self.affinity_hits = 0
         self.affinity_misses = 0
+        self.slo_bypasses = 0
 
     def forget(self, rid: int) -> None:
         """Drop all stickiness to a replica (called when it drains)."""
         self._affinity = {u: r for u, r in self._affinity.items() if r != rid}
 
-    def route(self, req: Request, replicas: list[Replica]) -> Replica | None:
+    def _burn_bypass(self, req: Request, sticky: Replica,
+                     candidates: list[Replica], now: int) -> bool:
+        """Skip a sticky hit when the class burns and a shallower queue
+        exists (see module docstring)."""
+        if not self.slo.enabled:
+            return False
+        if self.slo.class_burn(req.kind, now) <= 1.0:
+            return False
+        shallowest = min(r.dispatcher.depth() for r in candidates)
+        return sticky.dispatcher.depth() > shallowest + self.burn_bypass_margin
+
+    def route(self, req: Request, replicas: list[Replica],
+              now: int = 0) -> Replica | None:
         """Pick the replica ``req`` should run on, or ``None`` (no capacity).
 
         Only ``active`` replicas are candidates; a sticky replica whose
         queue is already at its admission bound falls through to
         least-loaded (the request is not worth a 503 just to stay warm).
+        ``now`` feeds the SLO burn-rate lookup; it is unused without an
+        SLO tracker.
         """
         candidates = [r for r in replicas if r.active]
         if not candidates:
@@ -65,8 +93,11 @@ class Router:
                     sticky.dispatcher.depth()
                     < sticky.dispatcher.config.max_queue
                 ):
-                    self.affinity_hits += 1
-                    return sticky
+                    if self._burn_bypass(req, sticky, candidates, now):
+                        self.slo_bypasses += 1
+                    else:
+                        self.affinity_hits += 1
+                        return sticky
             self.affinity_misses += 1
         depths = [r.dispatcher.depth() for r in candidates]
         best = min(depths)

@@ -109,12 +109,17 @@ class ShardedCostModel(CostModel):
         return self.cfg.profile.depth
 
     # -- split ---------------------------------------------------------------
-    def split_cycles(self, batch: Batch) -> tuple[int, int]:
-        """``(compute, interconnect)`` lane-occupancy cycles of one batch."""
+    def _split3(self, batch: Batch) -> tuple[int, int, int]:
+        """``(compute, allreduce, pp_transfer)`` cycles of one batch.
+
+        The named split feeds request-path tracing (the ``shard_compute``
+        / ``allreduce`` / ``pp_transfer`` stages); the parts sum exactly
+        to the lane-occupancy :meth:`batch_cycles` charges.
+        """
         base = super().batch_cycles(batch)
         plan = self.plan
         if plan.degree == 1:
-            return base, 0
+            return base, 0, 0
         act_bytes = batch.size * self._tokens(batch) * self.cfg.profile.dim * 4
         # Compute: the whole pass divided across the shard group, with the
         # pipeline's fill overhead ((pp-1) microbatch chunks of the first
@@ -122,7 +127,8 @@ class ShardedCostModel(CostModel):
         per_unit = ceil(base / plan.degree)
         micro = max(batch.size, 1)
         compute = per_unit
-        comm = 0
+        allreduce = 0
+        pp_transfer = 0
         if plan.pp > 1:
             compute += (plan.pp - 1) * ceil(per_unit / micro)
             # Stage-boundary activation hand-offs: every pipeline slot
@@ -132,7 +138,7 @@ class ShardedCostModel(CostModel):
             slots = micro + plan.pp - 1
             cross = self.pp_cross_boundaries
             intra = (plan.pp - 1) - cross
-            comm += slots * (
+            pp_transfer = slots * (
                 cross * self.interconnect.transfer_cycles(
                     slot_bytes, cross_board=True)
                 + intra * self.interconnect.transfer_cycles(
@@ -142,16 +148,31 @@ class ShardedCostModel(CostModel):
             # Two ring all-reduces per layer (attention out + MLP out)
             # over the batch activations each stage holds.
             stage_bytes = ceil(act_bytes / plan.pp)
-            comm += 2 * self._layers(batch) * self.interconnect.allreduce_cycles(
+            allreduce = 2 * self._layers(batch) * self.interconnect.allreduce_cycles(
                 stage_bytes, plan.tp, cross_board=self.tp_cross_board
             )
-        return compute, comm
+        return compute, allreduce, pp_transfer
+
+    def split_cycles(self, batch: Batch) -> tuple[int, int]:
+        """``(compute, interconnect)`` lane-occupancy cycles of one batch."""
+        compute, allreduce, pp_transfer = self._split3(batch)
+        return compute, allreduce + pp_transfer
 
     def batch_cycles(self, batch: Batch) -> int:
         compute, comm = self.split_cycles(batch)
         self.compute_cycles_total += compute
         self.interconnect_cycles_total += comm
         return compute + comm
+
+    def batch_breakdown(self, batch: Batch) -> dict[str, int]:
+        """Named stage split of one batch (pure — no accumulation)."""
+        compute, allreduce, pp_transfer = self._split3(batch)
+        out = {"shard_compute": compute}
+        if allreduce:
+            out["allreduce"] = allreduce
+        if pp_transfer:
+            out["pp_transfer"] = pp_transfer
+        return out
 
     @property
     def interconnect_share(self) -> float:

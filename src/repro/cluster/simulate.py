@@ -35,7 +35,8 @@ from repro.cluster.topology import Board, ClusterSpec, Replica
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.slo import NULL_SLO, SLOTracker
+from repro.obs.tracer import NULL_TRACER, RequestPathConfig, Tracer
 from repro.serve.dispatcher import Dispatcher, ServeConfig
 from repro.serve.metrics import MetricsCollector, percentiles
 from repro.serve.request import Request
@@ -130,6 +131,8 @@ def simulate_cluster(
     *,
     tracer: Tracer = NULL_TRACER,
     registry: MetricsRegistry | None = None,
+    slo: SLOTracker = NULL_SLO,
+    path: RequestPathConfig | None = None,
 ) -> ClusterReport:
     """Run the cluster serving simulation over a request trace.
 
@@ -137,11 +140,20 @@ def simulate_cluster(
     edge), ``finish``/``wake`` (a replica's dispatcher events, tagged with
     the replica id by its push wrapper), ``spawn`` (a provisioning replica
     becoming routable) and ``autoscale`` (a periodic policy sample).
+
+    ``slo`` (default: disabled) is the fleet-wide SLO tracker — every
+    replica reports completions/rejections into it, the router uses its
+    burn rates for affinity bypass, the autoscaler for burn-triggered
+    scale-ups, and the summary gains an ``"slo"`` section.  ``path``
+    turns on request-path stage decomposition in the trace: boards
+    become trace processes, units threads, and sampled requests carry
+    named stage children across the edge -> router -> replica -> shard
+    path (one :class:`~repro.obs.tracer.SpanContext` per request).
     """
     spec = config.spec
     clock = config.serve.clock
     reg = get_registry() if registry is None else registry
-    router = Router(config.router_seed)
+    router = Router(config.router_seed, slo=slo)
     scaler = (
         Autoscaler(config.autoscaler, clock)
         if config.autoscaler is not None
@@ -189,6 +201,13 @@ def simulate_cluster(
             tp_cross_board=spec.tp_cross_board,
             pp_cross_boundaries=spec.pp_cross_boundaries,
         )
+        # Lane -> board process for the trace: a lane's units live on the
+        # board holding its first shard unit (boards as processes,
+        # replica lanes as threads under them).
+        lane_procs = tuple(
+            f"board{owned[(lane * spec.plan.degree) // spec.units_per_board]}"
+            for lane in range(spec.lanes_per_replica)
+        )
         r.dispatcher = Dispatcher(
             config.serve,
             UnitPool(spec.lanes_per_replica),
@@ -197,6 +216,10 @@ def simulate_cluster(
             tracer=tracer,
             registry=reg,
             track_prefix=f"r{rid}.",
+            slo=slo,
+            path=path,
+            processes=lane_procs,
+            metric_prefix=f"cluster.r{rid}.",
         )
         replicas.append(r)
         if active_at > now:
@@ -250,8 +273,10 @@ def simulate_cluster(
         free_capacity = (
             sum(1 for b in boards if b.free) // spec.boards_per_replica
         )
+        burn = slo.fleet_burn(now) if slo.enabled else 0.0
         action = scaler.decide(
-            now, replicas, pending_up=pending_up, free_capacity=free_capacity
+            now, replicas, pending_up=pending_up,
+            free_capacity=free_capacity, burn_rate=burn,
         )
         if action is None:
             return
@@ -261,14 +286,16 @@ def simulate_cluster(
             r = spawn_replica(now, now + scaler.provision)
             if r is None:  # pragma: no cover - guarded by free_capacity
                 return
-            reason = (
-                f"queue {depth:.1f} > {scaler.cfg.scale_up_queue:g}"
-                if depth > scaler.cfg.scale_up_queue
-                else f"util {util:.2f} > {scaler.cfg.scale_up_utilization:g}"
-            )
+            if depth > scaler.cfg.scale_up_queue:
+                reason = f"queue {depth:.1f} > {scaler.cfg.scale_up_queue:g}"
+            elif util > scaler.cfg.scale_up_utilization:
+                reason = f"util {util:.2f} > {scaler.cfg.scale_up_utilization:g}"
+            else:
+                reason = (f"burn {burn:.2f} > "
+                          f"{scaler.cfg.scale_up_burn_rate:g}")
             ev = scaler.record(
                 now, "scale_up", r.rid, n_active + pending_up + 1,
-                depth, util, reason,
+                depth, util, reason, burn,
             )
         else:
             # Drain the shallowest-queue active replica; ties go to the
@@ -284,6 +311,7 @@ def simulate_cluster(
                 now, "scale_down", victim.rid, n_active - 1, depth, util,
                 f"queue {depth:.1f} < {scaler.cfg.scale_down_queue:g} and "
                 f"util {util:.2f} < {scaler.cfg.scale_down_utilization:g}",
+                burn,
             )
             retire_if_drained(victim, now)
         note_active(now)
@@ -312,14 +340,25 @@ def simulate_cluster(
             req: Request = payload
             if fleet_depth() >= config.max_cluster_queue:
                 edge_rejected += 1
+                if slo.enabled:
+                    slo.record_rejection(req, now)
                 if reg.enabled:
                     reg.counter("cluster.edge_rejections").inc()
             else:
-                target = router.route(req, replicas)
+                target = router.route(req, replicas, now)
                 if target is None:  # pragma: no cover - min_replicas >= 1
                     edge_rejected += 1
+                    if slo.enabled:
+                        slo.record_rejection(req, now)
                 else:
-                    target.dispatcher.admit(req, now)
+                    if target.dispatcher.admit(req, now):
+                        ctx = target.dispatcher.trace_ctx(req)
+                        if ctx is not None:
+                            ctx.child(
+                                "route", start=req.arrival, end=now,
+                                args={"replica": target.rid,
+                                      "queue_depth": target.dispatcher.depth()},
+                            )
                     touched.append(target)
         elif tag == "finish":
             rid, (unit, batch) = payload
@@ -410,6 +449,9 @@ def simulate_cluster(
             ) / 2**20,
         }
     )
+    if slo.enabled:
+        summary["slo"] = slo.snapshot(horizon)
+        summary["slo_router_bypasses"] = router.slo_bypasses
 
     per_replica: list[dict] = []
     f = clock.freq_hz
@@ -450,6 +492,21 @@ def simulate_cluster(
         reg.counter("cluster.tokens_out").inc(merged.tokens_out)
         reg.gauge("cluster.replicas_spawned").set(len(replicas))
         reg.gauge("cluster.horizon_cycles").set(horizon)
+        # Per-replica/board-labeled fleet metrics: the dispatcher already
+        # namespaces its live counters under ``cluster.r<rid>.``; these
+        # summary gauges make per-replica utilization (and which boards
+        # backed it) verifiable straight from a --metrics-out dump.
+        for r, row in zip(replicas, per_replica):
+            base = f"cluster.r{r.rid}"
+            reg.gauge(f"{base}.utilization").set(row["utilization"])
+            reg.gauge(f"{base}.busy_cycles").set(row["busy_cycles"])
+            reg.counter(f"{base}.completed").inc(row["completed"])
+            reg.counter(f"{base}.tokens_out").inc(row["tokens_out"])
+            reg.gauge(f"{base}.interconnect_share").set(
+                row["interconnect_share"]
+            )
+            for bid in r.boards:
+                reg.gauge(f"cluster.board{bid}.replica").set(r.rid)
 
     return ClusterReport(
         summary,

@@ -1,20 +1,27 @@
-"""Observability for the cycle domain: tracing, metrics, profiling.
+"""Observability for the cycle domain: tracing, metrics, SLOs, profiling.
 
-Three complementary views of where simulated cycles go:
+Complementary views of where simulated cycles go:
 
 * :mod:`repro.obs.tracer` — hierarchical spans keyed on simulated cycles
   with Chrome-trace/Perfetto JSON export (per-unit timelines of a serving
-  run or a compiled schedule);
+  run or a compiled schedule), cross-process request-path spans and flow
+  events for cluster runs;
 * :mod:`repro.obs.metrics` — a process-wide registry of named
   counters/gauges/histograms that the hw, runtime and serve layers
   publish into;
+* :mod:`repro.obs.slo` — per-class latency objectives, error budgets and
+  multi-window burn rates over the dispatcher's completion stream, plus
+  trace-side reconstruction for ``repro slo-report``;
 * :mod:`repro.obs.profile` — per-layer, per-precision cycle and op
-  attribution for the functional models.
+  attribution for the functional models;
+* :mod:`repro.obs.bench_gate` — NDJSON history of ``BENCH_*.json`` runs
+  and the pinned headline-metric regression gate.
 
-All three are pure functions of (workload, config, seed): no wall-clock
-value ever enters the recorded data, so every export is byte-identical
-across runs.  The disabled path (:data:`NULL_TRACER`,
-:data:`NULL_REGISTRY`, ``profiler=None``) is no-op cheap.
+All of these are pure functions of (workload, config, seed): no
+wall-clock value ever enters the recorded data, so every export is
+byte-identical across runs.  The disabled path (:data:`NULL_TRACER`,
+:data:`NULL_REGISTRY`, :data:`NULL_SLO`, ``profiler=None``) is no-op
+cheap.
 """
 
 from repro.obs.artifacts import git_rev, jsonable, write_bench_artifact
@@ -29,10 +36,24 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profile import Profiler
+from repro.obs.slo import (
+    NULL_SLO,
+    NullSLOTracker,
+    SLOClass,
+    SLOConfig,
+    SLOTracker,
+    requests_from_trace,
+    slo_report_from_trace,
+)
 from repro.obs.tracer import (
+    DEFAULT_PROCESS,
     NULL_TRACER,
+    REQUEST_STAGES,
+    FlowEvent,
     NullTracer,
+    RequestPathConfig,
     Span,
+    SpanContext,
     Tracer,
     validate_chrome_trace,
 )
@@ -42,7 +63,19 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "SpanContext",
+    "FlowEvent",
+    "RequestPathConfig",
+    "REQUEST_STAGES",
+    "DEFAULT_PROCESS",
     "validate_chrome_trace",
+    "SLOClass",
+    "SLOConfig",
+    "SLOTracker",
+    "NullSLOTracker",
+    "NULL_SLO",
+    "requests_from_trace",
+    "slo_report_from_trace",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -1,0 +1,298 @@
+"""Bench-regression gate: history of ``BENCH_*.json`` runs + pinned floors.
+
+Two responsibilities, both driven by the artifacts that
+:func:`repro.obs.artifacts.write_bench_artifact` emits:
+
+* **history** — every gate run appends each ``BENCH_<name>.json`` found
+  under the results directory to ``results/history/<name>.ndjson`` (one
+  JSON object per line).  Consecutive entries from the same git revision
+  are deduped, so re-running the benchmarks locally does not inflate the
+  file; across commits the NDJSON is the repo's own performance
+  trajectory, greppable without any external dashboard.
+* **gate** — ``results/bench_baselines.json`` pins a handful of headline
+  metrics (addressed as ``"<bench>:<dotted.path.into.summary>"``) with a
+  direction and a relative tolerance.  The gate compares the current
+  artifacts against those pins and fails (exit 1 from the CLI) on any
+  regression beyond tolerance — e.g. decode tokens/s dropping more than
+  10% below its floor, or the 1->2 replica scaling factor sagging.
+
+Baselines are committed, so moving one is a reviewed diff:
+``repro bench-gate --update-baselines`` rewrites the pinned values from
+the current artifacts while keeping direction/tolerance/notes.
+Wall-clock metrics should pin a conservative floor (CI machines are
+noisy); deterministic metrics (cycle-accurate ratios) can pin tight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BaselineMetric",
+    "load_baselines",
+    "resolve_metric",
+    "append_history",
+    "check_regressions",
+    "update_baselines",
+    "add_bench_gate_parser",
+    "run_bench_gate",
+]
+
+BASELINES_NAME = "bench_baselines.json"
+HISTORY_DIR = "history"
+
+
+@dataclass(frozen=True)
+class BaselineMetric:
+    """One pinned headline metric and its regression policy."""
+
+    key: str  # "<bench>:<dotted.path>"
+    value: float
+    direction: str = "higher"  # "higher" | "lower" is better
+    tolerance: float = 0.10  # allowed relative regression
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if ":" not in self.key:
+            raise ConfigurationError(
+                f"baseline key must be '<bench>:<path>', got {self.key!r}"
+            )
+        if self.direction not in ("higher", "lower"):
+            raise ConfigurationError(
+                f"direction must be 'higher' or 'lower', got "
+                f"{self.direction!r}"
+            )
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ConfigurationError(
+                f"tolerance must be in [0, 1), got {self.tolerance}"
+            )
+
+    @property
+    def bench(self) -> str:
+        return self.key.split(":", 1)[0]
+
+    @property
+    def path(self) -> str:
+        return self.key.split(":", 1)[1]
+
+    def bound(self) -> float:
+        """The worst value that still passes."""
+        if self.direction == "higher":
+            return self.value * (1.0 - self.tolerance)
+        return self.value * (1.0 + self.tolerance)
+
+    def passes(self, current: float) -> bool:
+        if self.direction == "higher":
+            return current >= self.bound()
+        return current <= self.bound()
+
+
+def load_baselines(path: str | Path) -> list[BaselineMetric]:
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ConfigurationError(
+            f"{path} must contain a non-empty 'metrics' object"
+        )
+    out = []
+    for key, row in sorted(metrics.items()):
+        out.append(BaselineMetric(
+            key=key,
+            value=float(row["value"]),
+            direction=row.get("direction", "higher"),
+            tolerance=float(row.get("tolerance", 0.10)),
+            note=row.get("note", ""),
+        ))
+    return out
+
+
+def resolve_metric(summary: dict, dotted: str) -> float:
+    """Walk a ``dotted.path`` into a bench summary; raise on a miss."""
+    node = summary
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+            continue
+        if not isinstance(node, dict) or part not in node:
+            raise ConfigurationError(
+                f"metric path {dotted!r} not found in summary "
+                f"(missing {part!r})"
+            )
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise ConfigurationError(
+            f"metric path {dotted!r} resolves to {type(node).__name__}, "
+            "not a number"
+        )
+    return float(node)
+
+
+def _bench_artifacts(results_dir: Path) -> dict[str, dict]:
+    """``{bench_name: artifact_doc}`` for every BENCH_*.json present."""
+    out: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        doc = json.loads(path.read_text())
+        name = doc.get("bench") or path.stem[len("BENCH_"):]
+        out[name] = doc
+    return out
+
+
+def append_history(results_dir: str | Path) -> list[Path]:
+    """Append each bench artifact to ``history/<bench>.ndjson``.
+
+    A run is skipped when the file's last line already carries the same
+    git revision — local re-runs don't pile up; every new commit adds
+    exactly one line per bench.  Returns the paths actually appended to.
+    """
+    results_dir = Path(results_dir)
+    hist_dir = results_dir / HISTORY_DIR
+    hist_dir.mkdir(parents=True, exist_ok=True)
+    touched: list[Path] = []
+    for name, doc in _bench_artifacts(results_dir).items():
+        path = hist_dir / f"{name}.ndjson"
+        if path.exists():
+            lines = path.read_text().splitlines()
+            if lines:
+                last = json.loads(lines[-1])
+                if last.get("git_rev") == doc.get("git_rev"):
+                    continue
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        with path.open("a") as fh:
+            fh.write(line + "\n")
+        touched.append(path)
+    return touched
+
+
+def check_regressions(
+    results_dir: str | Path,
+    baselines: list[BaselineMetric],
+) -> list[dict]:
+    """Evaluate every pinned metric; one row per metric, pass or fail."""
+    results_dir = Path(results_dir)
+    artifacts = _bench_artifacts(results_dir)
+    rows: list[dict] = []
+    for m in baselines:
+        row = {
+            "key": m.key,
+            "baseline": m.value,
+            "direction": m.direction,
+            "tolerance": m.tolerance,
+            "bound": m.bound(),
+            "note": m.note,
+        }
+        doc = artifacts.get(m.bench)
+        if doc is None:
+            row.update(current=None, ok=False,
+                       error=f"BENCH_{m.bench}.json not found")
+            rows.append(row)
+            continue
+        try:
+            current = resolve_metric(doc.get("summary", {}), m.path)
+        except ConfigurationError as exc:
+            row.update(current=None, ok=False, error=str(exc))
+            rows.append(row)
+            continue
+        row.update(current=current, ok=m.passes(current))
+        rows.append(row)
+    return rows
+
+
+def update_baselines(
+    results_dir: str | Path,
+    baselines_path: str | Path,
+) -> list[BaselineMetric]:
+    """Rewrite pinned values from current artifacts (keeps policy fields)."""
+    baselines_path = Path(baselines_path)
+    metrics_doc = json.loads(baselines_path.read_text())
+    artifacts = _bench_artifacts(Path(results_dir))
+    updated: list[BaselineMetric] = []
+    for m in load_baselines(baselines_path):
+        doc = artifacts.get(m.bench)
+        if doc is None:
+            raise ConfigurationError(
+                f"cannot update {m.key}: BENCH_{m.bench}.json not found"
+            )
+        current = resolve_metric(doc.get("summary", {}), m.path)
+        metrics_doc["metrics"][m.key]["value"] = current
+        updated.append(BaselineMetric(m.key, current, m.direction,
+                                      m.tolerance, m.note))
+    baselines_path.write_text(
+        json.dumps(metrics_doc, indent=2, sort_keys=True) + "\n"
+    )
+    return updated
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def add_bench_gate_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "bench-gate",
+        help="append bench runs to history and fail on headline regressions",
+        description=(
+            "Append every BENCH_*.json under --results to "
+            "results/history/<bench>.ndjson (deduped per git revision), "
+            "then compare the headline metrics pinned in "
+            "bench_baselines.json against the current artifacts.  Exits 1 "
+            "on any regression beyond tolerance.  --update-baselines "
+            "rewrites the pinned values from the current artifacts instead "
+            "of gating (the diff is the review)."
+        ),
+    )
+    p.add_argument("--results", type=Path, default=Path("results"),
+                   metavar="DIR", help="directory holding BENCH_*.json")
+    p.add_argument("--baselines", type=Path, default=None, metavar="FILE",
+                   help=f"pinned metrics (default: <results>/{BASELINES_NAME})")
+    p.add_argument("--update-baselines", action="store_true",
+                   help="rewrite pinned values from current artifacts")
+    p.add_argument("--no-history", action="store_true",
+                   help="skip the history append (gate only)")
+    return p
+
+
+def run_bench_gate(args) -> int:
+    from repro.eval.reporting import render_table
+
+    baselines_path = args.baselines or args.results / BASELINES_NAME
+    if not args.no_history:
+        touched = append_history(args.results)
+        for path in touched:
+            print(f"history: appended to {path}")
+        if not touched:
+            print("history: up to date (no new git revisions)")
+
+    if args.update_baselines:
+        updated = update_baselines(args.results, baselines_path)
+        for m in updated:
+            print(f"baseline {m.key} := {m.value:g}")
+        print(f"wrote {baselines_path}")
+        return 0
+
+    baselines = load_baselines(baselines_path)
+    rows = check_regressions(args.results, baselines)
+    print(render_table(
+        ["metric", "baseline", "bound", "current", "status"],
+        [(r["key"], f"{r['baseline']:g}", f"{r['bound']:g}",
+          "-" if r["current"] is None else f"{r['current']:g}",
+          "ok" if r["ok"] else "FAIL")
+         for r in rows],
+        title=f"bench gate vs {baselines_path}",
+    ))
+    failures = [r for r in rows if not r["ok"]]
+    for r in failures:
+        detail = r.get("error") or (
+            f"current {r['current']:g} vs bound {r['bound']:g} "
+            f"({r['direction']} is better, tol {r['tolerance']:.0%})"
+        )
+        print(f"FAIL {r['key']}: {detail}")
+        if r["note"]:
+            print(f"     note: {r['note']}")
+    if failures:
+        return 1
+    print(f"bench gate: {len(rows)} pinned metrics ok")
+    return 0

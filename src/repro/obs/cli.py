@@ -24,6 +24,8 @@ __all__ = [
     "run_profile",
     "add_numerics_report_parser",
     "run_numerics_report",
+    "add_slo_report_parser",
+    "run_slo_report",
 ]
 
 _SCHEDULE_MODELS = ("deit-tiny", "deit-small", "deit-base",
@@ -256,6 +258,89 @@ def _numerics_backend(name: str, man_bits: int):
             raise SystemExit(f"--man-bits applies to bfp backends, not {name}")
         backend = type(backend)(man_bits=man_bits)
     return backend
+
+
+def add_slo_report_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "slo-report",
+        help="rebuild the SLO story (misses, burn, attribution) from a trace",
+        description=(
+            "Parse a serve-sim Perfetto trace, reconstruct every request's "
+            "lifecycle from its async spans, and report per-class deadline "
+            "misses plus where sampled requests spent their cycles "
+            "(queue / batch_wait / shard_compute / allreduce / pp_transfer). "
+            "With --summary, cross-check the trace-derived deadline-miss "
+            "rate against the run summary and exit non-zero on mismatch — "
+            "the trace is only an artifact if it reproduces the "
+            "dispatcher's accounting exactly."
+        ),
+    )
+    p.add_argument("--trace", type=Path, required=True, metavar="FILE",
+                   help="Perfetto trace JSON from serve-sim --trace-out")
+    p.add_argument("--summary", type=Path, default=None, metavar="FILE",
+                   help="run summary JSON (serve-sim --json-out); the "
+                        "trace-derived deadline-miss rate must match it "
+                        "exactly or the command exits 1")
+    p.add_argument("--objective", type=float, default=0.99,
+                   help="success objective used for the per-class error "
+                        "budgets in the report")
+    p.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                   help="write the full report as JSON")
+    return p
+
+
+def run_slo_report(args) -> int:
+    from repro.eval.reporting import render_metrics
+    from repro.obs.slo import slo_report_from_trace
+    from repro.obs.tracer import validate_chrome_trace
+
+    doc = json.loads(args.trace.read_text())
+    validate_chrome_trace(doc)
+    report = slo_report_from_trace(
+        doc, objectives={"vit": args.objective, "llm": args.objective}
+    )
+
+    top = {
+        "requests": report["requests"],
+        "sampled_requests": report["sampled_requests"],
+        "deadline_misses": report["deadline_misses"],
+        "deadline_miss_rate": report["deadline_miss_rate"],
+        "coverage_min": report["coverage_min"],
+        "coverage_mean": report["coverage_mean"],
+    }
+    print(render_metrics(f"slo report: {args.trace}", top))
+    for name, row in sorted(report["classes"].items()):
+        print()
+        print(render_metrics(f"class {name}", row))
+    if report["sampled_requests"]:
+        print()
+        print(render_metrics(
+            "latency attribution (fraction of sampled cycles)",
+            {stage: row["fraction"]
+             for stage, row in report["attribution"].items()},
+        ))
+
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+
+    if args.summary is not None:
+        ref = json.loads(args.summary.read_text())
+        ref = ref.get("summary", ref)  # cluster --json-out nests the summary
+        want = ref.get("deadline_miss_rate")
+        if want is None:
+            print("\nsummary cross-check: no deadline_miss_rate in "
+                  f"{args.summary}")
+            return 1
+        got = report["deadline_miss_rate"]
+        if got != want:
+            print("\nsummary cross-check FAILED: trace-derived miss rate "
+                  f"{got!r} != summary {want!r}")
+            return 1
+        print(f"\nsummary cross-check OK: deadline_miss_rate {got!r} "
+              "reproduced from spans alone")
+    return 0
 
 
 def run_numerics_report(args) -> int:

@@ -6,12 +6,22 @@ system clock — never the wall clock — so a trace is a pure function of
 produce byte-identical exports.
 
 The export target is the Chrome trace event format, which Perfetto and
-``chrome://tracing`` both render: each simulated unit becomes one named
-track (thread), dispatched batches become complete ("X") slices on the
-unit's track, request lifetimes become async ("b"/"e") spans, and queue
-depth becomes a counter ("C") series.  One tick of the viewer's time axis
-is one clock cycle; the clock frequency rides along in ``otherData`` so
+``chrome://tracing`` both render: each simulated board becomes one
+process, each unit one named track (thread) under it, dispatched batches
+become complete ("X") slices on the unit's track, request lifetimes
+become async ("b"/"e") spans, queue depth becomes a counter ("C")
+series, and cross-process causality (edge -> board -> edge) is carried
+by flow ("s"/"t"/"f") events.  One tick of the viewer's time axis is one
+clock cycle; the clock frequency rides along in ``otherData`` so
 wall-time can always be recovered (``seconds = ts / clock_freq_hz``).
+
+Request-path decomposition uses *async child spans*: every child shares
+its parent's ``(cat, id)`` so Perfetto nests them under the request's
+async span, and the named stages (:data:`REQUEST_STAGES`) tile the
+request's end-to-end latency.  :class:`SpanContext` is the causal handle
+a request carries across router/replica/shard boundaries; it enforces a
+per-request span budget so a traced run stays bounded even for
+pathological requests.
 
 :class:`NullTracer` is the zero-overhead disabled path: every recording
 method is a no-op and ``enabled`` is ``False`` so hot loops can skip even
@@ -27,16 +37,38 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "DEFAULT_PROCESS",
+    "REQUEST_STAGES",
     "Span",
     "CounterSample",
     "AsyncSpan",
+    "FlowEvent",
+    "RequestPathConfig",
+    "SpanContext",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "validate_chrome_trace",
 ]
 
-_PID = 0  # single simulated process; tracks are threads under it
+#: The default process every track lands in unless a board process is
+#: named explicitly.  Pid 0, so single-process traces are byte-identical
+#: to the pre-cluster exporter.
+DEFAULT_PROCESS = "repro-sim"
+
+#: Child-span names a request's end-to-end latency decomposes into, in
+#: lifecycle order.  The validator uses this set to tell stage spans from
+#: their request parent; :mod:`repro.obs.slo` attributes latency to them.
+REQUEST_STAGES = (
+    "admit",
+    "route",
+    "queue",
+    "batch_wait",
+    "shard_compute",
+    "allreduce",
+    "pp_transfer",
+    "respond",
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +81,7 @@ class Span:
     end: int
     cat: str = "sim"
     args: tuple[tuple[str, object], ...] = ()
+    process: str = DEFAULT_PROCESS
 
     @property
     def duration(self) -> int:
@@ -66,7 +99,11 @@ class CounterSample:
 
 @dataclass(frozen=True)
 class AsyncSpan:
-    """A span that may overlap others on the same track (request lifetime)."""
+    """A span that may overlap others on the same track (request lifetime).
+
+    Spans sharing ``(cat, span_id)`` form one nesting group in Perfetto:
+    the request parent plus its stage children.
+    """
 
     name: str
     span_id: int
@@ -74,6 +111,25 @@ class AsyncSpan:
     end: int
     cat: str = "request"
     args: tuple[tuple[str, object], ...] = ()
+    process: str = DEFAULT_PROCESS
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One arrow head/tail of a cross-process causal flow.
+
+    ``phase`` is the Chrome flow phase: ``"s"`` (start), ``"t"`` (step),
+    ``"f"`` (finish).  Flows with the same ``flow_id`` are stitched into
+    one arrow chain by the viewer — and by the validator, which uses them
+    to prove cross-process async parentage.
+    """
+
+    name: str
+    flow_id: int
+    cycle: int
+    phase: str
+    track: str
+    process: str = DEFAULT_PROCESS
 
 
 def _freeze_args(args: dict | None) -> tuple[tuple[str, object], ...]:
@@ -82,27 +138,47 @@ def _freeze_args(args: dict | None) -> tuple[tuple[str, object], ...]:
 
 @dataclass
 class Tracer:
-    """Records spans/counters/instants keyed on simulated cycles.
+    """Records spans/counters/flows keyed on simulated cycles.
 
-    Tracks are created on first use and keep registration order, so the
-    exported thread ids are deterministic.  ``meta`` lands in the export's
-    ``otherData`` (put the seed and workload shape there, never wall-clock
-    values).
+    Tracks and processes are created on first use and keep registration
+    order, so the exported thread/process ids are deterministic.  Thread
+    ids are allocated per process; the default process is pid 0 so a
+    single-process trace exports exactly as it did before boards existed.
+    ``meta`` lands in the export's ``otherData`` (put the seed and
+    workload shape there, never wall-clock values).
     """
 
     enabled: bool = True
     spans: list[Span] = field(default_factory=list)
     counters: list[CounterSample] = field(default_factory=list)
     async_spans: list[AsyncSpan] = field(default_factory=list)
+    flows: list[FlowEvent] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
-    _tracks: dict[str, int] = field(default_factory=dict)
+    _tracks: dict[tuple[str, str], int] = field(default_factory=dict)
+    _procs: dict[str, int] = field(
+        default_factory=lambda: {DEFAULT_PROCESS: 0}
+    )
 
     # -- recording -----------------------------------------------------------
-    def track_id(self, track: str) -> int:
-        """Stable thread id of a named track (registers it on first use)."""
-        if track not in self._tracks:
-            self._tracks[track] = len(self._tracks)
-        return self._tracks[track]
+    def process_id(self, process: str) -> int:
+        """Stable pid of a named process (registers it on first use)."""
+        if process not in self._procs:
+            self._procs[process] = len(self._procs)
+        return self._procs[process]
+
+    def track_id(self, track: str, process: str = DEFAULT_PROCESS) -> int:
+        """Stable thread id of a named track (registers it on first use).
+
+        Thread ids count up per process, so the first track of every
+        board is tid 0 on that board's pid.
+        """
+        self.process_id(process)
+        key = (process, track)
+        if key not in self._tracks:
+            self._tracks[key] = sum(
+                1 for p, _ in self._tracks if p == process
+            )
+        return self._tracks[key]
 
     def span(
         self,
@@ -113,13 +189,16 @@ class Tracer:
         end: int,
         cat: str = "sim",
         args: dict | None = None,
+        process: str = DEFAULT_PROCESS,
     ) -> None:
         if end < start:
             raise ConfigurationError(
                 f"span {name!r} ends before it starts ({end} < {start})"
             )
-        self.track_id(track)
-        self.spans.append(Span(name, track, start, end, cat, _freeze_args(args)))
+        self.track_id(track, process)
+        self.spans.append(
+            Span(name, track, start, end, cat, _freeze_args(args), process)
+        )
 
     def counter(self, name: str, *, cycle: int, value: float) -> None:
         self.counters.append(CounterSample(name, cycle, value))
@@ -133,14 +212,32 @@ class Tracer:
         end: int,
         cat: str = "request",
         args: dict | None = None,
+        process: str = DEFAULT_PROCESS,
     ) -> None:
         if end < start:
             raise ConfigurationError(
                 f"async span {name!r} ends before it starts ({end} < {start})"
             )
+        self.process_id(process)
         self.async_spans.append(
-            AsyncSpan(name, span_id, start, end, cat, _freeze_args(args))
+            AsyncSpan(name, span_id, start, end, cat, _freeze_args(args), process)
         )
+
+    def flow(
+        self,
+        phase: str,
+        *,
+        flow_id: int,
+        cycle: int,
+        track: str,
+        process: str = DEFAULT_PROCESS,
+        name: str = "request",
+    ) -> None:
+        """Record one flow arrow endpoint (``"s"``/``"t"``/``"f"``)."""
+        if phase not in ("s", "t", "f"):
+            raise ConfigurationError(f"unknown flow phase {phase!r}")
+        self.track_id(track, process)
+        self.flows.append(FlowEvent(name, flow_id, cycle, phase, track, process))
 
     # -- queries -------------------------------------------------------------
     def busy_cycles(self, *, track: str | None = None, cat: str | None = None) -> int:
@@ -153,7 +250,10 @@ class Tracer:
         )
 
     def tracks(self) -> list[str]:
-        return list(self._tracks)
+        return [track for _, track in self._tracks]
+
+    def processes(self) -> list[str]:
+        return list(self._procs)
 
     # -- export --------------------------------------------------------------
     def to_chrome_trace(self) -> dict:
@@ -162,21 +262,24 @@ class Tracer:
         ``ts``/``dur`` are integer cycles (the viewer's "us" unit reads as
         cycles); ``otherData.clock_freq_hz`` converts to wall time.
         """
-        events: list[dict] = [
-            {
-                "ph": "M",
-                "name": "process_name",
-                "pid": _PID,
-                "tid": 0,
-                "args": {"name": "repro-sim"},
-            }
-        ]
-        for track, tid in self._tracks.items():
+        events: list[dict] = []
+        for process, pid in self._procs.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        for (process, track), tid in self._tracks.items():
+            pid = self._procs[process]
             events.append(
                 {
                     "ph": "M",
                     "name": "thread_name",
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid,
                     "args": {"name": track},
                 }
@@ -185,7 +288,7 @@ class Tracer:
                 {
                     "ph": "M",
                     "name": "thread_sort_index",
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid,
                     "args": {"sort_index": tid},
                 }
@@ -198,8 +301,8 @@ class Tracer:
                     "cat": s.cat,
                     "ts": s.start,
                     "dur": s.duration,
-                    "pid": _PID,
-                    "tid": self._tracks[s.track],
+                    "pid": self._procs[s.process],
+                    "tid": self._tracks[(s.process, s.track)],
                     "args": dict(s.args),
                 }
             )
@@ -208,18 +311,31 @@ class Tracer:
                 "name": a.name,
                 "cat": a.cat,
                 "id": a.span_id,
-                "pid": _PID,
+                "pid": self._procs[a.process],
                 "tid": 0,
             }
             events.append({"ph": "b", "ts": a.start, "args": dict(a.args), **common})
             events.append({"ph": "e", "ts": a.end, **common})
+        for fl in self.flows:
+            ev = {
+                "ph": fl.phase,
+                "name": fl.name,
+                "cat": "flow",
+                "id": fl.flow_id,
+                "ts": fl.cycle,
+                "pid": self._procs[fl.process],
+                "tid": self._tracks[(fl.process, fl.track)],
+            }
+            if fl.phase == "f":
+                ev["bp"] = "e"
+            events.append(ev)
         for c in self.counters:
             events.append(
                 {
                     "ph": "C",
                     "name": c.name,
                     "ts": c.cycle,
-                    "pid": _PID,
+                    "pid": 0,
                     "args": {"value": c.value},
                 }
             )
@@ -242,17 +358,108 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(enabled=False)
 
-    def span(self, name, *, track, start, end, cat="sim", args=None) -> None:
+    def span(self, name, *, track, start, end, cat="sim", args=None,
+             process=DEFAULT_PROCESS) -> None:
         pass
 
     def counter(self, name, *, cycle, value) -> None:
         pass
 
-    def async_span(self, name, *, span_id, start, end, cat="request", args=None) -> None:
+    def async_span(self, name, *, span_id, start, end, cat="request",
+                   args=None, process=DEFAULT_PROCESS) -> None:
+        pass
+
+    def flow(self, phase, *, flow_id, cycle, track,
+             process=DEFAULT_PROCESS, name="request") -> None:
         pass
 
 
 NULL_TRACER = NullTracer()
+
+
+@dataclass(frozen=True)
+class RequestPathConfig:
+    """Sampling/budget policy for request-path stage decomposition.
+
+    ``detail_every`` samples full stage detail for 1-in-N requests
+    (keyed on ``rid % detail_every == 0`` so the sample is deterministic
+    and seed-stable); ``max_spans_per_request`` caps how many child spans
+    one sampled request may record — a runaway decode can't flood the
+    trace, it just stops decomposing and counts the drop.
+    """
+
+    detail_every: int = 1
+    max_spans_per_request: int = 512
+
+    def __post_init__(self) -> None:
+        if self.detail_every < 1:
+            raise ConfigurationError(
+                f"detail_every must be >= 1, got {self.detail_every}"
+            )
+        if self.max_spans_per_request < 8:
+            raise ConfigurationError(
+                "max_spans_per_request must be >= 8 "
+                f"(one request phase needs several), got {self.max_spans_per_request}"
+            )
+
+    def samples(self, rid: int) -> bool:
+        return rid % self.detail_every == 0
+
+
+class SpanContext:
+    """Causal handle of one sampled request, carried across boundaries.
+
+    Created at admission, threaded through router -> replica dispatcher ->
+    sharded compute, and closed at completion.  Every :meth:`child` span
+    shares the request's ``(cat, id)`` so Perfetto nests the stages under
+    the request's async span regardless of which board (process) recorded
+    them; :meth:`flow` draws the cross-process arrows that make the
+    parentage explicit (and machine-checkable).
+    """
+
+    __slots__ = ("trace_id", "cat", "tracer", "remaining", "dropped")
+
+    def __init__(self, trace_id: int, cat: str, tracer: Tracer,
+                 budget: int) -> None:
+        self.trace_id = trace_id
+        self.cat = cat
+        self.tracer = tracer
+        self.remaining = budget
+        self.dropped = 0
+
+    def child(
+        self,
+        name: str,
+        *,
+        start: int,
+        end: int,
+        process: str = DEFAULT_PROCESS,
+        args: dict | None = None,
+    ) -> bool:
+        """Record one named stage span; ``False`` when over budget."""
+        if self.remaining <= 0:
+            self.dropped += 1
+            return False
+        self.remaining -= 1
+        self.tracer.async_span(
+            name, span_id=self.trace_id, start=start, end=end,
+            cat=self.cat, args=args, process=process,
+        )
+        return True
+
+    def flow(self, phase: str, *, cycle: int, track: str,
+             process: str = DEFAULT_PROCESS) -> bool:
+        """Record one flow endpoint for this request (budgeted)."""
+        if self.remaining <= 0:
+            self.dropped += 1
+            return False
+        self.remaining -= 1
+        self.tracer.flow(phase, flow_id=self.trace_id, cycle=cycle,
+                         track=track, process=process)
+        return True
+
+
+_STAGE_SET = frozenset(REQUEST_STAGES)
 
 
 def validate_chrome_trace(doc: dict) -> dict:
@@ -260,7 +467,13 @@ def validate_chrome_trace(doc: dict) -> dict:
 
     Checks the structural schema the exporter guarantees: required
     top-level keys, well-formed events per phase, non-negative integer
-    timestamps/durations, and matched async begin/end pairs.  Raises
+    timestamps/durations, matched async begin/end pairs, and — for the
+    request-path decomposition — *cross-process async parentage*: every
+    ``(cat, id)`` group containing stage-named children must contain
+    exactly one request parent whose interval encloses all children, and
+    a group whose events span multiple processes must be stitched by flow
+    events (an ``"s"`` start, plus at least one flow endpoint on every
+    process the group touches, none earlier than the start).  Raises
     :class:`~repro.errors.ConfigurationError` on the first violation —
     used by the test suite and the CI smoke job.
     """
@@ -272,8 +485,16 @@ def validate_chrome_trace(doc: dict) -> dict:
     events = doc["traceEvents"]
     if not isinstance(events, list) or not events:
         raise ConfigurationError("traceEvents must be a non-empty list")
-    stats = {"X": 0, "M": 0, "C": 0, "b": 0, "e": 0}
+    stats = {"X": 0, "M": 0, "C": 0, "b": 0, "e": 0, "s": 0, "t": 0, "f": 0}
     open_async: dict[tuple, int] = {}
+    declared_pids: set[int] = set()
+    event_pids: set[int] = set()
+    # (cat, id) -> per-name [min_b, max_e, count_b], plus the group's pids.
+    groups: dict[tuple, dict[str, list[int]]] = {}
+    group_pids: dict[tuple, set[int]] = {}
+    flow_starts: dict[int, int] = {}
+    flow_followers: list[tuple[int, int, int]] = []  # (id, ts, event index)
+    flow_pids: dict[int, set[int]] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ConfigurationError(f"event {i} is not an object")
@@ -283,19 +504,24 @@ def validate_chrome_trace(doc: dict) -> dict:
         stats[ph] += 1
         if "name" not in ev or "pid" not in ev:
             raise ConfigurationError(f"event {i} missing name/pid")
-        if ph != "M":
-            ts = ev.get("ts")
-            if not isinstance(ts, int) or ts < 0:
-                raise ConfigurationError(f"event {i} has bad ts {ts!r}")
+        if ph == "M":
+            if ev["name"] == "process_name":
+                declared_pids.add(ev["pid"])
+            continue
+        event_pids.add(ev["pid"])
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            raise ConfigurationError(f"event {i} has bad ts {ts!r}")
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, int) or dur < 0:
                 raise ConfigurationError(f"event {i} has bad dur {dur!r}")
             if "tid" not in ev:
                 raise ConfigurationError(f"event {i} missing tid")
-        if ph == "C" and "value" not in ev.get("args", {}):
-            raise ConfigurationError(f"counter event {i} missing args.value")
-        if ph in ("b", "e"):
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                raise ConfigurationError(f"counter event {i} missing args.value")
+        elif ph in ("b", "e"):
             key = (ev.get("cat"), ev.get("id"), ev.get("name"))
             if ph == "b":
                 open_async[key] = open_async.get(key, 0) + 1
@@ -305,7 +531,76 @@ def validate_chrome_trace(doc: dict) -> dict:
                         f"async end without begin at event {i}: {key}"
                     )
                 open_async[key] -= 1
+            gkey = (ev.get("cat"), ev.get("id"))
+            per_name = groups.setdefault(gkey, {})
+            rec = per_name.setdefault(ev["name"], [None, None, 0])
+            if ph == "b":
+                rec[0] = ts if rec[0] is None else min(rec[0], ts)
+                rec[2] += 1
+            else:
+                rec[1] = ts if rec[1] is None else max(rec[1], ts)
+            group_pids.setdefault(gkey, set()).add(ev["pid"])
+        else:  # flow s/t/f
+            fid = ev.get("id")
+            if fid is None:
+                raise ConfigurationError(f"flow event {i} missing id")
+            if "tid" not in ev:
+                raise ConfigurationError(f"flow event {i} missing tid")
+            if ph == "s":
+                prev = flow_starts.get(fid)
+                flow_starts[fid] = ts if prev is None else min(prev, ts)
+            else:
+                flow_followers.append((fid, ts, i))
+            flow_pids.setdefault(fid, set()).add(ev["pid"])
     dangling = [k for k, n in open_async.items() if n]
     if dangling:
         raise ConfigurationError(f"unclosed async spans: {dangling[:3]}")
+    undeclared = event_pids - declared_pids
+    if undeclared:
+        raise ConfigurationError(
+            f"events reference pids without process_name metadata: "
+            f"{sorted(undeclared)[:5]}"
+        )
+    for fid, ts, i in flow_followers:
+        start = flow_starts.get(fid)
+        if start is None:
+            raise ConfigurationError(
+                f"flow step/finish without start at event {i} (id {fid})"
+            )
+        if ts < start:
+            raise ConfigurationError(
+                f"flow id {fid} steps at {ts} before its start at {start}"
+            )
+    for gkey, per_name in groups.items():
+        stage_names = [n for n in per_name if n in _STAGE_SET]
+        if not stage_names:
+            continue
+        parents = [n for n in per_name if n not in _STAGE_SET]
+        if len(parents) != 1:
+            raise ConfigurationError(
+                f"async group {gkey} has stage children but "
+                f"{len(parents)} parents: {sorted(parents)[:3]}"
+            )
+        pb, pe, _ = per_name[parents[0]]
+        for n in stage_names:
+            cb, ce, _ = per_name[n]
+            if cb < pb or ce > pe:
+                raise ConfigurationError(
+                    f"async group {gkey} child {n!r} [{cb}, {ce}] escapes "
+                    f"parent {parents[0]!r} [{pb}, {pe}]"
+                )
+        pids = group_pids[gkey]
+        if len(pids) > 1:
+            fid = gkey[1]
+            if fid not in flow_starts:
+                raise ConfigurationError(
+                    f"async group {gkey} spans pids {sorted(pids)} "
+                    f"without a flow start"
+                )
+            missing = pids - flow_pids.get(fid, set())
+            if missing:
+                raise ConfigurationError(
+                    f"async group {gkey} touches pids {sorted(missing)} "
+                    f"with no flow endpoint linking them"
+                )
     return stats

@@ -68,6 +68,37 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
                    help="per-layer precision policy: a preset name or a "
                         "policy JSON file; shapes the cost model's compiled "
                         "schedules (default: the all-bfp8 schedule)")
+    obs = p.add_argument_group(
+        "SLO / request-path observability",
+        "deadline objectives with burn-rate accounting (repro.obs.slo) and "
+        "request-path stage decomposition in the trace",
+    )
+    obs.add_argument("--slo", action="store_true",
+                     help="track per-class SLOs (deadline objectives, error "
+                          "budgets, burn rates); adds an 'slo' summary "
+                          "section")
+    obs.add_argument("--slo-objective", type=float, default=0.99,
+                     help="target fraction of requests meeting their "
+                          "deadline, per class (default 0.99)")
+    obs.add_argument("--slo-short-window-ms", type=float, default=250.0,
+                     help="short burn-rate window, ms of simulated time")
+    obs.add_argument("--slo-long-window-ms", type=float, default=1000.0,
+                     help="long burn-rate window, ms of simulated time")
+    obs.add_argument("--slo-out", type=Path, default=None, metavar="FILE",
+                     help="write the SLO snapshot (budgets, burns, per-class "
+                          "misses) as JSON; implies --slo")
+    obs.add_argument("--slo-burn-scale-up", type=float, default=None,
+                     metavar="BURN",
+                     help="cluster+autoscale: scale up when the sustained "
+                          "fleet burn rate exceeds BURN (also vetoes "
+                          "scale-down while burn >= 1)")
+    obs.add_argument("--trace-detail-every", type=int, default=1, metavar="N",
+                     help="with --trace-out: sample full request-path stage "
+                          "detail for 1-in-N requests (default 1 = all; "
+                          "0 disables stage decomposition)")
+    obs.add_argument("--trace-max-spans", type=int, default=512,
+                     help="per-request child-span budget for sampled "
+                          "requests (default 512)")
     cluster = p.add_argument_group(
         "cluster mode",
         "simulate a fleet of boards behind an affinity router "
@@ -123,6 +154,45 @@ def _precision(args):
     return load_policy(args.policy)
 
 
+def _slo_tracker(args):
+    """The run's SLO tracker (the null object unless --slo/--slo-out)."""
+    from repro.obs.slo import NULL_SLO, SLOClass, SLOConfig, SLOTracker
+
+    if not (args.slo or args.slo_out is not None):
+        return NULL_SLO
+    cfg = SLOConfig(
+        classes=(SLOClass("vit", args.slo_objective),
+                 SLOClass("llm", args.slo_objective)),
+        short_window_ms=args.slo_short_window_ms,
+        long_window_ms=args.slo_long_window_ms,
+    )
+    return SLOTracker(cfg)
+
+
+def _path_config(args):
+    """Request-path decomposition config (None when tracing is off)."""
+    from repro.obs.tracer import RequestPathConfig
+
+    if args.trace_out is None or args.trace_detail_every <= 0:
+        return None
+    return RequestPathConfig(detail_every=args.trace_detail_every,
+                             max_spans_per_request=args.trace_max_spans)
+
+
+def _write_slo_out(args, summary: dict) -> None:
+    import json
+
+    doc = {
+        "seed": args.seed,
+        "requests": args.requests,
+        "rate_rps": args.rate,
+        "deadline_miss_rate": summary.get("deadline_miss_rate"),
+        "slo": summary.get("slo", {}),
+    }
+    args.slo_out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"SLO snapshot written to {args.slo_out}")
+
+
 def _config(args, max_batch: int) -> ServeConfig:
     return ServeConfig(
         policy=BatchPolicy(max_batch=max_batch, max_wait_us=args.max_wait_us,
@@ -153,7 +223,9 @@ def run_serve_sim(args) -> int:
     registry = MetricsRegistry() if args.metrics_out is not None else None
     config = _config(args, args.max_batch)
     report: ServeReport = simulate(trace, config,
-                                   tracer=tracer, registry=registry)
+                                   tracer=tracer, registry=registry,
+                                   slo=_slo_tracker(args),
+                                   path=_path_config(args))
     print(report.render(
         f"serve-sim: {args.requests} requests, rate {args.rate:g}/s, "
         f"seed {args.seed}, max_batch {args.max_batch}"
@@ -183,6 +255,8 @@ def run_serve_sim(args) -> int:
             args.metrics_out.write_text(registry.to_prom_text())
         else:
             args.metrics_out.write_text(registry.to_json() + "\n")
+    if args.slo_out is not None:
+        _write_slo_out(args, report.summary)
     if args.numerics_out is not None:
         _write_serving_numerics(trace, args)
     return 0
@@ -229,6 +303,7 @@ def _run_cluster_sim(args) -> int:
             interval_us=args.scale_interval_us,
             cooldown_us=args.scale_cooldown_us,
             provision_us=args.provision_us,
+            scale_up_burn_rate=args.slo_burn_scale_up,
         )
     config = ClusterConfig(
         serve=_config(args, args.max_batch),
@@ -250,7 +325,8 @@ def _run_cluster_sim(args) -> int:
             "clock_freq_hz": config.serve.clock.freq_hz,
         })
     registry = MetricsRegistry() if args.metrics_out is not None else None
-    report = simulate_cluster(trace, config, tracer=tracer, registry=registry)
+    report = simulate_cluster(trace, config, tracer=tracer, registry=registry,
+                              slo=_slo_tracker(args), path=_path_config(args))
     shape = (f"{args.boards} boards, {spec.plan.describe()}, "
              f"{args.replicas} initial replica(s)"
              + (", autoscaled" if autoscaler else ""))
@@ -271,6 +347,8 @@ def _run_cluster_sim(args) -> int:
             args.metrics_out.write_text(registry.to_prom_text())
         else:
             args.metrics_out.write_text(registry.to_json() + "\n")
+    if args.slo_out is not None:
+        _write_slo_out(args, report.summary)
     return 0
 
 

@@ -40,7 +40,14 @@ from repro.hw.system import UnitPool
 from repro.models.configs import DEIT_TINY, ViTConfig
 from repro.models.policy import PrecisionPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.slo import NULL_SLO, SLOTracker
+from repro.obs.tracer import (
+    DEFAULT_PROCESS,
+    NULL_TRACER,
+    RequestPathConfig,
+    SpanContext,
+    Tracer,
+)
 from repro.perf.latency import decoder_batch_unit_cycles, vit_batch_unit_cycles
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
@@ -137,6 +144,13 @@ class CostModel:
         )
         return self._decoder(batch.phase, batch.size, ctx)
 
+    def batch_breakdown(self, batch: Batch) -> dict[str, int]:
+        """Named stage split of one batch's occupancy (sums to
+        :meth:`batch_cycles`).  The unsharded model is pure compute; the
+        sharded subclass splits out all-reduce and pipeline-transfer
+        cycles."""
+        return {"shard_compute": self.batch_cycles(batch)}
+
 
 @dataclass
 class ServeReport:
@@ -178,6 +192,17 @@ class Dispatcher:
     ``track_prefix`` namespaces tracer tracks (``r3.unit7`` in cluster
     runs, bare ``unit7`` in single-pool runs).  ``cost`` lets the cluster
     layer substitute a sharded cost model without subclassing.
+
+    ``slo`` (default: the no-op :data:`~repro.obs.slo.NULL_SLO`) receives
+    every completion/rejection for burn-rate accounting.  ``path``
+    (default ``None`` = off) turns on request-path stage decomposition:
+    sampled requests carry a :class:`~repro.obs.tracer.SpanContext` from
+    admission to completion, and every dispatch records the named stage
+    children (``queue``/``batch_wait``/``shard_compute``/...) that tile
+    the request's latency.  ``processes`` maps unit index -> tracer
+    process (board) name, so cluster traces show boards as processes;
+    ``metric_prefix`` namespaces this replica's registry metrics
+    (``cluster.r3.serve.dispatches.decode``).
     """
 
     def __init__(
@@ -191,6 +216,10 @@ class Dispatcher:
         tracer: Tracer = NULL_TRACER,
         registry: MetricsRegistry | None = None,
         track_prefix: str = "",
+        slo: SLOTracker = NULL_SLO,
+        path: RequestPathConfig | None = None,
+        processes: tuple[str, ...] | None = None,
+        metric_prefix: str = "",
     ) -> None:
         self.config = config
         self.pool = pool
@@ -206,9 +235,14 @@ class Dispatcher:
         self.tracer = tracer
         self.registry = get_registry() if registry is None else registry
         self.track_prefix = track_prefix
+        self.slo = slo
+        self.path = path if tracer.enabled else None
+        self.processes = processes
+        self.metric_prefix = metric_prefix
         self.idle = set(range(pool.n_units))
         self._pending_wakes: set[int] = set()
         self._last_depth = -1
+        self._ctx: dict[int, SpanContext] = {}
 
     # -- intake ---------------------------------------------------------------
     def depth(self) -> int:
@@ -223,11 +257,25 @@ class Dispatcher:
         self.metrics.record_arrival(req)
         if self.batcher.depth() >= self.config.max_queue:
             self.metrics.record_rejection(req)
+            if self.slo.enabled:
+                self.slo.record_rejection(req, now)
             if self.registry.enabled:
-                self.registry.counter("serve.rejections").inc()
+                self.registry.counter(
+                    f"{self.metric_prefix}serve.rejections"
+                ).inc()
             return False
         self.enqueue(req, now)
+        if self.path is not None and self.path.samples(req.rid):
+            ctx = SpanContext(req.rid, req.kind, self.tracer,
+                              self.path.max_spans_per_request)
+            self._ctx[req.rid] = ctx
+            ctx.child("admit", start=req.arrival, end=now)
+            ctx.flow("s", cycle=now, track=f"{self.track_prefix}edge")
         return True
+
+    def trace_ctx(self, req: Request) -> SpanContext | None:
+        """The live span context of a sampled in-flight request (if any)."""
+        return self._ctx.get(req.rid)
 
     def enqueue(self, req: Request, now: int) -> None:
         """Queue a request's first phase item without an admission check
@@ -259,10 +307,10 @@ class Dispatcher:
                 self.metrics.record_dispatch(batch.phase, batch.size)
                 if self.registry.enabled:
                     self.registry.counter(
-                        f"serve.dispatches.{batch.phase}"
+                        f"{self.metric_prefix}serve.dispatches.{batch.phase}"
                     ).inc()
                     self.registry.histogram(
-                        f"serve.batch_fill.{batch.phase}"
+                        f"{self.metric_prefix}serve.batch_fill.{batch.phase}"
                     ).observe(
                         batch.size / self.config.policy.batch_limit(batch.phase)
                     )
@@ -279,7 +327,11 @@ class Dispatcher:
                             "context": batch.context,
                             "rids": [i.request.rid for i in batch.items],
                         },
+                        process=(self.processes[u] if self.processes
+                                 else DEFAULT_PROCESS),
                     )
+                if self._ctx:
+                    self._record_path(batch, now, finish, u)
                 self.push(finish, "finish", (u, batch))
                 launched = True
                 break
@@ -295,6 +347,44 @@ class Dispatcher:
             if expiry is not None and expiry not in self._pending_wakes:
                 self._pending_wakes.add(expiry)
                 self.push(expiry, "wake", None)
+
+    def _record_path(self, batch: Batch, now: int, finish: int, u: int) -> None:
+        """Stage-decompose this dispatch for every sampled item in it.
+
+        Per item the stages tile ``[item.ready, finish]`` exactly:
+        ``batch_wait`` is the wait for the batch to close (the last
+        item's ready time), ``queue`` the wait from batch-close to
+        dispatch, and the compute window ``[now, finish]`` splits into
+        the cost model's named breakdown (laid out sequentially — a
+        modeling simplification; the real overlap is interleaved).
+        Chained over a request's phase items (each item's ready is the
+        previous finish) the stages tile the request end to end.
+        """
+        live = [(item, ctx) for item in batch.items
+                if (ctx := self._ctx.get(item.request.rid)) is not None]
+        if not live:
+            return
+        t_close = max(item.ready for item in batch.items)
+        process = (self.processes[u] if self.processes else DEFAULT_PROCESS)
+        track = f"{self.track_prefix}unit{u}"
+        breakdown = self.cost.batch_breakdown(batch)
+        for item, ctx in live:
+            if t_close > item.ready:
+                ctx.child("batch_wait", start=item.ready, end=t_close,
+                          process=process, args={"phase": item.phase})
+            if now > t_close:
+                ctx.child("queue", start=t_close, end=now,
+                          process=process, args={"phase": item.phase})
+            cursor = now
+            for stage in ("shard_compute", "allreduce", "pp_transfer"):
+                cycles = breakdown.get(stage, 0)
+                if cycles <= 0:
+                    continue
+                ctx.child(stage, start=cursor, end=cursor + cycles,
+                          process=process,
+                          args={"phase": item.phase, "batch": batch.size})
+                cursor += cycles
+            ctx.flow("t", cycle=now, track=track, process=process)
 
     # -- event handlers -------------------------------------------------------
     def on_finish(self, unit: int, batch: Batch, now: int) -> None:
@@ -314,20 +404,34 @@ class Dispatcher:
                                 cycle=now, value=depth)
             self._last_depth = depth
         if self.registry.enabled:
-            self.registry.histogram("serve.queue_depth").observe(depth)
+            self.registry.histogram(
+                f"{self.metric_prefix}serve.queue_depth"
+            ).observe(depth)
 
     # -- request lifecycle ----------------------------------------------------
     def _complete_request(self, req: Request, now: int) -> None:
         self.metrics.record_completion(req, now)
+        if self.slo.enabled:
+            self.slo.record_completion(req, now)
+        ctx = self._ctx.pop(req.rid, None)
+        if ctx is not None:
+            ctx.child("respond", start=now, end=now)
+            ctx.flow("f", cycle=now, track=f"{self.track_prefix}edge")
         if self.tracer.enabled:
+            args = {"prompt_tokens": req.prompt_tokens,
+                    "gen_tokens": req.gen_tokens}
+            if self.path is not None:
+                args["deadline"] = req.deadline
+                args["user"] = req.user
+                args["missed"] = (req.deadline is not None
+                                  and now > req.deadline)
             self.tracer.async_span(
                 f"{req.kind}-{req.rid}",
                 span_id=req.rid,
                 start=req.arrival,
                 end=now,
                 cat=req.kind,
-                args={"prompt_tokens": req.prompt_tokens,
-                      "gen_tokens": req.gen_tokens},
+                args=args,
             )
 
     def _complete_item(self, item: PhaseItem, now: int) -> None:
@@ -361,6 +465,8 @@ def simulate(
     *,
     tracer: Tracer = NULL_TRACER,
     registry: MetricsRegistry | None = None,
+    slo: SLOTracker = NULL_SLO,
+    path: RequestPathConfig | None = None,
 ) -> ServeReport:
     """Run the open-loop serving simulation over a request trace.
 
@@ -371,7 +477,9 @@ def simulate(
     simulated cycles — export with ``report.tracer.to_json()``.
     ``registry`` (default: the process-wide one) receives serving
     counters/histograms (dispatches, batch fill, queue depth, rejections,
-    KV pressure).
+    KV pressure).  ``slo`` (default: disabled) adds per-class deadline
+    budgets/burn rates to the summary under ``"slo"``; ``path`` (default:
+    off) turns on request-path stage decomposition in the trace.
     """
     clock = config.clock
     pool = UnitPool(clock.n_units)
@@ -385,7 +493,8 @@ def simulate(
         heapq.heappush(events, (t, seq, tag, payload))
         seq += 1
 
-    d = Dispatcher(config, pool, push, tracer=tracer, registry=reg)
+    d = Dispatcher(config, pool, push, tracer=tracer, registry=reg,
+                   slo=slo, path=path)
 
     for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
         push(r.arrival, "arrive", r)
@@ -413,4 +522,6 @@ def simulate(
         reg.gauge("serve.horizon_cycles").set(d.metrics.last_completion)
     summary = d.metrics.summary(clock=clock, busy_cycles=busy)
     summary["active_sessions_peak_kv_mib"] = d.sessions.peak_kv_bytes / 2**20
+    if slo.enabled:
+        summary["slo"] = slo.snapshot(d.metrics.last_completion)
     return ServeReport(summary, config, pool, d.metrics, tracer)

@@ -138,3 +138,80 @@ def test_events_record():
     assert s.events == [ev]
     d = ev.as_dict()
     assert d["action"] == "scale_up" and d["cycle"] == 100
+    assert d["burn_rate"] == 0.0  # no SLO wired: annotated as zero
+
+
+def test_events_record_burn_rate():
+    s = Autoscaler(_cfg(scale_up_burn_rate=2.0))
+    ev = s.record(100, "scale_up", 1, 2, 1.0, 0.1, "burn 3.10 > 2", 3.1)
+    assert ev.burn_rate == 3.1
+    assert ev.as_dict()["burn_rate"] == 3.1
+
+
+def test_burn_rate_config_validation():
+    with pytest.raises(ConfigurationError):
+        _cfg(scale_up_burn_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        _cfg(scale_up_burn_rate=-1.0)
+
+
+def test_burn_triggers_scale_up_before_load_signals():
+    s = Autoscaler(_cfg(scale_up_burn_rate=2.0))
+    r = _replica(0)  # idle: queue and utilization far below thresholds
+    assert s.decide(s.interval, [r], free_capacity=3, burn_rate=2.5) == "up"
+    # without SLO coupling the same burn is ignored
+    s2 = Autoscaler(_cfg())
+    assert s2.decide(s2.interval, [_replica(0)], free_capacity=3,
+                     burn_rate=2.5) is None
+    # burn at/below the trigger is not enough either
+    s3 = Autoscaler(_cfg(scale_up_burn_rate=2.0))
+    assert s3.decide(s3.interval, [_replica(0)], free_capacity=3,
+                     burn_rate=2.0) is None
+
+
+def test_burn_scale_up_races_cooldown():
+    """A burn spike inside the cool-down window must wait it out: the
+    cool-down exists to let the previous action land, and the burn signal
+    gets no special bypass."""
+    s = Autoscaler(_cfg(scale_up_burn_rate=2.0))
+    r = _replica(0)
+    _fill(r, 20)
+    assert s.decide(s.interval, [r], free_capacity=3) == "up"
+    # budget starts burning immediately after the queue-triggered action
+    assert s.decide(2 * s.interval, [r], free_capacity=3,
+                    burn_rate=5.0) is None
+    # once the cool-down expires the pending burn finally fires, even
+    # with the queue drained below its threshold
+    idle = _replica(1)
+    later = s.interval + s.cooldown
+    assert s.decide(later, [idle], free_capacity=3, burn_rate=5.0) == "up"
+
+
+def test_active_burn_vetoes_scale_down():
+    s = Autoscaler(_cfg())
+    idle = [_replica(0), _replica(1)]
+    assert s.decide(s.interval, idle, burn_rate=1.0) is None
+    # the veto needs no scale_up_burn_rate opt-in; burn < 1 releases it
+    s2 = Autoscaler(_cfg())
+    idle2 = [_replica(0), _replica(1)]
+    assert s2.decide(s2.interval, idle2, burn_rate=0.5) == "down"
+
+
+def test_scale_down_during_replica_drain():
+    """A draining replica is out of the fleet for every signal: it holds
+    no budget, contributes no queue/utilization, and the min-replica
+    floor is judged on active replicas only."""
+    s = Autoscaler(_cfg(min_replicas=1))
+    draining = _replica(0)
+    draining.state = "draining"
+    _fill(draining, 30)  # deep backlog on the drain must not read as load
+    idle = [_replica(1), _replica(2)]
+    depth, util = s.signals(s.interval, [draining] + idle)
+    assert depth == 0.0 and util == 0.0
+    # two active idles above the floor: a second drain may start
+    s2 = Autoscaler(_cfg(min_replicas=1))
+    assert s2.decide(s2.interval, [draining] + idle) == "down"
+    # but with one active left, the draining replica does not count
+    # toward the floor — never drain the last active instance
+    s3 = Autoscaler(_cfg(min_replicas=1))
+    assert s3.decide(s3.interval, [draining, _replica(3)]) is None

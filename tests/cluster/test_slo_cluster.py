@@ -1,0 +1,92 @@
+"""Cluster SLO integration: fleet burn, labeled metrics, board processes."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSpec, ShardPlan, simulate_cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOTracker, requests_from_trace
+from repro.obs.tracer import RequestPathConfig, Tracer, validate_chrome_trace
+from repro.serve.request import TrafficConfig, poisson_trace
+
+
+def _trace(n=150, rate=900.0, seed=4):
+    return poisson_trace(n, TrafficConfig(rate_rps=rate), seed=seed,
+                         n_users=16)
+
+
+def _sharded_config():
+    return ClusterConfig(
+        spec=ClusterSpec(boards=4, boards_per_replica=2,
+                         plan=ShardPlan(tp=3, pp=2)),
+        initial_replicas=2,
+    )
+
+
+def test_cluster_slo_snapshot_in_summary():
+    slo = SLOTracker(SLOConfig())
+    report = simulate_cluster(
+        _trace(), ClusterConfig(spec=ClusterSpec(boards=2),
+                                initial_replicas=2), slo=slo)
+    s = report.summary
+    assert "slo" in s and "slo_router_bypasses" in s
+    classes = s["slo"]["classes"]
+    total = sum(c["completed"] + c["rejected"] for c in classes.values())
+    assert total == s["arrivals"]
+    misses = sum(c["deadline_misses"] for c in classes.values())
+    assert misses == round(s["deadline_miss_rate"] * s["completed"])
+
+
+def test_cluster_trace_has_board_processes_and_full_coverage():
+    tracer = Tracer(meta={"seed": 4})
+    report = simulate_cluster(
+        _trace(), _sharded_config(), tracer=tracer,
+        slo=SLOTracker(SLOConfig()), path=RequestPathConfig(detail_every=1))
+    doc = tracer.to_chrome_trace()
+    stats = validate_chrome_trace(doc)
+    assert stats["s"] > 0 and stats["f"] > 0  # cross-process flows present
+    # every board of every replica shows up as its own trace process
+    procs = set(tracer.processes())
+    assert {"board0", "board1", "board2", "board3"} <= procs
+    recs = requests_from_trace(doc)
+    assert len(recs) == report.summary["completed"]
+    detailed = [r for r in recs if r["detailed"]]
+    assert detailed
+    for r in detailed:
+        assert r["coverage"] == pytest.approx(1.0)
+    # sharded plan: communication stages actually appear in the path
+    assert any(r["stages"].get("allreduce", 0) > 0 for r in detailed)
+    assert any(r["stages"].get("pp_transfer", 0) > 0 for r in detailed)
+    # trace-alone miss accounting reproduces the dispatcher's
+    trace_miss = sum(1 for r in recs if r["missed"]) / len(recs)
+    assert trace_miss == report.summary["deadline_miss_rate"]
+
+
+def test_cluster_metrics_labeled_per_replica_and_board():
+    reg = MetricsRegistry()
+    report = simulate_cluster(
+        _trace(), ClusterConfig(spec=ClusterSpec(boards=2),
+                                initial_replicas=2), registry=reg)
+    snap = reg.as_dict()
+    gauges, counters = snap["gauges"], snap["counters"]
+    for row in report.per_replica:
+        rid = row["rid"]
+        util = gauges[f"cluster.r{rid}.utilization"]["value"]
+        assert util == row["utilization"]
+        assert counters[f"cluster.r{rid}.completed"] == row["completed"]
+        assert f"cluster.r{rid}.tokens_out" in counters
+    # board -> replica ownership is published too
+    board_keys = [k for k in gauges if k.startswith("cluster.board")]
+    assert len(board_keys) == 2
+    # per-replica serve metrics carry the replica prefix
+    names = (set(counters) | set(gauges) | set(snap["histograms"]))
+    assert any(k.startswith("cluster.r0.serve.") for k in names)
+
+
+def test_cluster_slo_disabled_is_byte_identical():
+    cfg = ClusterConfig(spec=ClusterSpec(boards=2), initial_replicas=2)
+    trace = _trace()
+    plain = simulate_cluster(trace, cfg)
+    with_slo = simulate_cluster(trace, cfg, slo=SLOTracker(SLOConfig()))
+    core = {k: v for k, v in with_slo.summary.items()
+            if k not in ("slo", "slo_router_bypasses")}
+    assert core == plain.summary

@@ -177,6 +177,76 @@ def test_cli_numerics_check_against_committed_golden():
     assert "No drift" in proc.stdout
 
 
+def test_cli_slo_report_round_trip(tmp_path):
+    """serve-sim --cluster --slo -> slo-report must reproduce the miss
+    rate from the trace alone, and the SLO artifact must be written."""
+    trace_out = tmp_path / "cluster.perfetto.json"
+    json_out = tmp_path / "cluster.json"
+    slo_out = tmp_path / "cluster.slo.json"
+    proc = _repro(
+        "serve-sim", "--cluster", "--requests", "150", "--seed", "7",
+        "--rate", "400", "--slo",
+        "--trace-out", str(trace_out), "--json-out", str(json_out),
+        "--slo-out", str(slo_out),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    slo_doc = json.loads(slo_out.read_text())
+    assert "slo" in slo_doc and "classes" in slo_doc["slo"]
+
+    report_out = tmp_path / "slo_report.json"
+    proc = _repro("slo-report", "--trace", str(trace_out),
+                  "--summary", str(json_out),
+                  "--json-out", str(report_out))
+    assert proc.returncode == 0, (proc.stdout[-2000:], proc.stderr[-1000:])
+    assert "summary cross-check OK" in proc.stdout
+    report = json.loads(report_out.read_text())
+    assert report["coverage_min"] == 1.0
+    assert report["sampled_requests"] == report["requests"]
+
+    # a doctored summary must trip the cross-check
+    ref = json.loads(json_out.read_text())
+    (ref.get("summary", ref))["deadline_miss_rate"] = 0.123
+    bad = tmp_path / "doctored.json"
+    bad.write_text(json.dumps(ref))
+    proc = _repro("slo-report", "--trace", str(trace_out),
+                  "--summary", str(bad))
+    assert proc.returncode == 1
+    assert "cross-check FAILED" in proc.stdout
+
+
+def test_cli_bench_gate(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_demo.json").write_text(json.dumps({
+        "bench": "demo", "seed": 0, "git_rev": "aaa",
+        "summary": {"tps": 100.0},
+    }))
+    (results / "bench_baselines.json").write_text(json.dumps({
+        "metrics": {"demo:tps": {"value": 100.0, "direction": "higher",
+                                 "tolerance": 0.10}},
+    }))
+    proc = _repro("bench-gate", "--results", str(results))
+    assert proc.returncode == 0, proc.stdout[-2000:]
+    assert "1 pinned metrics ok" in proc.stdout
+    assert (results / "history" / "demo.ndjson").exists()
+
+    # a >10% regression fails the gate
+    (results / "BENCH_demo.json").write_text(json.dumps({
+        "bench": "demo", "seed": 0, "git_rev": "bbb",
+        "summary": {"tps": 80.0},
+    }))
+    proc = _repro("bench-gate", "--results", str(results))
+    assert proc.returncode == 1
+    assert "FAIL demo:tps" in proc.stdout
+
+    # --update-baselines re-pins and the gate goes green again
+    proc = _repro("bench-gate", "--results", str(results),
+                  "--update-baselines")
+    assert proc.returncode == 0, proc.stdout[-2000:]
+    proc = _repro("bench-gate", "--results", str(results))
+    assert proc.returncode == 0, proc.stdout[-2000:]
+
+
 def test_cli_serve_sim_prom_metrics_and_numerics(tmp_path):
     metrics_out = tmp_path / "metrics.prom"
     numerics_out = tmp_path / "serve_numerics.json"

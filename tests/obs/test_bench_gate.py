@@ -1,0 +1,137 @@
+"""Bench gate: baseline parsing, metric resolution, history, regressions."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.bench_gate import (
+    BaselineMetric,
+    append_history,
+    check_regressions,
+    load_baselines,
+    resolve_metric,
+    update_baselines,
+)
+
+
+def write_bench(results_dir, name, summary, git_rev="abc1234"):
+    doc = {"bench": name, "seed": 0, "git_rev": git_rev, "summary": summary}
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc) + "\n")
+    return path
+
+
+def write_baselines(results_dir, metrics):
+    path = results_dir / "bench_baselines.json"
+    path.write_text(json.dumps({"metrics": metrics}) + "\n")
+    return path
+
+
+def test_baseline_metric_validation():
+    with pytest.raises(ConfigurationError):
+        BaselineMetric(key="no-colon", value=1.0)
+    with pytest.raises(ConfigurationError):
+        BaselineMetric(key="a:b", value=1.0, direction="sideways")
+    with pytest.raises(ConfigurationError):
+        BaselineMetric(key="a:b", value=1.0, tolerance=1.5)
+
+
+def test_bounds_and_passes():
+    higher = BaselineMetric(key="a:b", value=100.0, direction="higher",
+                            tolerance=0.10)
+    assert higher.bound() == pytest.approx(90.0)
+    assert higher.passes(91.0) and not higher.passes(89.0)
+    lower = BaselineMetric(key="a:b", value=100.0, direction="lower",
+                           tolerance=0.10)
+    assert lower.bound() == pytest.approx(110.0)
+    assert lower.passes(109.0) and not lower.passes(111.0)
+
+
+def test_resolve_metric_walks_dotted_paths():
+    summary = {"a": {"b": [{"c": 3.5}]}, "flat": 2}
+    assert resolve_metric(summary, "flat") == 2.0
+    assert resolve_metric(summary, "a.b.0.c") == 3.5
+    with pytest.raises(ConfigurationError):
+        resolve_metric(summary, "a.missing")
+    with pytest.raises(ConfigurationError):
+        resolve_metric(summary, "a")  # a dict, not a number
+
+
+def test_load_baselines(tmp_path):
+    path = write_baselines(tmp_path, {
+        "kernels:tps": {"value": 40.0, "direction": "higher",
+                        "tolerance": 0.2, "note": "floor"},
+        "scaling:r": {"value": 1.9},
+    })
+    metrics = load_baselines(path)
+    assert [m.key for m in metrics] == ["kernels:tps", "scaling:r"]
+    assert metrics[0].tolerance == 0.2 and metrics[0].note == "floor"
+    assert metrics[1].direction == "higher" and metrics[1].tolerance == 0.10
+    with pytest.raises(ConfigurationError):
+        load_baselines(write_baselines(tmp_path, {}))
+
+
+def test_gate_passes_and_fails(tmp_path):
+    write_bench(tmp_path, "kernels", {"tps": 39.0})
+    baselines = [BaselineMetric(key="kernels:tps", value=40.0,
+                                tolerance=0.10)]
+    rows = check_regressions(tmp_path, baselines)
+    assert rows[0]["ok"] is True and rows[0]["current"] == 39.0
+
+    write_bench(tmp_path, "kernels", {"tps": 30.0})
+    rows = check_regressions(tmp_path, baselines)
+    assert rows[0]["ok"] is False
+
+
+def test_gate_flags_missing_artifact_and_path(tmp_path):
+    write_bench(tmp_path, "kernels", {"tps": 40.0})
+    rows = check_regressions(tmp_path, [
+        BaselineMetric(key="absent:tps", value=1.0),
+        BaselineMetric(key="kernels:not_there", value=1.0),
+    ])
+    assert [r["ok"] for r in rows] == [False, False]
+    assert "not found" in rows[0]["error"]
+    assert "not_there" in rows[1]["error"]
+
+
+def test_history_appends_and_dedupes_by_revision(tmp_path):
+    write_bench(tmp_path, "kernels", {"tps": 40.0}, git_rev="aaa")
+    assert len(append_history(tmp_path)) == 1
+    hist = tmp_path / "history" / "kernels.ndjson"
+    assert len(hist.read_text().splitlines()) == 1
+    # same revision again: deduped
+    assert append_history(tmp_path) == []
+    assert len(hist.read_text().splitlines()) == 1
+    # new revision: appended
+    write_bench(tmp_path, "kernels", {"tps": 41.0}, git_rev="bbb")
+    assert len(append_history(tmp_path)) == 1
+    lines = [json.loads(s) for s in hist.read_text().splitlines()]
+    assert [ln["git_rev"] for ln in lines] == ["aaa", "bbb"]
+    assert lines[1]["summary"]["tps"] == 41.0
+
+
+def test_update_baselines_keeps_policy_fields(tmp_path):
+    write_bench(tmp_path, "kernels", {"tps": 50.0})
+    path = write_baselines(tmp_path, {
+        "kernels:tps": {"value": 40.0, "direction": "higher",
+                        "tolerance": 0.2, "note": "floor"},
+    })
+    updated = update_baselines(tmp_path, path)
+    assert updated[0].value == 50.0
+    doc = json.loads(path.read_text())
+    row = doc["metrics"]["kernels:tps"]
+    assert row["value"] == 50.0
+    assert row["tolerance"] == 0.2 and row["note"] == "floor"
+
+
+def test_committed_baselines_pass_against_committed_artifacts():
+    """The repo's own pins must hold for the artifacts in results/."""
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[2] / "results"
+    rows = check_regressions(results,
+                             load_baselines(results / "bench_baselines.json"))
+    assert rows, "no pinned metrics"
+    bad = [r for r in rows if not r["ok"]]
+    assert not bad, f"committed bench gate failing: {bad}"

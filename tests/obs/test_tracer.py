@@ -6,8 +6,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.obs.tracer import (
+    DEFAULT_PROCESS,
     NULL_TRACER,
     NullTracer,
+    RequestPathConfig,
+    SpanContext,
     Tracer,
     validate_chrome_trace,
 )
@@ -52,7 +55,8 @@ def test_backwards_span_rejected():
 def test_chrome_trace_structure():
     doc = make_trace().to_chrome_trace()
     stats = validate_chrome_trace(doc)
-    assert stats == {"X": 2, "M": 5, "C": 2, "b": 1, "e": 1}
+    assert stats == {"X": 2, "M": 5, "C": 2, "b": 1, "e": 1,
+                     "s": 0, "t": 0, "f": 0}
     assert doc["otherData"]["time_unit"] == "cycles"
     assert doc["otherData"]["seed"] == 3
     xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
@@ -105,4 +109,131 @@ def test_null_tracer_records_nothing():
     t.span("x", track="u", start=5, end=1)  # not even validated
     t.counter("c", cycle=0, value=1)
     t.async_span("a", span_id=0, start=5, end=1)
+    t.flow("s", flow_id=0, cycle=0, track="u")
     assert t.spans == [] and t.counters == [] and t.async_spans == []
+    assert t.flows == []
+
+
+# -- processes, flows, request paths -----------------------------------------
+
+def test_process_registration_and_per_process_tids():
+    t = Tracer()
+    assert t.process_id(DEFAULT_PROCESS) == 0
+    assert t.process_id("board0") == 1
+    assert t.process_id("board0") == 1  # stable on reuse
+    # thread ids count up independently inside each process
+    assert t.track_id("lane0", "board0") == 0
+    assert t.track_id("lane1", "board0") == 1
+    assert t.track_id("edge") == 0  # default process starts at tid 0 too
+    assert t.processes() == [DEFAULT_PROCESS, "board0"]
+
+
+def test_multi_process_export_declares_every_process():
+    t = Tracer()
+    t.span("compute", track="lane0", start=0, end=10, process="board0")
+    t.span("compute", track="lane0", start=0, end=10, process="board1")
+    doc = t.to_chrome_trace()
+    stats = validate_chrome_trace(doc)
+    assert stats["X"] == 2
+    procs = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert procs == {DEFAULT_PROCESS: 0, "board0": 1, "board1": 2}
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["pid"] for e in xs} == {1, 2}
+    assert all(e["tid"] == 0 for e in xs)  # lane0 is tid 0 on each board
+
+
+def test_flow_events_export_and_validate():
+    t = Tracer()
+    t.span("edge", track="edge", start=0, end=1)
+    t.span("compute", track="lane0", start=5, end=9, process="board0")
+    t.flow("s", flow_id=7, cycle=0, track="edge")
+    t.flow("t", flow_id=7, cycle=5, track="lane0", process="board0")
+    t.flow("f", flow_id=7, cycle=9, track="edge")
+    doc = t.to_chrome_trace()
+    stats = validate_chrome_trace(doc)
+    assert (stats["s"], stats["t"], stats["f"]) == (1, 1, 1)
+    finish = next(e for e in doc["traceEvents"] if e["ph"] == "f")
+    assert finish["bp"] == "e"  # bind to enclosing slice
+    with pytest.raises(ConfigurationError):
+        t.flow("q", flow_id=7, cycle=0, track="edge")
+
+
+def test_validator_rejects_flow_step_before_start():
+    t = Tracer()
+    t.span("edge", track="edge", start=0, end=1)
+    t.flow("s", flow_id=1, cycle=10, track="edge")
+    t.flow("t", flow_id=1, cycle=5, track="edge")
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(t.to_chrome_trace())
+    t2 = Tracer()
+    t2.span("edge", track="edge", start=0, end=1)
+    t2.flow("t", flow_id=1, cycle=5, track="edge")  # orphan step
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(t2.to_chrome_trace())
+
+
+def test_validator_checks_stage_parentage():
+    def with_request(child_start, child_end):
+        t = Tracer()
+        t.async_span("llm-0", span_id=0, start=10, end=100, cat="llm")
+        t.async_span("queue", span_id=0, start=child_start, end=child_end,
+                     cat="llm")
+        return t.to_chrome_trace()
+
+    validate_chrome_trace(with_request(10, 50))  # nested: fine
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(with_request(5, 50))  # escapes left
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(with_request(50, 120))  # escapes right
+
+    # two non-stage parents in one group is ambiguous
+    t = Tracer()
+    t.async_span("llm-0", span_id=0, start=0, end=100, cat="llm")
+    t.async_span("other-parent", span_id=0, start=0, end=100, cat="llm")
+    t.async_span("queue", span_id=0, start=0, end=10, cat="llm")
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(t.to_chrome_trace())
+
+
+def test_validator_requires_flow_stitch_across_processes():
+    def cross_process(with_flows):
+        t = Tracer()
+        t.async_span("llm-0", span_id=0, start=0, end=100, cat="llm")
+        t.async_span("shard_compute", span_id=0, start=10, end=90,
+                     cat="llm", process="board0")
+        if with_flows:
+            t.span("edge", track="edge", start=0, end=1)
+            t.track_id("lane0", "board0")
+            t.flow("s", flow_id=0, cycle=0, track="edge")
+            t.flow("t", flow_id=0, cycle=10, track="lane0",
+                   process="board0")
+        return t.to_chrome_trace()
+
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(cross_process(False))
+    stats = validate_chrome_trace(cross_process(True))
+    assert stats["b"] == 2 and stats["s"] == 1
+
+
+def test_request_path_config():
+    with pytest.raises(ConfigurationError):
+        RequestPathConfig(detail_every=0)
+    with pytest.raises(ConfigurationError):
+        RequestPathConfig(max_spans_per_request=4)
+    cfg = RequestPathConfig(detail_every=3)
+    assert [cfg.samples(r) for r in range(4)] == [True, False, False, True]
+
+
+def test_span_context_records_children_and_enforces_budget():
+    t = Tracer()
+    ctx = SpanContext(0, "llm", t, budget=3)
+    assert ctx.child("queue", start=0, end=5)
+    assert ctx.child("shard_compute", start=5, end=9, process="board0")
+    assert ctx.flow("s", cycle=0, track="edge")
+    # budget exhausted: drops are counted, nothing more is recorded
+    assert not ctx.child("respond", start=9, end=9)
+    assert not ctx.flow("f", cycle=9, track="edge")
+    assert ctx.dropped == 2
+    assert len(t.async_spans) == 2 and len(t.flows) == 1
+    assert t.async_spans[0].span_id == 0 and t.async_spans[0].cat == "llm"
