@@ -78,15 +78,24 @@ def test_aligned_add_vectorized(benchmark):
     assert out.shape == x.shape
 
 
-def _decode_tokens_per_sec(model: TinyLM, n_tokens: int) -> tuple[float, np.ndarray]:
-    """Greedy KV-cache decode; returns (tokens/sec, final logits)."""
+def _decode_tokens_per_sec(
+    model: TinyLM, n_tokens: int, *, compiled: bool = False
+) -> tuple[float, np.ndarray]:
+    """Greedy KV-cache decode; returns (tokens/sec, final logits).
+
+    ``compiled=False`` pins the eager per-layer path (the historical
+    baseline every committed number was measured on); ``compiled=True``
+    replays a traced decode plan (:mod:`repro.runtime.plan`).  The first
+    step — where the compiled path traces its plan — runs before the
+    clock starts, matching the trace-once/replay-many deployment shape.
+    """
     backend = BFP8MixedBackend()
     caches = model.init_cache()
-    logits = model.forward_step(1, 0, caches, backend)
+    logits = model.forward_step(1, 0, caches, backend, compiled=compiled)
     t0 = time.perf_counter()
     for pos in range(1, n_tokens + 1):
         tok = int(np.argmax(logits)) % model.vocab
-        logits = model.forward_step(tok, pos, caches, backend)
+        logits = model.forward_step(tok, pos, caches, backend, compiled=compiled)
     return n_tokens / (time.perf_counter() - t0), logits
 
 
@@ -119,14 +128,33 @@ def test_prepared_cache_decode_speedup(save_report, bench_artifact):
         tps, cached_logits = _decode_tokens_per_sec(model, DECODE_TOKENS)
         cached_tps = max(cached_tps, tps)
 
+    compiled_tps, compiled_logits = 0.0, None
+    for _ in range(3):
+        get_cache().clear()
+        tps, compiled_logits = _decode_tokens_per_sec(
+            model, DECODE_TOKENS, compiled=True
+        )
+        compiled_tps = max(compiled_tps, tps)
+
     identical = bool(np.array_equal(uncached_logits, cached_logits))
+    compiled_identical = bool(np.array_equal(cached_logits, compiled_logits))
     speedup = cached_tps / uncached_tps
+    compiled_speedup = compiled_tps / cached_tps
+
+    def _sha(arr: np.ndarray) -> str:
+        import hashlib
+
+        return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
     lines = [
         f"TinyLM dim={DECODE_DIM} depth={DECODE_DEPTH}, bfp8-mixed, "
         f"{DECODE_TOKENS} greedy KV-cache decode steps",
         f"uncached (capacity=0): {uncached_tps:8.2f} tokens/sec",
         f"cached   (default):    {cached_tps:8.2f} tokens/sec",
-        f"speedup: {speedup:.2f}x   bit-identical logits: {identical}",
+        f"compiled (plan replay):{compiled_tps:8.2f} tokens/sec",
+        f"cache speedup: {speedup:.2f}x   bit-identical logits: {identical}",
+        f"compiled speedup over cached eager: {compiled_speedup:.2f}x   "
+        f"bit-identical logits: {compiled_identical}",
     ]
     save_report("kernels_prepared_cache", "\n".join(lines))
     bench_artifact("kernels", {
@@ -136,14 +164,25 @@ def test_prepared_cache_decode_speedup(save_report, bench_artifact):
         },
         "decode_tokens_per_sec_uncached": uncached_tps,
         "decode_tokens_per_sec_cached": cached_tps,
+        "decode_tokens_per_sec_compiled": compiled_tps,
         "decode_speedup": speedup,
+        "compiled_speedup": compiled_speedup,
         "bit_identical": identical,
+        "compiled_bit_identical": compiled_identical,
+        "compiled_logits_sha256": _sha(np.asarray(compiled_logits)),
+        "eager_logits_sha256": _sha(np.asarray(cached_logits)),
     }, seed=DECODE_SEED)
 
     assert identical, "cached decode diverged from the uncached path"
+    assert compiled_identical, "compiled decode diverged from the eager path"
     # Locally this runs >=5x (recorded in the artifact); shared CI
     # runners are noisy, so the hard gate is a conservative 2x.
     assert speedup > 2.0, f"prepared cache speedup only {speedup:.2f}x"
+    # Compiled replay over the already-cached eager path: measured ~2.5x
+    # locally; the acceptance floor is 2x.
+    assert compiled_speedup > 2.0, (
+        f"compiled decode speedup only {compiled_speedup:.2f}x"
+    )
 
 
 def test_numerics_monitor_overhead(save_report, bench_artifact):
@@ -162,13 +201,15 @@ def test_numerics_monitor_overhead(save_report, bench_artifact):
         depth=DECODE_DEPTH, n_heads=4, seed=DECODE_SEED,
     )
 
-    def best_of(monitor, runs=5):
+    def best_of(monitor, runs=5, compiled=False):
         best, logits = 0.0, None
         for _ in range(runs):
             prev = set_monitor(monitor)
             get_cache().clear()
             try:
-                tps, logits = _decode_tokens_per_sec(model, DECODE_TOKENS)
+                tps, logits = _decode_tokens_per_sec(
+                    model, DECODE_TOKENS, compiled=compiled
+                )
             finally:
                 set_monitor(prev)
             best = max(best, tps)
@@ -177,9 +218,19 @@ def test_numerics_monitor_overhead(save_report, bench_artifact):
     best_of(NULL_MONITOR, runs=1)  # warm numpy + allocator
     off_tps, off_logits = best_of(NULL_MONITOR)
     on_tps, on_logits = best_of(NumericsMonitor())
+    # Compiled replay under a live monitor: taps sample 1-in-N steps
+    # (the rest replay tap-free), so observation no longer taxes every
+    # token — the compiled overhead fraction is the new acceptance bar.
+    c_off_tps, c_off_logits = best_of(NULL_MONITOR, compiled=True)
+    c_on_tps, c_on_logits = best_of(NumericsMonitor(), compiled=True)
 
     identical = bool(np.array_equal(off_logits, on_logits))
+    compiled_identical = bool(
+        np.array_equal(off_logits, c_off_logits)
+        and np.array_equal(off_logits, c_on_logits)
+    )
     overhead = off_tps / on_tps - 1.0
+    compiled_overhead = c_off_tps / c_on_tps - 1.0
 
     # The disabled path is the gate.  Its cost against the pre-monitor
     # baseline (results/BENCH_kernels.json decode_tokens_per_sec_cached)
@@ -205,7 +256,10 @@ def test_numerics_monitor_overhead(save_report, bench_artifact):
         f"monitor disabled: {off_tps:8.2f} tokens/sec",
         f"monitor enabled:  {on_tps:8.2f} tokens/sec "
         f"({overhead * 100:+.1f}% slower)",
-        f"bit-identical logits: {identical}",
+        f"compiled, monitor disabled: {c_off_tps:8.2f} tokens/sec",
+        f"compiled, monitor enabled:  {c_on_tps:8.2f} tokens/sec "
+        f"({compiled_overhead * 100:+.1f}% slower, sampled taps)",
+        f"bit-identical logits: {identical} (compiled: {compiled_identical})",
     ]
     if base_tps is not None:
         lines.append(
@@ -222,11 +276,24 @@ def test_numerics_monitor_overhead(save_report, bench_artifact):
         "decode_tokens_per_sec_monitor_off": off_tps,
         "decode_tokens_per_sec_monitor_on": on_tps,
         "enabled_overhead_fraction": overhead,
+        "compiled_tokens_per_sec_monitor_off": c_off_tps,
+        "compiled_tokens_per_sec_monitor_on": c_on_tps,
+        "compiled_enabled_overhead_fraction": compiled_overhead,
         "baseline_tokens_per_sec": base_tps,
         "disabled_vs_baseline_fraction": vs_baseline,
     }, seed=DECODE_SEED)
 
     assert identical, "monitored decode diverged from the unmonitored path"
+    assert compiled_identical, (
+        "compiled decode diverged under/without the numerics monitor"
+    )
+    # Sampled taps bound the live-monitor tax on the compiled path: the
+    # acceptance bar is <=10% (eager pays the full observation cost every
+    # step); the assert allows noise headroom on shared runners.
+    assert compiled_overhead <= 0.15, (
+        f"compiled monitored decode overhead {compiled_overhead * 100:.1f}% "
+        f"(sampled taps should keep this under 10%)"
+    )
     if base_tps is not None:
         assert off_tps > base_tps * 0.80, (
             f"disabled monitor cost {-vs_baseline * 100:.1f}% decode "

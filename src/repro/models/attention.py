@@ -98,12 +98,20 @@ class MultiHeadSelfAttention(Module):
         qkv = self.qkv.forward(x, backend)
         qkv = qkv.reshape(b, 1, 3, h, hd).transpose(2, 0, 3, 1, 4)
         q, k_new, v_new = qkv[0], qkv[1], qkv[2]  # (b, h, 1, hd)
-        if kv_cache["k"].size == 0:
+        arena = kv_cache.get("arena")
+        if arena is not None:
+            # Preallocated KV arena: one in-place write, zero-copy views
+            # (no per-token re-stack — see repro.runtime.plan.KvArena).
+            arena.append(k_new, v_new)
+            k, v = arena.views()
+            kv_cache["k"], kv_cache["v"] = k, v
+        elif kv_cache["k"].size == 0:
             kv_cache["k"], kv_cache["v"] = k_new, v_new
+            k, v = k_new, v_new
         else:
             kv_cache["k"] = np.concatenate([kv_cache["k"], k_new], axis=2)
             kv_cache["v"] = np.concatenate([kv_cache["v"], v_new], axis=2)
-        k, v = kv_cache["k"], kv_cache["v"]
+            k, v = kv_cache["k"], kv_cache["v"]
         scores = self._bmm(backend, q, k.transpose(0, 1, 3, 2)) * self.scale
         probs = self.attn_softmax.forward(scores.astype(np.float32), backend)
         ctx = self._bmm(backend, probs, v).transpose(0, 2, 1, 3).reshape(b, 1, d)

@@ -66,6 +66,22 @@ __all__ = [
 ]
 
 
+class _ScopeGuard:
+    """Zero-overhead scope exit for the unobserved fast path."""
+
+    __slots__ = ("_scopes",)
+
+    def __init__(self, scopes: list) -> None:
+        self._scopes = scopes
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        self._scopes.pop()
+        return False
+
+
 @dataclass
 class ComputeBackend:
     """Base backend: exact float32 arithmetic, with op statistics.
@@ -166,29 +182,34 @@ class ComputeBackend:
     def reset_stats(self) -> None:
         self.matmul_count = self.matmul_macs = self.matmul_rows = 0
 
-    @contextmanager
     def scope(self, name: str):
         """Profiling/policy scope for a model component.
 
         The same scope name feeds the cycle profiler, the value-domain
         numerics monitor and the policy layer path, so cycle attribution,
         quantization-health attribution and per-layer precision all share
-        one layer taxonomy."""
+        one layer taxonomy.
+
+        The unobserved path (no profiler, monitor disabled) returns a
+        slotted guard — a plain list append/pop with no generator frame
+        or ExitStack (this runs per layer per token in decode, and used
+        to be the monitor's disabled-path residue on the hot loop)."""
+        if self.profiler is None and not get_monitor().enabled:
+            self._scopes.append(name)
+            return _ScopeGuard(self._scopes)
+        return self._observed_scope(name)
+
+    @contextmanager
+    def _observed_scope(self, name: str):
         mon = get_monitor()
         self._scopes.append(name)
         try:
-            if self.profiler is None and not mon.enabled:
-                # Fast path: nothing to observe — skip the ExitStack and
-                # nested context managers entirely (this runs per layer
-                # per token in decode).
+            with ExitStack() as stack:
+                if self.profiler is not None:
+                    stack.enter_context(self.profiler.scope(name))
+                if mon.enabled:
+                    stack.enter_context(mon.scope(name))
                 yield
-            else:
-                with ExitStack() as stack:
-                    if self.profiler is not None:
-                        stack.enter_context(self.profiler.scope(name))
-                    if mon.enabled:
-                        stack.enter_context(mon.scope(name))
-                    yield
         finally:
             self._scopes.pop()
 

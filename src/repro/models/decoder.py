@@ -247,10 +247,27 @@ class TinyLM(Module):
             seq.append(int(np.argmax(logits[0, -1])))
         return np.array(seq)
 
-    def init_cache(self) -> list[dict]:
-        """Fresh per-block KV caches for incremental decoding."""
-        empty = lambda: np.zeros((1, 0, 0, 0), dtype=np.float32)
-        return [{"k": empty(), "v": empty()} for _ in self.blocks]
+    def init_cache(self, *, capacity: int | None = None) -> list[dict]:
+        """Fresh per-block KV caches for incremental decoding.
+
+        Each entry is backed by a preallocated :class:`KvArena` (in-place
+        appends with capacity doubling, capped at the context window)
+        instead of per-token ``np.concatenate`` re-stacks; ``"k"``/``"v"``
+        stay zero-copy views of the arena so existing consumers see the
+        same arrays they always did.
+        """
+        from repro.runtime.plan import KvArena
+
+        caches = []
+        for blk in self.blocks:
+            arena = KvArena(
+                1, blk.attn.n_heads, blk.attn.head_dim,
+                capacity=min(16, self.seq_len) if capacity is None else capacity,
+                max_capacity=self.seq_len,
+            )
+            k, v = arena.row_kv(0)
+            caches.append({"k": k, "v": v, "arena": arena, "row": 0})
+        return caches
 
     def forward_step(
         self,
@@ -258,27 +275,20 @@ class TinyLM(Module):
         position: int,
         caches: list[dict],
         backend: ComputeBackend | None = None,
+        *,
+        compiled: bool | None = None,
     ) -> np.ndarray:
         """One autoregressive step: logits for the next token.
 
         The KV-cache decode path — every linear layer is a single-row
         matmul (the N_X = 1 worst case of Eqn 9, see
-        ``repro.runtime.scheduler.compile_decoder``).
+        ``repro.runtime.scheduler.compile_decoder``).  A batch-of-one
+        :meth:`forward_step_batch`, so it shares the arena-backed caches
+        and the compiled-plan dispatch (``compiled`` as there).
         """
-        backend = backend or FP32Backend()
-        if position >= self.seq_len:
-            raise ConfigurationError("position beyond the context window")
-        x = self.embed.forward(np.array([[token]]))
-        x = (x + self.params["pos_embed"][:, position : position + 1]).astype(
-            np.float32
-        )
-        for i, (blk, cache) in enumerate(zip(self.blocks, caches)):
-            with backend.scope(f"block{i}"):
-                x = blk.forward_step(x, cache, backend)
-        with backend.scope("final_norm"):
-            x = self.norm.forward(x, backend)
-        with backend.scope("head"):
-            return self.head.forward(x, backend)[0, 0]
+        return self.forward_step_batch(
+            [int(token)], [position], [caches], backend, compiled=compiled
+        )[0]
 
     def forward_step_batch(
         self,
@@ -286,6 +296,8 @@ class TinyLM(Module):
         positions: list[int],
         caches_batch: list[list[dict]],
         backend: ComputeBackend | None = None,
+        *,
+        compiled: bool | None = None,
     ) -> np.ndarray:
         """One autoregressive step for a *batch* of independent sessions.
 
@@ -306,8 +318,21 @@ class TinyLM(Module):
         Equivalent to ``B`` :meth:`forward_step` calls under exact fp32;
         block-fp backends may differ in low mantissa bits because batched
         rows share 8x8 block exponents — exactly as on the hardware.
+
+        When ``compiled`` is not explicitly ``False`` (and nothing wants
+        per-op observation — see :func:`repro.runtime.plan.compiled_active`)
+        the step executes through a traced :class:`~repro.runtime.plan.
+        DecodePlan`: bit-identical logits, no per-layer Python dispatch.
+        Untraceable models and shapes fall back to this eager body.
         """
-        backend = backend or FP32Backend()
+        from repro.runtime import plan as _plan
+
+        if backend is None:
+            backend = FP32Backend()
+            if compiled is None:
+                # A throwaway default backend gains nothing from a plan
+                # (the plan cache is keyed by backend identity).
+                compiled = False
         if not (len(tokens) == len(positions) == len(caches_batch)):
             raise ConfigurationError("batch fields must have equal length")
         if any(p >= self.seq_len for p in positions):
@@ -318,34 +343,38 @@ class TinyLM(Module):
             groups.setdefault(pos, []).append(i)
         for pos, idxs in groups.items():
             b = len(idxs)
-            # Stack each block's per-session KV along the batch axis.
-            stacked: list[dict] = []
-            for blk in range(len(self.blocks)):
-                ks = [caches_batch[i][blk]["k"] for i in idxs]
-                vs = [caches_batch[i][blk]["v"] for i in idxs]
-                if any(k.shape != ks[0].shape for k in ks):
-                    raise ConfigurationError(
-                        "sessions at one position must have equal KV length"
-                    )
-                stacked.append(
-                    {"k": np.concatenate(ks, axis=0),
-                     "v": np.concatenate(vs, axis=0)}
-                )
+            # Bind each block's per-session KV to one shared arena (zero
+            # copies in the steady state; a one-time stack on regroup).
+            arenas = []
+            for bi, blk in enumerate(self.blocks):
+                arenas.append(_plan.bind_group_cache(
+                    [caches_batch[i][bi] for i in idxs],
+                    blk.attn.n_heads, blk.attn.head_dim,
+                    max_capacity=self.seq_len,
+                ))
             toks = np.array([tokens[i] for i in idxs]).reshape(b, 1)
-            x = self.embed.forward(toks)
-            x = (x + self.params["pos_embed"][:, pos : pos + 1]).astype(np.float32)
-            for bi, (blk, cache) in enumerate(zip(self.blocks, stacked)):
-                with backend.scope(f"block{bi}"):
-                    x = blk.forward_step(x, cache, backend)
-            with backend.scope("final_norm"):
-                x = self.norm.forward(x, backend)
-            with backend.scope("head"):
-                logits = self.head.forward(x, backend)[:, 0]
+            plan = None
+            if _plan.compiled_active(backend, compiled):
+                plan = _plan.resolve_plan(self, backend, b)
+            if plan is not None and not plan.take_sample(pos, b):
+                logits = plan.replay(toks, pos, arenas, backend)
+            else:
+                x = self.embed.forward(toks)
+                x = (x + self.params["pos_embed"][:, pos : pos + 1]).astype(
+                    np.float32
+                )
+                for bi, (blk, arena) in enumerate(zip(self.blocks, arenas)):
+                    with backend.scope(f"block{bi}"):
+                        x = blk.forward_step(x, {"arena": arena}, backend)
+                with backend.scope("final_norm"):
+                    x = self.norm.forward(x, backend)
+                with backend.scope("head"):
+                    logits = self.head.forward(x, backend)[:, 0]
             for j, i in enumerate(idxs):
                 out[i] = logits[j]
-                for blk in range(len(self.blocks)):
-                    caches_batch[i][blk]["k"] = stacked[blk]["k"][j : j + 1]
-                    caches_batch[i][blk]["v"] = stacked[blk]["v"][j : j + 1]
+                for bi in range(len(self.blocks)):
+                    entry = caches_batch[i][bi]
+                    entry["k"], entry["v"] = arenas[bi].row_kv(entry["row"])
         return out
 
     def generate_cached(
@@ -353,6 +382,8 @@ class TinyLM(Module):
         prompt: np.ndarray,
         n_tokens: int,
         backend: ComputeBackend | None = None,
+        *,
+        compiled: bool | None = None,
     ) -> np.ndarray:
         """Greedy decoding with a KV cache (equivalent to :meth:`generate`
         while the sequence fits the context window; property-tested)."""
@@ -364,12 +395,16 @@ class TinyLM(Module):
         caches = self.init_cache()
         logits = None
         for pos, tok in enumerate(prompt):
-            logits = self.forward_step(int(tok), pos, caches, backend)
+            logits = self.forward_step(
+                int(tok), pos, caches, backend, compiled=compiled
+            )
         seq = list(prompt)
         for _ in range(n_tokens):
             nxt = int(np.argmax(logits))
             seq.append(nxt)
             if len(seq) >= self.seq_len:
                 break
-            logits = self.forward_step(nxt, len(seq) - 1, caches, backend)
+            logits = self.forward_step(
+                nxt, len(seq) - 1, caches, backend, compiled=compiled
+            )
         return np.array(seq)

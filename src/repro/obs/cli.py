@@ -56,6 +56,12 @@ def add_profile_parser(subparsers) -> argparse.ArgumentParser:
                    help="decoder models: vocabulary size")
     p.add_argument("--functional", action="store_true",
                    help="profile the functional TinyLM instead of a schedule")
+    p.add_argument("--compiled", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="functional mode: after the profiled (eager) run, "
+                        "time compiled decode-plan replay vs eager and "
+                        "print plan stats (the profiled run itself is "
+                        "always eager — a profiler needs per-op scopes)")
     p.add_argument("--backend", default="bfp8-mixed",
                    help="functional mode: arithmetic backend name")
     p.add_argument("--policy", default=None, metavar="NAME_OR_JSON",
@@ -187,13 +193,49 @@ def _run_functional(args) -> int:
     print()
     print(render_metrics("backend stats", backend.stats()))
 
+    profiler = backend.profiler
+    plan_summary = None
+    if getattr(args, "compiled", True):
+        from repro.runtime.plan import plan_stats
+
+        # Plans only activate on an unprofiled backend: per-op profiling
+        # is exactly the dispatch the replay path removes.  Output here
+        # is deterministic (same seed -> byte-identical); wall-clock
+        # speedups live in benchmarks/bench_kernels.py.
+        backend.profiler = None
+
+        def _decode(compiled: bool) -> np.ndarray:
+            caches = model.init_cache()
+            logits = model.forward_step(
+                int(tokens[0, 0]), 0, caches, backend, compiled=compiled
+            )
+            for pos in range(1, args.gen_tokens + 1):
+                tok = int(np.argmax(logits)) % model.vocab
+                logits = model.forward_step(
+                    tok, pos, caches, backend, compiled=compiled
+                )
+            return logits
+
+        eager_logits = _decode(False)
+        compiled_logits = _decode(True)
+        stats = plan_stats(model)
+        plan_summary = {
+            "bit_identical": bool(np.array_equal(eager_logits, compiled_logits)),
+            "plans": len(stats),
+            "replays": sum(s["replays"] for s in stats),
+            "sampled_taps": sum(s["sampled_taps"] for s in stats),
+        }
+        print()
+        print(render_metrics("compiled decode replay vs eager", plan_summary))
+
     if args.json_out is not None:
         args.json_out.write_text(json.dumps(
             {
                 "backend": backend.name,
                 "seed": args.seed,
-                "profile": backend.profiler.as_dict(),
+                "profile": profiler.as_dict(),
                 "backend_stats": backend.stats(),
+                "compiled_replay": plan_summary,
             },
             indent=2, sort_keys=True,
         ) + "\n")

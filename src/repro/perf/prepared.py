@@ -136,6 +136,9 @@ class PreparedOperandCache:
         self._entries: OrderedDict[tuple, PreparedTensor] = OrderedDict()
         self._ids: dict[int, tuple[weakref.ref, int, str]] = {}
         self._bytes = 0
+        #: bumped by clear(); consumers that hold prepared handles across
+        #: calls (compiled decode plans) key their validity on it.
+        self.generation = 0
 
     # -- internals -----------------------------------------------------------
     def _fingerprint(self, arr: np.ndarray) -> str:
@@ -289,6 +292,7 @@ class PreparedOperandCache:
         self._entries.clear()
         self._ids.clear()
         self._bytes = 0
+        self.generation += 1
         self._publish()
 
 

@@ -42,6 +42,11 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
                    help="admission bound; excess arrivals are rejected")
     p.add_argument("--max-sessions", type=int, default=8,
                    help="resident decoder sessions (KV caches) per unit")
+    p.add_argument("--compiled", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="model decode batches as compiled-plan replays "
+                        "(trace once per group shape); --no-compiled "
+                        "models the eager per-step path")
     p.add_argument("--compare-batch1", action="store_true",
                    help="also replay the trace with batching disabled")
     p.add_argument("--json", type=Path, default=None, metavar="FILE",
@@ -200,6 +205,7 @@ def _config(args, max_batch: int) -> ServeConfig:
         max_queue=args.max_queue,
         max_sessions_per_unit=args.max_sessions,
         precision=_precision(args),
+        compiled=getattr(args, "compiled", True),
     )
 
 
@@ -232,6 +238,11 @@ def run_serve_sim(args) -> int:
     ))
     if config.precision is not None:
         _print_precision_split(config)
+    if report.plans is not None:
+        pl = report.plans
+        print(f"compiled decode plans: {pl['decode_group_shapes']} group "
+              f"shapes traced once, {pl['replays']} replays "
+              f"({pl['dispatches']} decode dispatches)")
     if args.compare_batch1:
         base = simulate(trace, _config(args, 1))
         got, ref = report.summary, base.summary

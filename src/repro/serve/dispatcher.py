@@ -108,6 +108,10 @@ class ServeConfig:
     clock: ClockConfig = DEFAULT_CLOCK
     mem: MemoryModel = DEFAULT_MEMORY
     precision: PrecisionPolicy | None = None
+    #: Model decode batches as compiled-plan replays: the dispatcher
+    #: ledgers one trace per distinct decode group shape and counts every
+    #: later dispatch of that shape as a replay (``ServeReport.plans``).
+    compiled: bool = True
 
 
 class CostModel:
@@ -161,6 +165,9 @@ class ServeReport:
     pool: UnitPool
     metrics: MetricsCollector = field(repr=False)
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER, repr=False)
+    #: Compiled-plan ledger (``None`` when the run modeled eager decode):
+    #: distinct decode group shapes traced, replay counts per shape.
+    plans: dict | None = None
 
     def to_json(self) -> str:
         return MetricsCollector.to_json(self.summary)
@@ -240,6 +247,11 @@ class Dispatcher:
         self.processes = processes
         self.metric_prefix = metric_prefix
         self.idle = set(range(pool.n_units))
+        #: (phase, batch size) -> dispatch count.  First hit per key is
+        #: the trace (plan build), the rest are replays — the serving
+        #: analogue of :func:`repro.runtime.plan.resolve_plan` keying
+        #: plans on the batch-group shape.
+        self.plan_ledger: dict[tuple[str, int], int] = {}
         self._pending_wakes: set[int] = set()
         self._last_depth = -1
         self._ctx: dict[int, SpanContext] = {}
@@ -305,6 +317,15 @@ class Dispatcher:
                                           f"{batch.phase}x{batch.size}")
                 self.idle.discard(u)
                 self.metrics.record_dispatch(batch.phase, batch.size)
+                if self.config.compiled and batch.phase == "decode":
+                    key = (batch.phase, batch.size)
+                    seen = key in self.plan_ledger
+                    self.plan_ledger[key] = self.plan_ledger.get(key, 0) + 1
+                    if self.registry.enabled:
+                        self.registry.counter(
+                            f"{self.metric_prefix}serve.plan."
+                            f"{'replays' if seen else 'traces'}"
+                        ).inc()
                 if self.registry.enabled:
                     self.registry.counter(
                         f"{self.metric_prefix}serve.dispatches.{batch.phase}"
@@ -524,4 +545,17 @@ def simulate(
     summary["active_sessions_peak_kv_mib"] = d.sessions.peak_kv_bytes / 2**20
     if slo.enabled:
         summary["slo"] = slo.snapshot(d.metrics.last_completion)
-    return ServeReport(summary, config, pool, d.metrics, tracer)
+    plans = None
+    if config.compiled:
+        total = sum(d.plan_ledger.values())
+        plans = {
+            "decode_group_shapes": len(d.plan_ledger),
+            "traces": len(d.plan_ledger),
+            "replays": total - len(d.plan_ledger),
+            "dispatches": total,
+            "by_shape": {
+                f"{phase}x{size}": count
+                for (phase, size), count in sorted(d.plan_ledger.items())
+            },
+        }
+    return ServeReport(summary, config, pool, d.metrics, tracer, plans)
