@@ -14,6 +14,13 @@ Usage::
     python -m repro slo-report --trace run.perfetto.json --summary run.json
                                      # SLO story rebuilt from the trace alone
     python -m repro bench-gate       # history append + headline-metric gate
+    python -m repro serve-sim --record --slo --requests 2000 --seed 0
+                                     # flight recorder: anomaly-triggered
+                                     # incident bundles under results/incidents
+    python -m repro incident-replay results/incidents/serve-0/inc-000.json
+                                     # deterministic re-simulation of a bundle
+    python -m repro incident-report --dir results/incidents
+                                     # summarize captured incident bundles
 """
 
 from __future__ import annotations
@@ -69,6 +76,12 @@ def main() -> None:
     subparsers = parser.add_subparsers(dest="command")
 
     from repro.obs.bench_gate import add_bench_gate_parser, run_bench_gate
+    from repro.obs.incident_cli import (
+        add_incident_replay_parser,
+        add_incident_report_parser,
+        run_incident_replay,
+        run_incident_report,
+    )
     from repro.obs.cli import (
         add_numerics_report_parser,
         add_profile_parser,
@@ -84,6 +97,8 @@ def main() -> None:
     add_numerics_report_parser(subparsers)
     add_slo_report_parser(subparsers)
     add_bench_gate_parser(subparsers)
+    add_incident_replay_parser(subparsers)
+    add_incident_report_parser(subparsers)
 
     args = parser.parse_args()
     if args.command == "serve-sim":
@@ -96,6 +111,10 @@ def main() -> None:
         raise SystemExit(run_slo_report(args))
     if args.command == "bench-gate":
         raise SystemExit(run_bench_gate(args))
+    if args.command == "incident-replay":
+        raise SystemExit(run_incident_replay(args))
+    if args.command == "incident-report":
+        raise SystemExit(run_incident_report(args))
     raise SystemExit(_run_report(args))
 
 

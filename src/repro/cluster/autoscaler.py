@@ -100,6 +100,9 @@ class ScaleEvent:
     utilization: float
     reason: str
     burn_rate: float = 0.0  # sustained SLO burn at decision time (0 = no SLO)
+    #: Flight-recorder incident open at decision time (None = calm):
+    #: ties "the fleet scaled" to "while this anomaly was active".
+    incident: str | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -217,8 +220,9 @@ class Autoscaler:
         util: float,
         reason: str,
         burn_rate: float = 0.0,
+        incident: str | None = None,
     ) -> ScaleEvent:
         ev = ScaleEvent(now, action, rid, n_active, depth, util, reason,
-                        burn_rate)
+                        burn_rate, incident)
         self.events.append(ev)
         return ev

@@ -35,6 +35,7 @@ from repro.cluster.topology import Board, ClusterSpec, Replica
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.slo import NULL_SLO, SLOTracker
 from repro.obs.tracer import NULL_TRACER, RequestPathConfig, Tracer
 from repro.serve.dispatcher import Dispatcher, ServeConfig
@@ -133,6 +134,7 @@ def simulate_cluster(
     registry: MetricsRegistry | None = None,
     slo: SLOTracker = NULL_SLO,
     path: RequestPathConfig | None = None,
+    recorder: FlightRecorder = NULL_RECORDER,
 ) -> ClusterReport:
     """Run the cluster serving simulation over a request trace.
 
@@ -149,6 +151,14 @@ def simulate_cluster(
     become trace processes, units threads, and sampled requests carry
     named stage children across the edge -> router -> replica -> shard
     path (one :class:`~repro.obs.tracer.SpanContext` per request).
+
+    ``recorder`` (default: disabled) is shared across the fleet: every
+    replica's dispatcher feeds it, edge rejections and scale decisions
+    land in its decision ring, and scale events are annotated with the
+    incident open at decision time.  Cluster bundles are capture-only
+    (``replay.supported = false``): the router's RNG and the
+    autoscaler's window state span capture epochs, so the single-pool
+    epoch-replay argument does not hold here.
     """
     spec = config.spec
     clock = config.serve.clock
@@ -220,6 +230,7 @@ def simulate_cluster(
             path=path,
             processes=lane_procs,
             metric_prefix=f"cluster.r{rid}.",
+            recorder=recorder,
         )
         replicas.append(r)
         if active_at > now:
@@ -296,6 +307,7 @@ def simulate_cluster(
             ev = scaler.record(
                 now, "scale_up", r.rid, n_active + pending_up + 1,
                 depth, util, reason, burn,
+                incident=recorder.active_incident_id(),
             )
         else:
             # Drain the shallowest-queue active replica; ties go to the
@@ -312,9 +324,12 @@ def simulate_cluster(
                 f"queue {depth:.1f} < {scaler.cfg.scale_down_queue:g} and "
                 f"util {util:.2f} < {scaler.cfg.scale_down_utilization:g}",
                 burn,
+                incident=recorder.active_incident_id(),
             )
             retire_if_drained(victim, now)
         note_active(now)
+        if recorder.enabled:
+            recorder.record_scale(now, ev.as_dict())
         if reg.enabled:
             reg.counter(f"cluster.{ev.action}").inc()
         if tracer.enabled:
@@ -342,6 +357,10 @@ def simulate_cluster(
                 edge_rejected += 1
                 if slo.enabled:
                     slo.record_rejection(req, now)
+                if recorder.enabled:
+                    recorder.record_rejection(req, now)
+                    if slo.enabled:
+                        recorder.observe_burn(now, slo.fleet_burn(now))
                 if reg.enabled:
                     reg.counter("cluster.edge_rejections").inc()
             else:
@@ -388,6 +407,15 @@ def simulate_cluster(
             r.dispatcher.observe_queue(now)
             retire_if_drained(r, now)
         cluster_queue_samples.append((now, fleet_depth()))
+        if recorder.enabled and not any(
+            len(r.dispatcher.idle) < r.dispatcher.pool.n_units
+            or not r.dispatcher.batcher.empty()
+            for r in replicas if r.state != "retired"
+        ):
+            # Fleet-wide idle point (cheap unit check first, queue scan
+            # only when every unit is free); cluster bundles are
+            # capture-only, but epochs still bound the arrival capture.
+            recorder.end_event(now, True)
 
     # -- merge ----------------------------------------------------------------
     merged = MetricsCollector()
@@ -452,6 +480,8 @@ def simulate_cluster(
     if slo.enabled:
         summary["slo"] = slo.snapshot(horizon)
         summary["slo_router_bypasses"] = router.slo_bypasses
+    if recorder.enabled:
+        summary["recorder"] = recorder.finalize(horizon)
 
     per_replica: list[dict] = []
     f = clock.freq_hz

@@ -15,7 +15,12 @@ Complementary views of where simulated cycles go:
 * :mod:`repro.obs.profile` — per-layer, per-precision cycle and op
   attribution for the functional models;
 * :mod:`repro.obs.bench_gate` — NDJSON history of ``BENCH_*.json`` runs
-  and the pinned headline-metric regression gate.
+  and the pinned headline-metric regression gate;
+* :mod:`repro.obs.anomaly` — online EWMA/z-score detectors and trigger
+  taxonomy for the flight recorder;
+* :mod:`repro.obs.recorder` — always-on bounded flight recorder with
+  triggered incident-bundle capture and deterministic replay support
+  (``repro incident-replay`` in :mod:`repro.obs.incident_cli`).
 
 All of these are pure functions of (workload, config, seed): no
 wall-clock value ever enters the recorded data, so every export is
@@ -24,7 +29,20 @@ byte-identical across runs.  The disabled path (:data:`NULL_TRACER`,
 cheap.
 """
 
-from repro.obs.artifacts import git_rev, jsonable, write_bench_artifact
+from repro.obs.anomaly import (
+    AnomalyConfig,
+    AnomalyEngine,
+    DetectorConfig,
+    EwmaDetector,
+    ThresholdDetector,
+    Trigger,
+)
+from repro.obs.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    git_rev,
+    jsonable,
+    write_bench_artifact,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -36,6 +54,13 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profile import Profiler
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    RecorderConfig,
+    canonical_sha256,
+)
 from repro.obs.slo import (
     NULL_SLO,
     NullSLOTracker,
@@ -88,4 +113,16 @@ __all__ = [
     "git_rev",
     "jsonable",
     "write_bench_artifact",
+    "ARTIFACT_SCHEMA_VERSION",
+    "AnomalyConfig",
+    "AnomalyEngine",
+    "DetectorConfig",
+    "EwmaDetector",
+    "ThresholdDetector",
+    "Trigger",
+    "RecorderConfig",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "canonical_sha256",
 ]

@@ -13,7 +13,12 @@ import json
 import subprocess
 from pathlib import Path
 
-__all__ = ["git_rev", "jsonable", "write_bench_artifact"]
+__all__ = ["ARTIFACT_SCHEMA_VERSION", "git_rev", "jsonable",
+           "write_bench_artifact"]
+
+#: Bump when the artifact envelope (not the per-bench summary) changes
+#: shape; history consumers key migrations off this.
+ARTIFACT_SCHEMA_VERSION = 1
 
 
 def git_rev(cwd: str | Path | None = None) -> str:
@@ -56,6 +61,7 @@ def write_bench_artifact(
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     doc = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
         "bench": name,
         "seed": seed,
         "git_rev": git_rev(results_dir),

@@ -139,6 +139,9 @@ def _bench_artifacts(results_dir: Path) -> dict[str, dict]:
     for path in sorted(results_dir.glob("BENCH_*.json")):
         doc = json.loads(path.read_text())
         name = doc.get("bench") or path.stem[len("BENCH_"):]
+        # Artifacts from before the envelope was versioned read as v0, so
+        # history lines are distinguishable from current-schema ones.
+        doc.setdefault("schema_version", 0)
         out[name] = doc
     return out
 
@@ -259,6 +262,14 @@ def run_bench_gate(args) -> int:
     from repro.eval.reporting import render_table
 
     baselines_path = args.baselines or args.results / BASELINES_NAME
+    if not args.results.is_dir():
+        print(f"bench-gate: no results directory at {args.results} "
+              "(run the benchmarks first, or pass --results)")
+        return 1
+    if not baselines_path.is_file():
+        print(f"bench-gate: no baselines file at {baselines_path} "
+              f"(commit {BASELINES_NAME} or pass --baselines)")
+        return 1
     if not args.no_history:
         touched = append_history(args.results)
         for path in touched:
@@ -273,7 +284,11 @@ def run_bench_gate(args) -> int:
         print(f"wrote {baselines_path}")
         return 0
 
-    baselines = load_baselines(baselines_path)
+    try:
+        baselines = load_baselines(baselines_path)
+    except (ConfigurationError, json.JSONDecodeError) as exc:
+        print(f"bench-gate: cannot load {baselines_path}: {exc}")
+        return 1
     rows = check_regressions(args.results, baselines)
     print(render_table(
         ["metric", "baseline", "bound", "current", "status"],

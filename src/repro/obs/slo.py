@@ -204,6 +204,19 @@ class SLOTracker:
         if self.config.count_rejections:
             self._observe(st, now, True)
 
+    def preload(self, kind: str, cycle: int, is_bad: bool) -> None:
+        """Seed the burn windows with pre-run history (incident replay).
+
+        Feeds only the sliding windows — not the lifetime
+        completed/miss/rejection counters and not ``peak_burn`` — so a
+        replayed window reports the same burn *values* the original run
+        computed without inventing requests it never served.  Call in
+        non-decreasing cycle order.
+        """
+        st = self._state(kind)
+        st.short.add(cycle, is_bad)
+        st.long.add(cycle, is_bad)
+
     # -- queries -------------------------------------------------------------
     def class_burn(self, kind: str, now: int) -> float:
         """Alert-grade burn of one class: min(short, long) window burn."""

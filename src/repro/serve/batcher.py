@@ -101,6 +101,12 @@ class DynamicBatcher:
         """Total queued items (the admission-control pressure signal)."""
         return sum(len(q) for q in self._queues.values())
 
+    def empty(self) -> bool:
+        """O(1) emptiness test: ``_pop`` deletes drained queues, so the
+        dict is non-empty iff at least one item is queued.  Hot-loop
+        guards (recorder epoch marking) use this instead of depth()."""
+        return not self._queues
+
     def queued(self, phase: str) -> int:
         return sum(len(q) for (p, _), q in self._queues.items() if p == phase)
 

@@ -104,6 +104,49 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
     obs.add_argument("--trace-max-spans", type=int, default=512,
                      help="per-request child-span budget for sampled "
                           "requests (default 512)")
+    rec = p.add_argument_group(
+        "flight recorder / incident capture",
+        "always-on bounded ring buffers with online anomaly detection "
+        "(repro.obs.recorder); a trigger dumps a self-contained incident "
+        "bundle that `repro incident-replay` re-simulates deterministically",
+    )
+    rec.add_argument("--record", action="store_true",
+                     help="attach the flight recorder (anomaly triggers, "
+                          "incident bundles)")
+    rec.add_argument("--incident-dir", type=Path,
+                     default=Path("results/incidents"), metavar="DIR",
+                     help="bundle output root; bundles land at "
+                          "DIR/<run>/<id>.json (default results/incidents)")
+    rec.add_argument("--record-run", default=None, metavar="NAME",
+                     help="run label for bundle paths (default serve-<seed>)")
+    rec.add_argument("--record-cooldown-ms", type=float, default=100.0,
+                     help="suppress new incidents for this long after one "
+                          "closes (default 100 ms of simulated time)")
+    rec.add_argument("--anomaly-warmup", type=int, default=64,
+                     help="EWMA samples per signal before scoring starts")
+    rec.add_argument("--anomaly-alpha", type=float, default=0.05,
+                     help="EWMA smoothing factor")
+    rec.add_argument("--anomaly-latency-z", type=float, default=5.0,
+                     help="latency z-score trigger threshold (0 disables)")
+    rec.add_argument("--anomaly-queue-z", type=float, default=5.0,
+                     help="queue-depth z-score trigger threshold (0 disables)")
+    rec.add_argument("--anomaly-occupancy-z", type=float, default=0.0,
+                     help="batch-occupancy z-score threshold (default 0 = "
+                          "disabled: per-dispatch fill is bimodal under "
+                          "mixed traffic and pages on a running-mean score)")
+    rec.add_argument("--anomaly-burn", type=float, default=8.0,
+                     help="SLO sustained-burn trigger threshold (with --slo)")
+    rec.add_argument("--inject-spike-at-us", type=float, default=None,
+                     metavar="US",
+                     help="fault injection: batches whose newest item is "
+                          "ready inside the window starting here (simulated "
+                          "us) run slower — a deterministic latency spike "
+                          "for exercising triggers (single-node mode only)")
+    rec.add_argument("--inject-spike-duration-us", type=float, default=500.0,
+                     help="spike window length, us (default 500)")
+    rec.add_argument("--inject-spike-extra-us", type=float, default=2000.0,
+                     help="extra latency per affected batch, us "
+                          "(default 2000)")
     cluster = p.add_argument_group(
         "cluster mode",
         "simulate a fleet of boards behind an affinity router "
@@ -174,6 +217,100 @@ def _slo_tracker(args):
     return SLOTracker(cfg)
 
 
+def _spike(args, config: ServeConfig):
+    """The injected latency fault, or None (cycle window from us flags)."""
+    if args.inject_spike_at_us is None:
+        return None
+    from repro.obs.incident_cli import SpikeInjection
+
+    freq = config.clock.freq_hz
+    start = int(args.inject_spike_at_us * 1e-6 * freq)
+    return SpikeInjection(
+        start_cycle=start,
+        end_cycle=start + int(args.inject_spike_duration_us * 1e-6 * freq),
+        extra_cycles=int(args.inject_spike_extra_us * 1e-6 * freq),
+    )
+
+
+def _recorder(args, config: ServeConfig, tracer, slo, spike, *,
+              cluster: bool = False):
+    """The run's flight recorder (NULL_RECORDER unless --record).
+
+    The capture dict embedded in every bundle carries everything a
+    replay needs beyond the recorder's own rings: the full serve-config
+    snapshot, trace identity (seed/rate/mix), SLO windows, and the
+    injected-fault parameters.  Cluster captures are marked
+    non-replayable up front (router RNG and autoscaler window state span
+    capture epochs).
+    """
+    from repro.obs.anomaly import AnomalyConfig
+    from repro.obs.recorder import NULL_RECORDER, FlightRecorder, RecorderConfig
+    from repro.serve.dispatcher import serve_config_to_dict
+
+    if not args.record:
+        return NULL_RECORDER
+    anomaly = AnomalyConfig(
+        warmup=args.anomaly_warmup,
+        alpha=args.anomaly_alpha,
+        latency_z=args.anomaly_latency_z,
+        queue_z=args.anomaly_queue_z,
+        occupancy_z=args.anomaly_occupancy_z,
+        burn_threshold=args.anomaly_burn,
+    )
+    capture = {
+        "kind": "cluster" if cluster else "serve",
+        "seed": args.seed,
+        "requests": args.requests,
+        "rate_rps": args.rate,
+        "vit_fraction": args.vit_frac,
+        "serve_config": serve_config_to_dict(config),
+    }
+    if spike is not None:
+        capture["injection"] = spike.as_dict()
+    if slo.enabled:
+        capture["slo"] = {
+            "classes": [{"name": c.name, "objective": c.objective}
+                        for c in slo.config.classes],
+            "short_window_ms": slo.config.short_window_ms,
+            "long_window_ms": slo.config.long_window_ms,
+            "count_rejections": slo.config.count_rejections,
+            "long_window_cycles": slo._long_cycles,
+        }
+    run = args.record_run or (f"cluster-{args.seed}" if cluster
+                              else f"serve-{args.seed}")
+    return FlightRecorder(
+        RecorderConfig(
+            anomaly=anomaly,
+            cooldown_cycles=int(args.record_cooldown_ms * 1e-3
+                                * config.clock.freq_hz),
+        ),
+        run=run,
+        out_dir=args.incident_dir,
+        capture=capture,
+        tracer=tracer,
+        replayable=not cluster,
+        replayable_reason=("cluster capture: router RNG and autoscaler "
+                           "window state span capture epochs"
+                           if cluster else None),
+    )
+
+
+def _print_recorder_summary(args, recorder, summary: dict) -> None:
+    rs = summary.get("recorder", {})
+    line = (f"flight recorder: {rs.get('incidents', 0)} incident(s), "
+            f"{rs.get('suppressed', 0)} trigger(s) suppressed by cool-down")
+    if recorder.incident_paths:
+        line += f"; bundles in {args.incident_dir / recorder.run}"
+    print(line)
+    for bundle in recorder.incidents:
+        trig = bundle["trigger"]
+        replay = bundle["replay"]
+        status = ("replayable" if replay["supported"]
+                  else f"capture-only: {replay['reason']}")
+        print(f"  {bundle['id']}: {trig['source']}/{trig['signal']} at "
+              f"cycle {trig['cycle']} ({status})")
+
+
 def _path_config(args):
     """Request-path decomposition config (None when tracing is off)."""
     from repro.obs.tracer import RequestPathConfig
@@ -228,10 +365,18 @@ def run_serve_sim(args) -> int:
         })
     registry = MetricsRegistry() if args.metrics_out is not None else None
     config = _config(args, args.max_batch)
+    slo = _slo_tracker(args)
+    spike = _spike(args, config)
+    cost = None
+    if spike is not None:
+        from repro.obs.incident_cli import SpikedCostModel
+
+        cost = SpikedCostModel(config, spike)
+    recorder = _recorder(args, config, tracer, slo, spike)
     report: ServeReport = simulate(trace, config,
                                    tracer=tracer, registry=registry,
-                                   slo=_slo_tracker(args),
-                                   path=_path_config(args))
+                                   slo=slo, path=_path_config(args),
+                                   recorder=recorder, cost=cost)
     print(report.render(
         f"serve-sim: {args.requests} requests, rate {args.rate:g}/s, "
         f"seed {args.seed}, max_batch {args.max_batch}"
@@ -268,6 +413,8 @@ def run_serve_sim(args) -> int:
             args.metrics_out.write_text(registry.to_json() + "\n")
     if args.slo_out is not None:
         _write_slo_out(args, report.summary)
+    if recorder.enabled:
+        _print_recorder_summary(args, recorder, report.summary)
     if args.numerics_out is not None:
         _write_serving_numerics(trace, args)
     return 0
@@ -336,8 +483,14 @@ def _run_cluster_sim(args) -> int:
             "clock_freq_hz": config.serve.clock.freq_hz,
         })
     registry = MetricsRegistry() if args.metrics_out is not None else None
+    slo = _slo_tracker(args)
+    if args.inject_spike_at_us is not None:
+        print("note: --inject-spike-* applies to single-node mode only; "
+              "ignored under --cluster")
+    recorder = _recorder(args, config.serve, tracer, slo, None, cluster=True)
     report = simulate_cluster(trace, config, tracer=tracer, registry=registry,
-                              slo=_slo_tracker(args), path=_path_config(args))
+                              slo=slo, path=_path_config(args),
+                              recorder=recorder)
     shape = (f"{args.boards} boards, {spec.plan.describe()}, "
              f"{args.replicas} initial replica(s)"
              + (", autoscaled" if autoscaler else ""))
@@ -360,6 +513,8 @@ def _run_cluster_sim(args) -> int:
             args.metrics_out.write_text(registry.to_json() + "\n")
     if args.slo_out is not None:
         _write_slo_out(args, report.summary)
+    if recorder.enabled:
+        _print_recorder_summary(args, recorder, report.summary)
     return 0
 
 

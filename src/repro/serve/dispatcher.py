@@ -40,6 +40,7 @@ from repro.hw.system import UnitPool
 from repro.models.configs import DEIT_TINY, ViTConfig
 from repro.models.policy import PrecisionPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.slo import NULL_SLO, SLOTracker
 from repro.obs.tracer import (
     DEFAULT_PROCESS,
@@ -63,6 +64,8 @@ __all__ = [
     "CostModel",
     "Dispatcher",
     "simulate",
+    "serve_config_to_dict",
+    "serve_config_from_dict",
 ]
 
 #: Event sink signature: ``push(cycle, tag, payload)``.
@@ -170,7 +173,23 @@ class ServeReport:
     plans: dict | None = None
 
     def to_json(self) -> str:
-        return MetricsCollector.to_json(self.summary)
+        """Full-run artifact: summary + compiled-plan ledger + SLO snapshot.
+
+        One ``--json-out`` file captures the whole run; the SLO section
+        is surfaced top-level (it also stays under ``summary["slo"]``
+        for older readers).
+        """
+        import json
+
+        from repro.obs.artifacts import jsonable
+
+        doc = {
+            "schema_version": 1,
+            "summary": jsonable(self.summary),
+            "plans": jsonable(self.plans),
+            "slo": jsonable(self.summary.get("slo")),
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
 
     def render(self, title: str = "serve-sim") -> str:
         from repro.eval.reporting import render_metrics
@@ -227,6 +246,7 @@ class Dispatcher:
         path: RequestPathConfig | None = None,
         processes: tuple[str, ...] | None = None,
         metric_prefix: str = "",
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         self.config = config
         self.pool = pool
@@ -246,6 +266,11 @@ class Dispatcher:
         self.path = path if tracer.enabled else None
         self.processes = processes
         self.metric_prefix = metric_prefix
+        self.recorder = recorder
+        if recorder.enabled:
+            # Lets record_dispatch compute batch fill lazily (only when
+            # the occupancy detector is configured on).
+            recorder.bind_policy(config.policy)
         self.idle = set(range(pool.n_units))
         #: (phase, batch size) -> dispatch count.  First hit per key is
         #: the trace (plan build), the rest are replays — the serving
@@ -267,16 +292,30 @@ class Dispatcher:
         Records the arrival either way; returns ``True`` when admitted.
         """
         self.metrics.record_arrival(req)
+        if self.recorder.enabled:
+            self.recorder.record_arrival(req, now)
         if self.batcher.depth() >= self.config.max_queue:
             self.metrics.record_rejection(req)
             if self.slo.enabled:
                 self.slo.record_rejection(req, now)
+            if self.recorder.enabled:
+                self.recorder.record_rejection(req, now)
+                if self.slo.enabled:
+                    self.recorder.observe_burn(
+                        now, self.slo.fleet_burn(now))
             if self.registry.enabled:
                 self.registry.counter(
                     f"{self.metric_prefix}serve.rejections"
                 ).inc()
             return False
         self.enqueue(req, now)
+        if self.recorder.enabled:
+            # Queue depth is sampled once per admitted arrival — the
+            # buildup signal the detector wants — rather than on every
+            # decode re-queue oscillation (which would cost a hook call
+            # per simulation event).  Arrivals are deterministic, so a
+            # replay observes the identical depth sequence.
+            self.recorder.observe_queue(now, self.batcher.depth())
         if self.path is not None and self.path.samples(req.rid):
             ctx = SpanContext(req.rid, req.kind, self.tracer,
                               self.path.max_spans_per_request)
@@ -317,9 +356,11 @@ class Dispatcher:
                                           f"{batch.phase}x{batch.size}")
                 self.idle.discard(u)
                 self.metrics.record_dispatch(batch.phase, batch.size)
+                plan_new = False
                 if self.config.compiled and batch.phase == "decode":
                     key = (batch.phase, batch.size)
                     seen = key in self.plan_ledger
+                    plan_new = not seen
                     self.plan_ledger[key] = self.plan_ledger.get(key, 0) + 1
                     if self.registry.enabled:
                         self.registry.counter(
@@ -335,6 +376,8 @@ class Dispatcher:
                     ).observe(
                         batch.size / self.config.policy.batch_limit(batch.phase)
                     )
+                if self.recorder.enabled:
+                    self.recorder.record_dispatch(now, batch, u, plan_new)
                 if self.tracer.enabled:
                     self.tracer.span(
                         f"{batch.phase}x{batch.size}",
@@ -420,9 +463,10 @@ class Dispatcher:
         """Post-event queue-depth sample (metrics + tracer counter)."""
         depth = self.batcher.depth()
         self.metrics.record_queue_depth(now, depth)
-        if self.tracer.enabled and depth != self._last_depth:
-            self.tracer.counter(f"{self.track_prefix}queue_depth",
-                                cycle=now, value=depth)
+        if depth != self._last_depth:
+            if self.tracer.enabled:
+                self.tracer.counter(f"{self.track_prefix}queue_depth",
+                                    cycle=now, value=depth)
             self._last_depth = depth
         if self.registry.enabled:
             self.registry.histogram(
@@ -434,6 +478,11 @@ class Dispatcher:
         self.metrics.record_completion(req, now)
         if self.slo.enabled:
             self.slo.record_completion(req, now)
+        if self.recorder.enabled:
+            self.recorder.record_completion(
+                req, now, req.deadline is not None and now > req.deadline)
+            if self.slo.enabled:
+                self.recorder.observe_burn(now, self.slo.fleet_burn(now))
         ctx = self._ctx.pop(req.rid, None)
         if ctx is not None:
             ctx.child("respond", start=now, end=now)
@@ -488,6 +537,8 @@ def simulate(
     registry: MetricsRegistry | None = None,
     slo: SLOTracker = NULL_SLO,
     path: RequestPathConfig | None = None,
+    recorder: FlightRecorder = NULL_RECORDER,
+    cost: CostModel | None = None,
 ) -> ServeReport:
     """Run the open-loop serving simulation over a request trace.
 
@@ -515,11 +566,14 @@ def simulate(
         seq += 1
 
     d = Dispatcher(config, pool, push, tracer=tracer, registry=reg,
-                   slo=slo, path=path)
+                   slo=slo, path=path, recorder=recorder, cost=cost)
 
     for r in sorted(requests, key=lambda r: (r.arrival, r.rid)):
         push(r.arrival, "arrive", r)
 
+    now = 0
+    rec_on = recorder.enabled
+    n_units = pool.n_units
     while events:
         now, _, tag, payload = heapq.heappop(events)
         if tag == "arrive":
@@ -533,6 +587,13 @@ def simulate(
             raise ConfigurationError(f"unknown event tag {tag!r}")
         d.try_dispatch(now)
         d.observe_queue(now)
+        if rec_on and len(d.idle) == n_units and d.batcher.empty():
+            # An idle point — empty batcher, all units free — is the
+            # recorder's capture-epoch boundary (deterministic replay
+            # re-simulates exactly one epoch from its arrival rows).
+            # Non-idle events need no hook at all, so the common busy
+            # case costs two attribute reads and a length check.
+            recorder.end_event(now, True)
 
     busy = d.busy_cycles
     if reg.enabled:
@@ -545,6 +606,8 @@ def simulate(
     summary["active_sessions_peak_kv_mib"] = d.sessions.peak_kv_bytes / 2**20
     if slo.enabled:
         summary["slo"] = slo.snapshot(d.metrics.last_completion)
+    if recorder.enabled:
+        summary["recorder"] = recorder.finalize(now)
     plans = None
     if config.compiled:
         total = sum(d.plan_ledger.values())
@@ -559,3 +622,45 @@ def simulate(
             },
         }
     return ServeReport(summary, config, pool, d.metrics, tracer, plans)
+
+
+# -- config snapshots ---------------------------------------------------------
+
+def serve_config_to_dict(config: ServeConfig) -> dict:
+    """JSON-ready snapshot of a :class:`ServeConfig` (incident bundles).
+
+    Every field the simulation's dynamics depend on round-trips through
+    :func:`serve_config_from_dict` exactly — the pair is what makes an
+    incident bundle self-contained.
+    """
+    from dataclasses import asdict
+
+    return {
+        "profile": asdict(config.profile),
+        "policy": asdict(config.policy),
+        "max_queue": config.max_queue,
+        "max_sessions_per_unit": config.max_sessions_per_unit,
+        "clock": asdict(config.clock),
+        "mem": asdict(config.mem),
+        "precision": (config.precision.to_dict()
+                      if config.precision is not None else None),
+        "compiled": config.compiled,
+    }
+
+
+def serve_config_from_dict(doc: dict) -> ServeConfig:
+    """Rebuild a :class:`ServeConfig` from its snapshot dict."""
+    profile = dict(doc["profile"])
+    vit = ViTConfig(**profile.pop("vit"))
+    precision = doc.get("precision")
+    return ServeConfig(
+        profile=ModelProfile(vit=vit, **profile),
+        policy=BatchPolicy(**doc["policy"]),
+        max_queue=doc["max_queue"],
+        max_sessions_per_unit=doc["max_sessions_per_unit"],
+        clock=ClockConfig(**doc["clock"]),
+        mem=MemoryModel(**doc["mem"]),
+        precision=(PrecisionPolicy.from_dict(precision)
+                   if precision else None),
+        compiled=doc.get("compiled", True),
+    )

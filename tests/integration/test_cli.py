@@ -33,7 +33,7 @@ def test_cli_serve_sim_observability_outputs(tmp_path):
     metrics_out = tmp_path / "metrics.json"
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "serve-sim",
-         "--requests", "100", "--seed", "1",
+         "--requests", "100", "--seed", "1", "--slo",
          "--trace-out", str(trace_out),
          "--json-out", str(json_out),
          "--metrics-out", str(metrics_out)],
@@ -51,12 +51,76 @@ def test_cli_serve_sim_observability_outputs(tmp_path):
     assert stats["X"] > 0 and stats["b"] == stats["e"]
     assert doc["otherData"]["seed"] == 1
 
-    summary = json.loads(json_out.read_text())
+    doc = json.loads(json_out.read_text())
+    assert doc["schema_version"] == 1
+    summary = doc["summary"]
     assert summary["arrivals"] == 100
     assert "queue_depth_p99" in summary and "batch_size_hist" in summary
+    # The compiled-plan ledger and the SLO snapshot ride along in the
+    # artifact and round-trip the full report (satellite: --json-out is
+    # self-contained, no re-simulation needed to read the plan story).
+    plans = doc["plans"]
+    assert plans is not None and plans["dispatches"] >= plans["replays"] > 0
+    assert doc["slo"] is not None and doc["slo"] == summary["slo"]
+    assert set(doc["slo"]["classes"]) == {"vit", "llm"}
 
     metrics = json.loads(metrics_out.read_text())
     assert metrics["counters"]["serve.arrivals"] == 100
+
+
+def test_cli_incident_capture_and_replay(tmp_path):
+    """Mirror of the CI ``incident-smoke`` job: a recorded run with an
+    injected latency fault captures exactly one bundle, and
+    ``incident-replay`` reproduces it from the bundle alone (exit 0);
+    a tampered expectation diverges (exit 1)."""
+    inc_dir = tmp_path / "incidents"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve-sim",
+         "--requests", "400", "--seed", "5", "--rate", "100", "--slo",
+         "--record", "--incident-dir", str(inc_dir),
+         "--inject-spike-at-us", "1000000",
+         "--inject-spike-duration-us", "200000",
+         "--inject-spike-extra-us", "300000"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "flight recorder: 1 incident(s)" in proc.stdout
+
+    bundles = sorted(inc_dir.rglob("*.json"))
+    assert len(bundles) == 1
+    bundle = json.loads(bundles[0].read_text())
+    assert bundle["schema_version"] == 1
+    assert bundle["replay"]["supported"], bundle["replay"]
+    assert bundle["expected"]["deadline_misses"] > 0
+
+    replay = subprocess.run(
+        [sys.executable, "-m", "repro", "incident-replay", str(bundles[0])],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert replay.returncode == 0, replay.stdout + replay.stderr[-2000:]
+    assert "reproduced exactly" in replay.stdout
+
+    tampered = dict(bundle)
+    tampered["expected"] = dict(
+        bundle["expected"],
+        deadline_misses=bundle["expected"]["deadline_misses"] + 1)
+    bad = tmp_path / "tampered.json"
+    bad.write_text(json.dumps(tampered))
+    diverged = subprocess.run(
+        [sys.executable, "-m", "repro", "incident-replay", str(bad)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert diverged.returncode == 1
+    assert "DIVERGED" in diverged.stdout
+
+    report = subprocess.run(
+        [sys.executable, "-m", "repro", "incident-report",
+         "--dir", str(inc_dir)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert report.returncode == 0
+    assert "1 incident(s)" in report.stdout
+    assert "replayable" in report.stdout
 
 
 def test_cli_profile_schedule(tmp_path):

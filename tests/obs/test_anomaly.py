@@ -1,0 +1,193 @@
+"""Unit tests for the online anomaly engine (EWMA + threshold detectors).
+
+The detectors run on the serving hot path and their exact arithmetic is
+a replay contract: an incident bundle snapshots (count, mean, var) at
+the capture-epoch boundary and the replay must re-derive the identical
+trigger.  These tests pin the scoring semantics that contract relies on.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.anomaly import (
+    AnomalyConfig,
+    AnomalyEngine,
+    DetectorConfig,
+    EwmaDetector,
+    ThresholdDetector,
+    Trigger,
+)
+
+
+def det(**kw):
+    base = dict(signal="t", alpha=0.5, z_threshold=3.0, warmup=3,
+                min_std=1e-9)
+    base.update(kw)
+    return EwmaDetector(DetectorConfig(**base))
+
+
+# -- EwmaDetector ---------------------------------------------------------
+def test_first_observation_initializes_state():
+    d = det()
+    assert d.observe(10.0) is None
+    assert (d.count, d.mean, d.var) == (1, 10.0, 0.0)
+
+
+def test_no_firing_during_warmup():
+    d = det(warmup=5)
+    for _ in range(5):
+        assert d.observe(1.0) is None  # warmup samples only feed state
+    # Scoring starts once `warmup` samples are folded in.
+    assert d.observe(1e9) is not None
+
+
+def test_scores_against_pre_update_state():
+    """The spike is scored before it is folded into mean/var — it cannot
+    hide inside the statistics it just inflated."""
+    d = det(warmup=2, alpha=0.5)
+    d.observe(10.0)
+    d.observe(10.0)
+    mean_before, var_before = d.mean, d.var
+    std = max(math.sqrt(var_before), d.cfg.min_std)
+    z = d.observe(16.0)
+    assert z == pytest.approx((16.0 - mean_before) / std)
+    assert d.mean != mean_before  # and the sample was folded in after
+
+
+def test_observe_matches_score_then_update():
+    """The inlined observe() body must stay arithmetically identical to
+    score() followed by update() — replay exactness depends on it."""
+    a, b = det(warmup=2, alpha=0.3), det(warmup=2, alpha=0.3)
+    values = [3.0, 5.0, 4.0, 100.0, 4.5, 4.4, -50.0, 4.6]
+    for v in values:
+        za = a.observe(v)
+        zb = b.score(v)
+        b.update(v)
+        if zb is not None:
+            d = b.cfg.direction
+            fired = (d == "high" and zb >= b.cfg.z_threshold) or \
+                    (d == "low" and zb <= -b.cfg.z_threshold) or \
+                    (d == "both" and abs(zb) >= b.cfg.z_threshold)
+            assert za == (zb if fired else None)
+        else:
+            assert za is None
+        assert (a.count, a.mean, a.var) == (b.count, b.mean, b.var)
+
+
+def test_min_std_floors_constant_streams():
+    def constant(min_std):
+        d = det(warmup=2, min_std=min_std)
+        for _ in range(5):
+            d.observe(100.0)  # variance stays exactly 0
+        return d
+
+    # 25 above the mean on a floored std of 10 -> z = 2.5, below 3.0.
+    assert constant(10.0).observe(125.0) is None
+    assert constant(10.0).observe(131.0) is not None  # z = 3.1 fires
+    # Without the floor the same jitter divides by ~0 and always fires.
+    assert constant(1e-9).observe(100.001) is not None
+
+
+@pytest.mark.parametrize("direction,spike,fires", [
+    ("high", 1e6, True), ("high", -1e6, False),
+    ("low", -1e6, True), ("low", 1e6, False),
+    ("both", 1e6, True), ("both", -1e6, True),
+])
+def test_direction_gating(direction, spike, fires):
+    d = det(warmup=2, direction=direction)
+    d.observe(0.0)
+    d.observe(1.0)
+    d.observe(0.0)
+    assert (d.observe(spike) is not None) == fires
+
+
+def test_detector_state_round_trip():
+    d = det(warmup=2)
+    for v in (1.0, 2.0, 1.5, 8.0):
+        d.observe(v)
+    clone = det(warmup=2)
+    clone.load_state(d.state())
+    assert (clone.count, clone.mean, clone.var) == (d.count, d.mean, d.var)
+    assert clone.observe(3.0) == d.observe(3.0)
+
+
+def test_detector_config_validation():
+    with pytest.raises(ConfigurationError):
+        DetectorConfig(signal="s", alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        DetectorConfig(signal="s", z_threshold=-1.0)
+    with pytest.raises(ConfigurationError):
+        DetectorConfig(signal="s", warmup=0)
+    with pytest.raises(ConfigurationError):
+        DetectorConfig(signal="s", direction="sideways")
+
+
+# -- ThresholdDetector ----------------------------------------------------
+def test_threshold_fires_once_per_crossing_and_rearms():
+    t = ThresholdDetector("burn", 8.0)
+    assert not t.observe(5.0)
+    assert t.observe(9.0)          # upward crossing fires
+    assert not t.observe(12.0)     # still above: one incident, not many
+    assert not t.observe(3.0)      # drops below: rearms silently
+    assert t.observe(8.0)          # >= threshold crosses again
+
+
+def test_threshold_state_round_trip():
+    t = ThresholdDetector("burn", 8.0)
+    t.observe(9.0)
+    clone = ThresholdDetector("burn", 8.0)
+    clone.load_state(t.state())
+    assert not clone.observe(10.0)  # remembers it is already above
+
+
+# -- AnomalyEngine --------------------------------------------------------
+def test_engine_routes_and_builds_trigger():
+    eng = AnomalyEngine(AnomalyConfig(warmup=2, latency_z=3.0,
+                                      latency_min_std=1.0))
+    trig = None
+    for v in (10.0, 10.0, 11.0, 10.5, 1e6):
+        trig = eng.observe("latency_cycles", cycle=int(v), value=v)
+    assert isinstance(trig, Trigger)
+    assert trig.source == "anomaly" and trig.signal == "latency_cycles"
+    assert trig.zscore >= 3.0 and trig.details["direction"] == "high"
+    # Round-trips through the bundle dict form.
+    assert Trigger.from_dict(trig.as_dict()) == trig
+
+
+def test_engine_disabled_stream_is_silent_but_known():
+    eng = AnomalyEngine(AnomalyConfig(queue_z=0.0))
+    assert "queue_depth" not in eng.detectors
+    assert eng.observe("queue_depth", 0, 1e9) is None
+
+
+def test_engine_unknown_signal_raises():
+    eng = AnomalyEngine(AnomalyConfig())
+    with pytest.raises(ConfigurationError):
+        eng.observe("qeue_depth", 0, 1.0)  # typo must not silently no-op
+
+
+def test_engine_occupancy_disabled_by_default():
+    # Per-dispatch fill is bimodal under mixed traffic; the stream is
+    # opt-in so steady-state serving does not page.
+    assert "batch_occupancy" not in AnomalyEngine(AnomalyConfig()).detectors
+    eng = AnomalyEngine(AnomalyConfig(occupancy_z=6.0))
+    assert "batch_occupancy" in eng.detectors
+
+
+def test_engine_burn_trigger_and_state_round_trip():
+    eng = AnomalyEngine(AnomalyConfig(burn_threshold=8.0))
+    assert eng.observe_burn(10, 4.0) is None
+    trig = eng.observe_burn(20, 9.0)
+    assert trig is not None and trig.source == "slo_burn"
+    assert eng.observe_burn(30, 9.5) is None  # latched until rearm
+    clone = AnomalyEngine(AnomalyConfig(burn_threshold=8.0))
+    clone.load_state(eng.state())
+    assert clone.observe_burn(40, 9.9) is None  # still latched after load
+
+
+def test_engine_config_round_trip():
+    cfg = AnomalyConfig(warmup=7, alpha=0.2, latency_z=4.0, queue_z=0.0,
+                        occupancy_z=6.5, burn_threshold=3.0)
+    assert AnomalyConfig.from_dict(cfg.as_dict()) == cfg

@@ -132,6 +132,10 @@ def test_weighted_percentiles_edge_cases():
 
     assert weighted_percentiles([], qs=(50, 99)) == [0.0, 0.0]
     assert weighted_percentiles([], [], qs=(50,)) == [0.0]
+    # A single sample is every percentile, weighted or not.
+    assert weighted_percentiles([7.5], qs=(1, 50, 99)) == [7.5, 7.5, 7.5]
+    assert weighted_percentiles([7.5], [3.0], qs=(1, 50, 99)) == \
+        [7.5, 7.5, 7.5]
     # Zero total weight falls back to unweighted semantics.
     assert weighted_percentiles([1, 2, 3], [0.0, 0.0, 0.0], qs=(50,)) == [2.0]
     with pytest.raises(ValueError):

@@ -110,6 +110,25 @@ def test_window_pruning():
     assert t.snapshot(far)["classes"]["llm"]["deadline_misses"] == 1
 
 
+def test_window_prune_exact_boundary():
+    """An event at cycle c leaves the window exactly at now == c + window
+    (prune evicts on ``<= cutoff``): the window is a half-open interval
+    (now - window, now]."""
+    from repro.obs.slo import _WindowCounter
+
+    w = _WindowCounter(100)
+    w.add(10, True)
+    w.prune(109)  # cutoff 9 < 10: still inside
+    assert w.bad == 1 and len(w.events) == 1
+    w.prune(110)  # cutoff 10 == 10: evicted on the boundary
+    assert w.bad == 0 and len(w.events) == 0
+    # Symmetric check through the tracker's long-window burn.
+    t = tracker()
+    t.record_completion(req(0, deadline=0), now=10)
+    assert t.burn_rates(10 + t._long_cycles - 1)["llm"]["long"] > 0.0
+    assert t.burn_rates(10 + t._long_cycles)["llm"]["long"] == 0.0
+
+
 def test_null_tracker_is_inert():
     assert NULL_SLO.enabled is False
     assert isinstance(NULL_SLO, NullSLOTracker)

@@ -28,7 +28,9 @@ class TestReproducibility:
 
     def test_summary_round_trips_through_json(self):
         report = run(3)
-        again = json.loads(report.to_json())
+        doc = json.loads(report.to_json())
+        assert doc["schema_version"] == 1
+        again = doc["summary"]
         for key, val in report.summary.items():
             if isinstance(val, dict):  # e.g. batch_size_hist is nested
                 assert again[key] == val

@@ -7,6 +7,11 @@ reproduce the committed pre-refactor summary JSON byte for byte
 (``tests/serve/data/golden_serve_seed123_r400.json``, captured at the
 commit before the Dispatcher extraction).  Any intentional change to
 single-pool serving semantics must regenerate the golden and say so.
+
+Regenerated once when ``ServeReport.to_json`` grew its versioned
+envelope (``schema_version``/``summary``/``plans``/``slo``): the
+``summary`` payload was asserted byte-identical across that change, so
+the serving *semantics* golden lineage is unbroken.
 """
 
 import json
@@ -29,7 +34,7 @@ def test_trace_generator_unchanged_by_user_tagging():
     exactly as before the ``user`` field existed."""
     trace = poisson_trace(400, TrafficConfig(), seed=123)
     golden = json.loads(GOLDEN.read_text())
-    assert len(trace) == golden["arrivals"]
+    assert len(trace) == golden["summary"]["arrivals"]
     assert all(r.user is None for r in trace)
     # Tagged traces are a different (still seeded) trace family: the
     # extra user draw advances the rng, so they make no bit-compat claim —
