@@ -83,9 +83,11 @@ def main() -> None:
         run_incident_report,
     )
     from repro.obs.cli import (
+        add_align_predict_parser,
         add_numerics_report_parser,
         add_profile_parser,
         add_slo_report_parser,
+        run_align_predict,
         run_numerics_report,
         run_profile,
         run_slo_report,
@@ -94,6 +96,7 @@ def main() -> None:
 
     add_serve_sim_parser(subparsers)
     add_profile_parser(subparsers)
+    add_align_predict_parser(subparsers)
     add_numerics_report_parser(subparsers)
     add_slo_report_parser(subparsers)
     add_bench_gate_parser(subparsers)
@@ -105,6 +108,8 @@ def main() -> None:
         raise SystemExit(run_serve_sim(args))
     if args.command == "profile":
         raise SystemExit(run_profile(args))
+    if args.command == "align-predict":
+        raise SystemExit(run_align_predict(args))
     if args.command == "numerics-report":
         raise SystemExit(run_numerics_report(args))
     if args.command == "slo-report":

@@ -26,6 +26,9 @@ __all__ = [
     "WideBlock",
     "BfpWeight",
     "PSU_WIDTH",
+    "AlignmentProbe",
+    "set_alignment_probe",
+    "get_alignment_probe",
     "block_matmul",
     "accumulate",
     "requantize_wide",
@@ -40,6 +43,92 @@ __all__ = [
 ]
 
 PSU_WIDTH = 48  # DSP48E2 accumulator / PSU buffer word width
+
+
+@dataclass
+class AlignmentProbe:
+    """Observer for the shift-aware aligned-width predictor (extension).
+
+    While attached (:func:`set_alignment_probe`), every sequential PSU
+    alignment step inside :func:`_emulate_blocks` also runs the exponent
+    unit's magnitude-bound predictor
+    (:func:`repro.hw.exponent_unit.predict_aligned_bound` semantics,
+    vectorized) and cross-checks it against the emulated mantissas.  The
+    probe only *observes* — results are bit-identical with or without it —
+    so a zero ``under_predictions`` count is a machine-checked proof that
+    bypassing the upper shifter stage on predicted-narrow steps
+    (:func:`repro.hw.shifter.alignment_shift_cycles`) loses nothing.
+    ``narrow_frac`` is the measured input to the cost model's
+    ``align_narrow_frac`` knob.
+    """
+
+    narrow_bits: int | None = None  # default: repro.hw.shifter.NARROW_ALIGN_BITS
+    steps: int = 0
+    narrow_steps: int = 0
+    under_predictions: int = 0
+    max_predicted_width: int = 0
+    max_actual_width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.narrow_bits is None:
+            from repro.hw.shifter import NARROW_ALIGN_BITS
+
+            self.narrow_bits = NARROW_ALIGN_BITS
+
+    @property
+    def narrow_frac(self) -> float:
+        return self.narrow_steps / self.steps if self.steps else 0.0
+
+    def observe(self, bounds: np.ndarray, actual_mags: np.ndarray) -> None:
+        """Fold one alignment step's predicted bounds + actual magnitudes."""
+        bounds = np.asarray(bounds, dtype=np.int64)
+        actual = np.asarray(actual_mags, dtype=np.int64)
+        self.steps += int(bounds.size)
+        self.narrow_steps += int(
+            (bounds < (np.int64(1) << self.narrow_bits)).sum()
+        )
+        self.under_predictions += int((actual > bounds).sum())
+        # frexp's exponent is the bit length (exact: bounds stay far
+        # below 2**53).
+        if bounds.size:
+            self.max_predicted_width = max(
+                self.max_predicted_width,
+                int(np.frexp(bounds.astype(np.float64))[1].max()),
+            )
+            self.max_actual_width = max(
+                self.max_actual_width,
+                int(np.frexp(actual.astype(np.float64))[1].max()),
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "narrow_steps": self.narrow_steps,
+            "narrow_frac": self.narrow_frac,
+            "under_predictions": self.under_predictions,
+            "max_predicted_width": self.max_predicted_width,
+            "max_actual_width": self.max_actual_width,
+            "narrow_bits": self.narrow_bits,
+        }
+
+
+_ALIGN_PROBE: AlignmentProbe | None = None
+
+
+def set_alignment_probe(
+    probe: AlignmentProbe | None,
+) -> AlignmentProbe | None:
+    """Attach (or detach with ``None``) the alignment probe; returns the
+    previous one.  The emulation hot path pays one ``is None`` check per
+    call plus one per alignment step when detached."""
+    global _ALIGN_PROBE
+    previous = _ALIGN_PROBE
+    _ALIGN_PROBE = probe
+    return previous
+
+
+def get_alignment_probe() -> AlignmentProbe | None:
+    return _ALIGN_PROBE
 
 
 @dataclass(frozen=True)
@@ -314,6 +403,17 @@ def _emulate_blocks(
     kb_axis = keeps.ndim - 3
     uniform = keeps.all(axis=tuple(i for i in range(keeps.ndim) if i != kb_axis))
 
+    probe = _ALIGN_PROBE
+    if probe is not None:
+        # Format-level magnitude bound on one product block: ``h`` MACs of
+        # the operands' largest mantissa codes — the constant a hardware
+        # exponent unit derives from the format alone.
+        h = a_man.shape[-1]
+        m_a = int(np.abs(a_man).max()) if a_man.size else 0
+        m_b = int(np.abs(b_flat).max()) if b_flat.size else 0
+        w0_bound = np.int64(h * m_a * m_b)
+        pred_bound = np.full_like(exps[..., 0, :, :], w0_bound)
+
     pv = prods.reshape(*prods.shape[:-1], cb, c)  # (..., Kb, Rb, r, Cb, c)
     psu_man = pv[..., 0, :, :, :, :]  # (..., Rb, r, Cb, c)
     for bk in range(1, kb):
@@ -327,6 +427,19 @@ def _emulate_blocks(
                 psu_man + (prod >> d),
                 prod + (psu_man >> d),
             )
+        if probe is not None:
+            # Predictor update mirrors predict_aligned_bound(): the
+            # shifted side's bound gains +1 (truncation of a negative
+            # value can round its magnitude up), then the sides add.
+            d_s = ds[..., bk - 1, :, :]
+            k_s = keeps[..., bk - 1, :, :]
+            nz = (d_s > 0).astype(np.int64)
+            pred_bound = np.where(
+                k_s,
+                pred_bound + (w0_bound >> d_s) + nz,
+                (pred_bound >> d_s) + nz + w0_bound,
+            )
+            probe.observe(pred_bound, np.abs(psu_man).max(axis=(-3, -1)))
     limit = np.int64(1) << (PSU_WIDTH - 1)
     if psu_man.size and (psu_man.min() < -limit or psu_man.max() >= limit):
         raise HardwareContractError("emulated PSU overflowed 48 bits")

@@ -22,10 +22,37 @@ from repro.errors import HardwareContractError
 from repro.formats import fp32bits
 from repro.formats.fp32bits import SpecialPolicy
 
-__all__ = ["aligned_add", "MAX_ALIGN_SHIFT", "GUARD_BITS"]
+__all__ = [
+    "aligned_add",
+    "alignment_narrow_fraction",
+    "MAX_ALIGN_SHIFT",
+    "GUARD_BITS",
+]
 
 GUARD_BITS = 24  # fraction bits below the point in the 48-bit accumulator
 MAX_ALIGN_SHIFT = 48  # the shifter saturates at the accumulator width
+
+
+def alignment_narrow_fraction(x: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of fpadd alignments the width predictor proves narrow.
+
+    On the fpadd path the shifted operand enters the 48-bit window at
+    full 24-bit mantissa + guard width; its *post-shift* width is
+    ``48 - d``, so the upper barrel-shifter stage
+    (:data:`repro.hw.shifter.NARROW_ALIGN_BITS`) is provably idle exactly
+    when the exponent distance ``d`` reaches the guard width.  Like the
+    array-side :class:`repro.arith.bfp_matmul.AlignmentProbe`, this only
+    inspects exponents — :func:`aligned_add` results are unaffected.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    y = np.asarray(y, dtype=np.float32)
+    _, e_x, m_x = fp32bits.decompose(x)
+    _, e_y, m_y = fp32bits.decompose(y)
+    live = (m_x != 0) & (m_y != 0)  # a zero operand needs no alignment
+    if not live.any():
+        return 1.0
+    d = np.abs(e_x.astype(np.int64) - e_y.astype(np.int64))[live]
+    return float((np.minimum(d, MAX_ALIGN_SHIFT) >= GUARD_BITS).mean())
 
 
 def aligned_add(

@@ -47,7 +47,14 @@ __all__ = ["ClusterConfig", "ClusterReport", "simulate_cluster"]
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """One cluster run: serving config, fleet shape, scaling policy."""
+    """One cluster run: serving config, fleet shape, scaling policy.
+
+    ``spike`` (a :class:`~repro.obs.incident_cli.SpikeInjection`, or
+    ``None``) injects a deterministic latency spike into every replica's
+    cost model — the cluster counterpart of the single-pool
+    ``--inject-spike-*`` flags, composed over the sharded models through
+    :class:`~repro.obs.incident_cli.SpikedCostModel`.
+    """
 
     serve: ServeConfig = ServeConfig()
     spec: ClusterSpec = ClusterSpec()
@@ -55,6 +62,7 @@ class ClusterConfig:
     initial_replicas: int = 1
     max_cluster_queue: int = 4096
     router_seed: int = 0
+    spike: object | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.initial_replicas <= self.spec.max_replicas:
@@ -211,6 +219,15 @@ def simulate_cluster(
             tp_cross_board=spec.tp_cross_board,
             pp_cross_boundaries=spec.pp_cross_boundaries,
         )
+        # The dispatcher prices batches through the (optionally spiked)
+        # wrapper; ``r.cost`` stays the sharded model so the summary's
+        # compute/interconnect accumulators read the same object the
+        # wrapper delegates to.
+        dispatch_cost = r.cost
+        if config.spike is not None:
+            from repro.obs.incident_cli import SpikedCostModel
+
+            dispatch_cost = SpikedCostModel(r.cost, config.spike)
         # Lane -> board process for the trace: a lane's units live on the
         # board holding its first shard unit (boards as processes,
         # replica lanes as threads under them).
@@ -222,7 +239,7 @@ def simulate_cluster(
             config.serve,
             UnitPool(spec.lanes_per_replica),
             replica_push(rid),
-            cost=r.cost,
+            cost=dispatch_cost,
             tracer=tracer,
             registry=reg,
             track_prefix=f"r{rid}.",

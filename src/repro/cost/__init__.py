@@ -1,0 +1,30 @@
+"""Unified cost-model stack: unit-mode registry + shared batch-job model.
+
+``repro.cost`` is the single source of cycle truth.  Per-chunk cycles of
+every execution personality live in the :class:`~repro.cost.modes.
+UnitMode` registry; every serving-side consumer (scheduler stages,
+``perf.latency`` lookups, serve/cluster/incident cost models) derives
+from :class:`~repro.cost.model.PolicyCostModel` on top of it.
+"""
+
+from repro.cost.model import PolicyCostModel
+from repro.cost.modes import (
+    ModeOptions,
+    StageCost,
+    UnitMode,
+    available_modes,
+    get_mode,
+    register_mode,
+    resolve_unit_mode,
+)
+
+__all__ = [
+    "PolicyCostModel",
+    "UnitMode",
+    "StageCost",
+    "ModeOptions",
+    "register_mode",
+    "get_mode",
+    "available_modes",
+    "resolve_unit_mode",
+]

@@ -18,14 +18,16 @@ PAPER_FIG6_CLAIMS = {
 }
 
 
-def normalized_utilization() -> dict[str, dict[str, float]]:
-    designs = fig6_designs()
+def normalized_utilization(
+    *, include_fp16: bool = False
+) -> dict[str, dict[str, float]]:
+    designs = fig6_designs(include_fp16=include_fp16)
     base = designs["int8"]
     return {name: r.normalized_to(base) for name, r in designs.items()}
 
 
-def run() -> str:
-    designs = fig6_designs()
+def run(*, include_fp16: bool = True) -> str:
+    designs = fig6_designs(include_fp16=include_fp16)
     base = designs["int8"]
     rows = []
     for name, r in designs.items():
@@ -62,6 +64,21 @@ def run() -> str:
         [[c, p, m] for c, p, m in claims],
         float_fmt="{:.2f}",
     ))
+    if include_fp16:
+        from repro.perf.resources import fp16_dot_extension
+
+        ext = fp16_dot_extension()
+        fp16 = designs["ours+fp16"]
+        out.append(
+            "\nfp16 dot-product extension (not in the paper; TransDot-style "
+            "dual-precision MAC): "
+            f"+{ext.lut:.0f} LUT (+{100 * ext.lut / ours.lut:.1f}%), "
+            f"+{ext.ff:.0f} FF (+{100 * ext.ff / ours.ff:.1f}%), "
+            f"+{ext.dsp:.0f} DSP -- still "
+            f"{100 * (1 - fp16.dsp / indiv.dsp):.1f}% fewer DSPs and "
+            f"{100 * (1 - fp16.lut / indiv.lut):.1f}% fewer LUTs than the "
+            "individual-units design."
+        )
     return "\n".join(out)
 
 

@@ -17,9 +17,10 @@ format needs —
   :class:`~repro.perf.prepared.PreparedOperandCache` keyed by this
   format's id (quantize-once Y-stationary residency);
 * **cost-model hooks** — ``precision`` labels profiler attribution and
-  compiled-stage modes; ``uses_array`` says whether the format's matmuls
-  map onto the 8-bit systolic array (bfp/int/single-slice floats) or
-  fall back to the fp32 vector personality;
+  compiled-stage modes; ``array_mode`` names the
+  :mod:`repro.cost.modes` unit mode the format's matmuls execute under
+  (``"bfp8_mac"`` for bfp/int/single-slice floats, ``None`` for the
+  fp32 vector personality fallback);
 * **numerics-observer taps** — every quantization event lands in the
   process :class:`~repro.obs.numerics.NumericsMonitor` under the
   format's precision label and a tensor role.
@@ -36,6 +37,7 @@ proof-of-extensibility members that none of the legacy backends had.
 from __future__ import annotations
 
 import re
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -56,6 +58,24 @@ __all__ = [
 ]
 
 Recorder = Callable[[int], None]
+
+_warned_uses_array = False
+
+
+def _warn_uses_array() -> None:
+    """One-time deprecation pointer from ``uses_array`` to the registry."""
+    global _warned_uses_array
+    if _warned_uses_array:
+        return
+    _warned_uses_array = True
+    warnings.warn(
+        "QuantFormat.uses_array is deprecated: formats now carry "
+        "array_mode (a repro.cost.modes unit-mode name, or None for the "
+        "fp32 vector fallback); resolve the executing mode via "
+        "repro.cost.modes.resolve_unit_mode(format_name).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _as2d(x: np.ndarray) -> np.ndarray:
@@ -80,9 +100,22 @@ class QuantFormat:
     name: str = "fp32"
     #: profiler / numerics-monitor / compiled-stage attribution label
     precision: str = "fp32"
-    #: True when matmuls map onto the 8-bit systolic array (Eqn-9 stream
-    #: schedule); False routes them through the fp32 vector personality.
-    uses_array: bool = False
+    #: Name of the :mod:`repro.cost.modes` unit mode this format's
+    #: matmuls execute under by default (``"bfp8_mac"`` = the Eqn-9
+    #: stream schedule); ``None`` routes them through the fp32 vector
+    #: personality.
+    array_mode: str | None = None
+
+    @property
+    def uses_array(self) -> bool:
+        """Deprecated boolean view of :attr:`array_mode`.
+
+        The mode space outgrew a boolean when the trans-precision unit
+        modes landed; resolve the executing mode through
+        :func:`repro.cost.modes.resolve_unit_mode` instead.
+        """
+        _warn_uses_array()
+        return self.array_mode is not None
 
     # -- value domain --------------------------------------------------------
     def quantize(self, x: np.ndarray) -> np.ndarray:
@@ -143,7 +176,7 @@ class BfpFormat(QuantFormat):
     constructed directly, not through the registry).
     """
 
-    uses_array = True
+    array_mode = "bfp8_mac"
 
     def __init__(self, man_bits: int = 8, *, exact_accumulate: bool = False) -> None:
         self.man_bits = int(man_bits)
@@ -226,7 +259,7 @@ class BfpFormat(QuantFormat):
 class IntFormat(QuantFormat):
     """Per-tensor integer quantization (the conventional-int8 comparison)."""
 
-    uses_array = True
+    array_mode = "bfp8_mac"
 
     def __init__(self, bits: int = 8) -> None:
         self.bits = int(bits)
@@ -303,7 +336,10 @@ class MiniFloatFormat(QuantFormat):
         self.fmt = fmt
         self.name = fmt.name
         self.precision = fmt.name
-        self.uses_array = fmt.n_slices == 1
+        # Single-slice minifloats ride the bfp8 MAC array; multi-slice
+        # fp16 has no default array mapping (route it onto ``fp16_dot``
+        # through a ModeOptions override to avoid the vector cliff).
+        self.array_mode = "bfp8_mac" if fmt.n_slices == 1 else None
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         from repro.formats.halfprec import quantize_half

@@ -11,11 +11,17 @@ from repro.hw.buffers import (
 )
 from repro.hw.controller import RECONFIG_CYCLES, Controller, Mode
 from repro.hw.dsp48e2 import DSP48E2, wrap48
-from repro.hw.exponent_unit import ExponentUnit
+from repro.hw.exponent_unit import ExponentUnit, predict_aligned_bound
+from repro.hw.fp16_dot import Fp16DotResult, fp16_dot
 from repro.hw.layout_converter import LayoutConverter, RowOperands
 from repro.hw.pe import PE
 from repro.hw.quantizer import OutputQuantizer
-from repro.hw.shifter import AlignmentShifter, Normalizer
+from repro.hw.shifter import (
+    NARROW_ALIGN_BITS,
+    AlignmentShifter,
+    Normalizer,
+    alignment_shift_cycles,
+)
 from repro.hw.int8_array import Int8Array, Int8ArrayStats
 from repro.hw.system import Job, MultiUnitSystem, SystemReport, UnitTimeline
 from repro.hw.cosim import ScalarArray
@@ -46,8 +52,13 @@ __all__ = [
     "MultiUnitSystem",
     "SystemReport",
     "UnitTimeline",
+    "Fp16DotResult",
     "Fp32MulResult",
     "LayoutConverter",
+    "NARROW_ALIGN_BITS",
+    "alignment_shift_cycles",
+    "fp16_dot",
+    "predict_aligned_bound",
     "MAX_FP32_STREAM",
     "MAX_X_BLOCKS",
     "Mode",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareContractError
 
-__all__ = ["ExponentUnit", "EXP_FIELD_BITS"]
+__all__ = ["ExponentUnit", "EXP_FIELD_BITS", "predict_aligned_bound"]
 
 EXP_FIELD_BITS = 10  # internal width: sums of two 8-bit exponents need 9+sign
 
@@ -47,3 +47,25 @@ class ExponentUnit:
         if exp_a >= exp_b:
             return exp_a, 0, exp_a - exp_b
         return exp_b, exp_b - exp_a, 0
+
+
+def predict_aligned_bound(
+    bound_a: int, bound_b: int, shift_a: int, shift_b: int
+) -> int:
+    """Magnitude bound on an aligned sum, from operand bounds and shifts.
+
+    The shift-aware width predictor: given ``|a| <= bound_a`` and
+    ``|b| <= bound_b`` and the alignment distances the exponent unit just
+    computed, the sum after truncating alignment satisfies
+    ``|sum| <= predict_aligned_bound(...)``.  Truncating right shifts
+    round toward minus infinity, so a shifted *negative* operand's
+    magnitude can exceed its shifted bound by one — hence the ``+ 1``
+    per nonzero shift.  The predicted mantissa width is the bound's bit
+    length; when it fits :data:`repro.hw.shifter.NARROW_ALIGN_BITS` the
+    upper shifter stage is provably idle.
+    """
+    if min(bound_a, bound_b, shift_a, shift_b) < 0:
+        raise HardwareContractError("bounds and shifts are unsigned")
+    a = (bound_a >> shift_a) + (1 if shift_a else 0)
+    b = (bound_b >> shift_b) + (1 if shift_b else 0)
+    return a + b

@@ -1,0 +1,175 @@
+"""fp16 dot-product personality: two fp16 MACs per DSP48E2 (extension).
+
+The paper's multi-mode unit pays the vector cliff for every scalar-float
+format: fp16 falls back to the 4-lane fp32 path, which slices its mantissa
+into 3x3 partial products.  This module models the *fp16 dot-product*
+personality the cost registry exposes as ``fp16_dot``
+(:mod:`repro.cost.modes`): the same TransDot/DHFP-PE trick as the bfp8
+combined MAC (:mod:`repro.arith.packing`), applied to fp16 operands.
+
+An fp16 mantissa is 11 bits (10 stored + implicit), split into an 8-bit
+high slice and a 3-bit low slice.  Both Y slices ride in one 27-bit DSP
+operand (the bfp8 mode's ``PACK_SHIFT`` field layout), so each DSP pass
+computes *two* partial products::
+
+    packed   = y_hi * 2**18 + y_lo
+    pass 1:    x_hi * packed = (x_hi*y_hi) << 18 + (x_hi*y_lo)
+    pass 2:    x_lo * packed = (x_lo*y_hi) << 18 + (x_lo*y_lo)
+
+Two passes cover all four partial products of the 11x11 multiply — the
+``slices = 2`` of the registry's ``fp16_dot`` entry, against the fp32
+path's 3x3.  The low field cannot collide with the high one: a low
+partial product is at most ``255 * 7`` and the column accumulates at
+most 8 of them, far inside the 2**17 packed-field bound the bfp8 mode
+already relies on.
+
+Accumulation reuses the bfp alignment semantics (Eqn 3): a running
+max-exponent PSU with truncating right shifts, which is exactly where the
+shift-aware width predictor (:func:`repro.hw.shifter.alignment_shift_cycles`)
+earns its cycles back — fp16 exponent spread within a dot product is
+typically small, so most alignments stay in the narrow window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.packing import PACK_SHIFT
+from repro.errors import HardwareContractError
+from repro.formats.halfprec import FP16, decompose_half, quantize_half
+from repro.formats.rounding import shift_right
+
+__all__ = [
+    "FP16_LO_BITS",
+    "FP16_HI_BITS",
+    "Fp16DotResult",
+    "pack_y_slices",
+    "dual_mac_partials",
+    "fp16_dot",
+]
+
+FP16_LO_BITS = 3  # 11-bit mantissa = 8-bit high slice + 3-bit low slice
+FP16_HI_BITS = FP16.man_bits - FP16_LO_BITS
+_LO_MASK = (1 << FP16_LO_BITS) - 1
+_FIELD_MASK = (np.int64(1) << PACK_SHIFT) - 1
+_PSU_WIDTH = 48  # same DSP48E2 accumulator window as the bfp8 mode
+
+
+@dataclass(frozen=True)
+class Fp16DotResult:
+    """One emulated fp16 dot product plus its hardware accounting."""
+
+    value: np.float32
+    dsp_passes: int  # 2 per nonzero element pair (the dual-MAC packing)
+    align_steps: int  # PSU alignment events (terms after the first)
+    align_narrow_steps: int  # steps the width predictor proves narrow
+
+
+def pack_y_slices(y_hi: np.ndarray, y_lo: np.ndarray) -> np.ndarray:
+    """Pack an fp16 mantissa's two magnitude slices into one DSP operand."""
+    y_hi = np.asarray(y_hi, dtype=np.int64)
+    y_lo = np.asarray(y_lo, dtype=np.int64)
+    if y_hi.size and (y_hi.min() < 0 or y_hi.max() >= (1 << FP16_HI_BITS)):
+        raise HardwareContractError("y_hi outside the 8-bit slice range")
+    if y_lo.size and (y_lo.min() < 0 or y_lo.max() >= (1 << FP16_LO_BITS)):
+        raise HardwareContractError("y_lo outside the 3-bit slice range")
+    return (y_hi << PACK_SHIFT) + y_lo
+
+
+def dual_mac_partials(
+    x_slice: np.ndarray, packed_y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One DSP pass: multiply a slice against a packed Y pair, unpack both.
+
+    All operands are magnitudes, so the fields split with a plain mask —
+    the signed-field correction of :func:`repro.arith.packing.
+    unpack_accumulator` is not needed here.
+    """
+    acc = np.asarray(x_slice, dtype=np.int64) * np.asarray(
+        packed_y, dtype=np.int64
+    )
+    return acc >> PACK_SHIFT, acc & _FIELD_MASK
+
+
+def fp16_dot(x: np.ndarray, y: np.ndarray) -> Fp16DotResult:
+    """Dot product of two vectors on the fp16 dot-product datapath.
+
+    Quantizes both operands to the fp16 grid, multiplies mantissas with the
+    packed dual MAC (two DSP passes per element), and accumulates with the
+    bfp-style aligned-truncating PSU.  Exact-products contract: the
+    recombined partials must equal the full 11x11 mantissa product — the
+    packing argument is checked, not assumed.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise HardwareContractError(
+            f"dot operands disagree: {x.shape} vs {y.shape}"
+        )
+    s_x, e_x, m_x = decompose_half(quantize_half(x.astype(np.float32), FP16), FP16)
+    s_y, e_y, m_y = decompose_half(quantize_half(y.astype(np.float32), FP16), FP16)
+
+    live = (m_x > 0) & (m_y > 0)  # zero operands are clock-gated
+    if not live.any():
+        return Fp16DotResult(np.float32(0.0), 0, 0, 0)
+    s_x, e_x, m_x = s_x[live], e_x[live], np.asarray(m_x)[live]
+    s_y, e_y, m_y = s_y[live], e_y[live], np.asarray(m_y)[live]
+
+    packed = pack_y_slices(m_y >> FP16_LO_BITS, m_y & _LO_MASK)
+    hh, hl = dual_mac_partials(m_x >> FP16_LO_BITS, packed)
+    lh, ll = dual_mac_partials(m_x & _LO_MASK, packed)
+    prod = (hh << (2 * FP16_LO_BITS)) + ((hl + lh) << FP16_LO_BITS) + ll
+    if not np.array_equal(prod, m_x.astype(np.int64) * m_y):
+        raise HardwareContractError("dual-MAC recombination lost a partial")
+    sign = (s_x.astype(np.int64) ^ s_y.astype(np.int64)).astype(bool)
+    man = np.where(sign, -prod, prod)
+    # True product exponent (value = man * 2**exp), one subtraction per
+    # operand to leave the biased field convention of decompose_half.
+    exp = (
+        e_x.astype(np.int64) + e_y.astype(np.int64)
+        - 2 * (FP16.bias + FP16.man_bits - 1)
+    )
+
+    # Aligned-truncating accumulation, scalar PSU (Eqn 3), with the
+    # shift-aware width predictor running alongside.  The predictor tracks
+    # a *magnitude bound* from format limits and shift distances alone
+    # (nothing the exponent unit does not already know); a step whose
+    # bounded sum fits the low half of the 48-bit shifter window is
+    # "narrow" — see :func:`repro.hw.shifter.alignment_shift_cycles`.
+    from repro.hw.shifter import NARROW_ALIGN_BITS
+
+    w0_bound = ((1 << FP16.man_bits) - 1) ** 2  # one 11x11 product
+    psu_man = int(man[0])
+    psu_exp = int(exp[0])
+    psu_bound = w0_bound
+    narrow = 0
+    steps = 0
+    for sm, pe in zip(man[1:].tolist(), exp[1:].tolist()):
+        steps += 1
+        if psu_exp >= pe:
+            d = psu_exp - pe
+            # |x >> d| can exceed |x| >> d by one for negative x.
+            psu_bound = psu_bound + (w0_bound >> d) + (1 if d else 0)
+            psu_man = psu_man + int(
+                shift_right(np.int64(sm), min(d, 63), "truncate")
+            )
+        else:
+            d = pe - psu_exp
+            psu_bound = (psu_bound >> d) + (1 if d else 0) + w0_bound
+            psu_man = int(
+                shift_right(np.int64(psu_man), min(d, 63), "truncate")
+            ) + sm
+            psu_exp = pe
+        if abs(psu_man) > psu_bound:
+            raise HardwareContractError(
+                "alignment width predictor under-predicted"
+            )
+        if psu_bound < (1 << NARROW_ALIGN_BITS):
+            narrow += 1
+        if not -(1 << (_PSU_WIDTH - 1)) <= psu_man < (1 << (_PSU_WIDTH - 1)):
+            raise HardwareContractError("fp16 dot PSU overflowed 48 bits")
+
+    value = np.float32(psu_man * float(np.exp2(psu_exp)))
+    return Fp16DotResult(value, 2 * int(live.sum()), steps, narrow)

@@ -4,6 +4,17 @@ The alignment shifter truncating-right-shifts a 48-bit two's-complement
 mantissa by the distance computed in the exponent unit.  The normalizer
 (used by the fp32 paths) is a leading-zero counter plus barrel shifter that
 brings a magnitude into the 24-bit window.
+
+Shift-aware width prediction (extension): the 48-bit shifter is physically
+two cascaded 24-bit barrel stages.  When the exponent unit can prove —
+from format magnitude bounds and the shift distance alone, before any
+mantissa arrives — that the aligned sum fits the low
+:data:`NARROW_ALIGN_BITS` half of the window, the upper stage is bypassed
+and the alignment completes in one cycle instead of two
+(:func:`alignment_shift_cycles`).  The bypass is *loss-free by
+construction*: a value provably inside the low half has nothing for the
+upper stage to move.  :class:`repro.arith.bfp_matmul.AlignmentProbe`
+verifies the bound against emulated mantissas.
 """
 
 from __future__ import annotations
@@ -15,7 +26,29 @@ import numpy as np
 from repro.errors import HardwareContractError
 from repro.formats.rounding import shift_right
 
-__all__ = ["AlignmentShifter", "Normalizer"]
+__all__ = [
+    "NARROW_ALIGN_BITS",
+    "alignment_shift_cycles",
+    "AlignmentShifter",
+    "Normalizer",
+]
+
+NARROW_ALIGN_BITS = 24  # low barrel-shifter stage / narrow-window width
+
+
+def alignment_shift_cycles(
+    predicted_width: int, *, narrow_bits: int = NARROW_ALIGN_BITS
+) -> int:
+    """Cycles one PSU alignment costs given the predicted aligned width.
+
+    A narrow alignment (predicted width within the low shifter stage)
+    takes 1 cycle; anything wider engages both cascaded stages and takes
+    2.  This is the per-step saving ``align_narrow_frac`` charges in
+    :meth:`repro.cost.modes.UnitMode.stream_cycles`.
+    """
+    if predicted_width < 0:
+        raise HardwareContractError("predicted width is unsigned")
+    return 1 if predicted_width <= narrow_bits else 2
 
 
 @dataclass

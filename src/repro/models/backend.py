@@ -40,6 +40,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cost.modes import ModeOptions, resolve_unit_mode
 from repro.errors import RegistryError
 from repro.formats.registry import BfpFormat, IBertFormat, QuantFormat, get_format
 from repro.models.policy import (
@@ -276,11 +277,14 @@ class PolicyBackend(ComputeBackend):
         name: str | None = None,
         profiler: Profiler | None = None,
         formats: dict[str, QuantFormat] | None = None,
+        modes: "ModeOptions | None" = None,
     ) -> None:
         super().__init__(name=name or policy.name, profiler=profiler)
         self.policy = policy
+        self.modes = modes
         self._formats: dict[str, QuantFormat] = dict(formats or {})
         self._fmt_cache: dict[tuple[str, str], QuantFormat] = {}
+        self._mode_cache: dict[str, str | bool] = {}
         # Legacy attribution labels, resolved at the model root — purely
         # informational for policy backends (per-call labels come from
         # the resolved format).
@@ -302,6 +306,16 @@ class PolicyBackend(ComputeBackend):
     def _fmt(self, role: str) -> QuantFormat:
         return self._fmt_at(self.layer_path, role)
 
+    def _unit_mode(self, fmt: QuantFormat) -> str | bool:
+        """Profiler costing handle: the executing array mode's registry
+        name, or ``False`` for the fp32 vector fallback."""
+        cached = self._mode_cache.get(fmt.name)
+        if cached is None:
+            mode = resolve_unit_mode(fmt.name, self.modes)
+            cached = mode.name if mode.kind == "array" else False
+            self._mode_cache[fmt.name] = cached
+        return cached
+
     def _quantize_recorder(self, fmt: QuantFormat):
         if self.profiler is None:
             return None
@@ -321,7 +335,7 @@ class PolicyBackend(ComputeBackend):
         if self.profiler is not None:
             self.profiler.record_matmul(
                 x.shape[0], x.shape[1], w.shape[1],
-                precision=fmt.precision, array=fmt.uses_array,
+                precision=fmt.precision, array=self._unit_mode(fmt),
             )
         return fmt.matmul(x, w, record=self._quantize_recorder(fmt))
 
@@ -338,7 +352,8 @@ class PolicyBackend(ComputeBackend):
         if self.profiler is not None:
             for _ in range(n_slices):
                 self.profiler.record_matmul(
-                    m, k, n, precision=fmt.precision, array=fmt.uses_array
+                    m, k, n, precision=fmt.precision,
+                    array=self._unit_mode(fmt),
                 )
         return fmt.matmul_batched(a, b, record=self._quantize_recorder(fmt))
 

@@ -253,6 +253,11 @@ for _name, _factory in (
     ("bfp8-all", lambda: _uniform("bfp8-all", "bfp8")),
     ("int8-linear", lambda: _linear_only("int8-linear", "int8")),
     ("int8-all", lambda: _uniform("int8-all", "int8")),
+    # fp16 linear algebra, exact fp32 elsewhere.  Without a unit-mode
+    # override fp16 pays the fp32 vector cliff; with
+    # ``--array-mode fp16`` it maps onto the fp16 dot-product array
+    # personality (repro.cost.modes) instead.
+    ("fp16-linear", lambda: _linear_only("fp16-linear", "fp16")),
     ("ibert", _ibert),
     ("mixed-fp8", _mixed_fp8),
 ):

@@ -22,6 +22,8 @@ from pathlib import Path
 __all__ = [
     "add_profile_parser",
     "run_profile",
+    "add_align_predict_parser",
+    "run_align_predict",
     "add_numerics_report_parser",
     "run_numerics_report",
     "add_slo_report_parser",
@@ -69,6 +71,17 @@ def add_profile_parser(subparsers) -> argparse.ArgumentParser:
                         "policy JSON file; overrides --backend in functional "
                         "mode and re-modes the compiled matmul stages in "
                         "schedule mode")
+    p.add_argument("--array-mode", default=None, metavar="SPEC",
+                   help="unit-mode overrides, e.g. 'fp16' or "
+                        "'fp16=fp16_dot,bf16=bfp8_mac': map formats onto "
+                        "registered unit modes (see repro.cost.modes); "
+                        "affects both compiled schedules and functional "
+                        "cycle attribution")
+    p.add_argument("--align-predict", type=float, default=None, metavar="FRAC",
+                   help="schedule mode: fraction of array alignment steps "
+                        "predicted narrow by the shift-aware width "
+                        "predictor (0..1); charges reduced alignment "
+                        "cycles on array matmul stages")
     p.add_argument("--seed", type=int, default=0,
                    help="functional mode: model/token seed")
     p.add_argument("--gen-tokens", type=int, default=4,
@@ -89,18 +102,29 @@ def _policy(args):
     return load_policy(args.policy)
 
 
+def _modes(args):
+    from repro.cost.modes import ModeOptions
+
+    return ModeOptions.parse(
+        getattr(args, "array_mode", None),
+        align_narrow_frac=getattr(args, "align_predict", None),
+    )
+
+
 def _compile(args):
     from repro.models.configs import CONFIGS
     from repro.runtime.scheduler import compile_decoder, compile_vit
 
     policy = _policy(args)
+    modes = _modes(args)
     if args.model in CONFIGS:
         return compile_vit(CONFIGS[args.model], batch=args.batch,
-                           policy=policy)
+                           policy=policy, modes=modes)
     phase = args.model.split("-", 1)[1]
     return compile_decoder(
         vocab=args.vocab, dim=args.dim, depth=args.depth, n_heads=args.heads,
         context=args.context, phase=phase, batch=args.batch, policy=policy,
+        modes=modes,
     )
 
 
@@ -133,6 +157,9 @@ def _run_schedule(args) -> int:
         summary["policy"] = policy.name
         for mode, cyc in sorted(model.latency_by_mode(n).items()):
             summary[f"latency_cycles.{mode}"] = cyc
+    if _modes(args) is not None:
+        for unit, cyc in sorted(model.latency_by_unit_mode(n).items()):
+            summary[f"unit_mode.{unit}"] = cyc
     print(render_metrics("schedule profile", summary))
 
     if args.trace_out is not None:
@@ -164,8 +191,16 @@ def _run_functional(args) -> int:
     from repro.obs.profile import Profiler
 
     policy = _policy(args)
+    modes = _modes(args)
     if policy is not None:
-        backend = PolicyBackend(policy)
+        backend = PolicyBackend(policy, modes=modes)
+    elif modes is not None:
+        from repro.models.policy import load_policy
+
+        # --array-mode changes *cycle attribution*, which is policy-level
+        # information; lift the flat backend into the equivalent policy so
+        # the profiler sees the remapped unit modes.
+        backend = PolicyBackend(load_policy(args.backend), modes=modes)
     else:
         backend = get_backend(args.backend)
     backend.profiler = Profiler()
@@ -246,6 +281,79 @@ def run_profile(args) -> int:
     if args.functional:
         return _run_functional(args)
     return _run_schedule(args)
+
+
+def add_align_predict_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "align-predict",
+        help="measure shift-aware aligned-width prediction on a real model",
+        description=(
+            "Run the functional TinyLM under a block-fp backend with the "
+            "alignment probe attached: every sequential PSU alignment also "
+            "runs the exponent unit's width predictor and is checked "
+            "against the emulated mantissas.  Reports the narrow fraction "
+            "(the measured value for --align-predict / align_narrow_frac) "
+            "and exits non-zero if the predictor ever under-predicts or "
+            "the probed run is not bit-identical to the unprobed one."
+        ),
+    )
+    p.add_argument("--backend", default="bfp8-mixed",
+                   help="arithmetic backend name (must use the bfp array)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="model/token seed")
+    p.add_argument("--gen-tokens", type=int, default=4,
+                   help="greedy decode steps after the prefill forward")
+    p.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                   help="write the probe summary as JSON")
+    return p
+
+
+def run_align_predict(args) -> int:
+    import numpy as np
+
+    from repro.arith.bfp_matmul import AlignmentProbe, set_alignment_probe
+    from repro.eval.reporting import render_metrics
+    from repro.models.backend import get_backend
+    from repro.models.decoder import TinyLM
+
+    backend = get_backend(args.backend)
+    model = TinyLM(seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    tokens = rng.integers(0, model.vocab, size=(2, model.seq_len))
+
+    # Unprobed reference first: the probe must be observation-only.
+    ref = np.asarray(model.forward(tokens, backend))
+    probe = AlignmentProbe()
+    prev = set_alignment_probe(probe)
+    try:
+        got = np.asarray(model.forward(tokens, backend))
+        model.generate_cached(tokens[0, :4], args.gen_tokens, backend)
+    finally:
+        set_alignment_probe(prev)
+
+    summary = probe.as_dict()
+    summary["bit_identical_with_probe"] = bool(np.array_equal(ref, got))
+    print(render_metrics(
+        f"alignment width prediction: TinyLM, backend {backend.name}, "
+        f"seed {args.seed}",
+        summary,
+    ))
+    if probe.steps:
+        print(
+            f"\ncost-model knob: --align-predict {probe.narrow_frac:.3f} "
+            "(array matmul stages charge the single-stage shift on that "
+            "fraction of accumulate steps)"
+        )
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(
+            summary, indent=2, sort_keys=True,
+        ) + "\n")
+    ok = (
+        probe.steps > 0
+        and probe.under_predictions == 0
+        and summary["bit_identical_with_probe"]
+    )
+    return 0 if ok else 1
 
 
 def add_numerics_report_parser(subparsers) -> argparse.ArgumentParser:
@@ -403,6 +511,8 @@ def run_numerics_report(args) -> int:
     # the per-layer streaming SQNR is judged against.
     ref_logits = np.asarray(model.forward(tokens), dtype=np.float64)
 
+    from repro.arith.bfp_matmul import AlignmentProbe, set_alignment_probe
+
     monitor = NumericsMonitor()
     prev_monitor = set_monitor(monitor)
     # A fresh operand cache so every weight is quantized (and therefore
@@ -411,14 +521,20 @@ def run_numerics_report(args) -> int:
     prev_cache = set_cache(PreparedOperandCache())
     registry = MetricsRegistry()
     prev_registry = set_registry(registry)
+    # The alignment probe rides along: aligned-width-prediction evidence
+    # (narrow fraction, zero under-predictions) joins the numerics story.
+    probe = AlignmentProbe()
+    prev_probe = set_alignment_probe(probe)
     try:
         logits = np.asarray(model.forward(tokens, backend), dtype=np.float64)
         model.generate_cached(tokens[0, :4], args.gen_tokens, backend)
+        monitor.observe_alignment(probe)
         monitor.publish(registry)
     finally:
         set_monitor(prev_monitor)
         set_cache(prev_cache)
         set_registry(prev_registry)
+        set_alignment_probe(prev_probe)
 
     err_sq = float(((logits - ref_logits) ** 2).sum())
     ref_sq = float((ref_logits**2).sum())

@@ -76,24 +76,49 @@ class SpikeInjection:
                    extra_cycles=int(doc["extra_cycles"]))
 
 
-class SpikedCostModel(CostModel):
-    """Cost model with a deterministic latency spike injected.
+class SpikedCostModel:
+    """A deterministic latency spike composed over *any* cost model.
 
-    ``batch_breakdown`` needs no override: the base implementation is
-    defined in terms of ``self.batch_cycles``, so the spike folds into
-    the stage split consistently.
+    Since the cost-model unification this is a wrapper, not a subclass:
+    it folds the spike over whatever model it is given — serve's plain
+    :class:`~repro.serve.dispatcher.CostModel`, cluster's
+    :class:`~repro.cluster.sharding.ShardedCostModel`, anything with
+    ``batch_cycles``/``batch_breakdown`` — so ``--inject-spike-*`` now
+    works under ``--cluster`` too.  Passing a :class:`ServeConfig` as
+    the first argument keeps the historical constructor working (it
+    wraps a fresh single-pool ``CostModel``); every attribute of the
+    wrapped model (sharding accumulators, ``cfg``, ...) is delegated.
     """
 
-    def __init__(self, cfg: ServeConfig, spike: SpikeInjection) -> None:
-        super().__init__(cfg)
+    def __init__(
+        self, cost: "CostModel | ServeConfig", spike: SpikeInjection
+    ) -> None:
+        self.inner = CostModel(cost) if isinstance(cost, ServeConfig) else cost
         self.spike = spike
 
-    def batch_cycles(self, batch) -> int:
-        base = super().batch_cycles(batch)
+    def _extra(self, batch) -> int:
         t = max(item.ready for item in batch.items)
         if self.spike.start_cycle <= t < self.spike.end_cycle:
-            return base + self.spike.extra_cycles
-        return base
+            return self.spike.extra_cycles
+        return 0
+
+    def batch_cycles(self, batch) -> int:
+        return self.inner.batch_cycles(batch) + self._extra(batch)
+
+    def batch_breakdown(self, batch) -> dict[str, int]:
+        """The wrapped model's stage split with the spike folded into the
+        compute stage (keeps the invariant that the split sums to
+        :meth:`batch_cycles`)."""
+        breakdown = dict(self.inner.batch_breakdown(batch))
+        extra = self._extra(batch)
+        if extra:
+            breakdown["shard_compute"] = (
+                breakdown.get("shard_compute", 0) + extra
+            )
+        return breakdown
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
 
 
 def requests_from_subtrace(rows: list) -> list[Request]:

@@ -159,6 +159,7 @@ class NumericsMonitor:
     def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self.stats: dict[tuple[str, str, str], QuantStats] = {}
+        self.alignment: dict[tuple[str, str], dict] = {}
         self._stack: list[str] = []
 
     # -- scoping -------------------------------------------------------------
@@ -360,6 +361,58 @@ class NumericsMonitor:
         st.sum_ref_sq += float((src * src).sum())
         st.sum_err_sq += float((err * err).sum())
 
+    def observe_alignment(self, probe, *, role: str = "matmul") -> None:
+        """Fold an :class:`repro.arith.bfp_matmul.AlignmentProbe` into the
+        run: the loss-free evidence (``under_predictions`` must stay 0)
+        and the measured narrow fraction for the cost model's
+        ``align_narrow_frac`` knob travel with the numerics report."""
+        if not self.enabled or not probe.steps:
+            return
+        key = (self.current_layer, role)
+        agg = self.alignment.setdefault(
+            key,
+            {
+                "steps": 0,
+                "narrow_steps": 0,
+                "under_predictions": 0,
+                "max_predicted_width": 0,
+                "max_actual_width": 0,
+            },
+        )
+        agg["steps"] += probe.steps
+        agg["narrow_steps"] += probe.narrow_steps
+        agg["under_predictions"] += probe.under_predictions
+        agg["max_predicted_width"] = max(
+            agg["max_predicted_width"], probe.max_predicted_width
+        )
+        agg["max_actual_width"] = max(
+            agg["max_actual_width"], probe.max_actual_width
+        )
+
+    def alignment_summary(self) -> dict:
+        """Run-wide aligned-width-prediction totals across all keys."""
+        out = {
+            "steps": 0,
+            "narrow_steps": 0,
+            "under_predictions": 0,
+            "max_predicted_width": 0,
+            "max_actual_width": 0,
+        }
+        for agg in self.alignment.values():
+            out["steps"] += agg["steps"]
+            out["narrow_steps"] += agg["narrow_steps"]
+            out["under_predictions"] += agg["under_predictions"]
+            out["max_predicted_width"] = max(
+                out["max_predicted_width"], agg["max_predicted_width"]
+            )
+            out["max_actual_width"] = max(
+                out["max_actual_width"], agg["max_actual_width"]
+            )
+        out["narrow_frac"] = (
+            out["narrow_steps"] / out["steps"] if out["steps"] else 0.0
+        )
+        return out
+
     # -- export --------------------------------------------------------------
     def as_dict(self) -> dict:
         """Per-key snapshots, sorted for deterministic serialization."""
@@ -432,6 +485,16 @@ class NumericsMonitor:
             )
             if g["sqnr_db"] is not None:
                 reg.gauge(f"numerics.{precision}.sqnr_db").set(g["sqnr_db"])
+        if self.alignment:
+            a = self.alignment_summary()
+            reg.counter("numerics.alignment.steps").inc(a["steps"])
+            reg.counter("numerics.alignment.narrow_steps").inc(
+                a["narrow_steps"]
+            )
+            reg.counter("numerics.alignment.under_predictions").inc(
+                a["under_predictions"]
+            )
+            reg.gauge("numerics.alignment.narrow_frac").set(a["narrow_frac"])
 
     def annotate_tracer(self, tracer, *, track: str = "numerics") -> None:
         """Attach each key's summary as span arguments on a tracer track.
@@ -464,6 +527,7 @@ class NumericsMonitor:
 
     def reset(self) -> None:
         self.stats.clear()
+        self.alignment.clear()
 
 
 class _NullScope:
@@ -511,6 +575,9 @@ class _NullMonitor(NumericsMonitor):
         return None
 
     def observe_half(self, *args, **kwargs) -> None:
+        return None
+
+    def observe_alignment(self, *args, **kwargs) -> None:
         return None
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "ProfileEntry",
     "Profiler",
     "bfp_matmul_unit_cycles",
+    "mode_matmul_unit_cycles",
     "fp32_elementwise_cycles",
     "nonlinear_op_counts",
 ]
@@ -49,6 +50,16 @@ def bfp_matmul_unit_cycles(m: int, k: int, n: int) -> int:
 
     plan = plan_matmul(m, k, n)
     return plan.streams * measured_bfp_stream_cycles(plan.stream_len)
+
+
+@lru_cache(maxsize=4096)
+def mode_matmul_unit_cycles(m: int, k: int, n: int, mode: str) -> int:
+    """Unit-occupancy cycles of ``(m,k) @ (k,n)`` under a registered
+    unit mode (the trans-precision generalization of
+    :func:`bfp_matmul_unit_cycles`)."""
+    from repro.cost.modes import get_mode
+
+    return get_mode(mode).matmul_cost(m, k, n).total_cycles
 
 
 def fp32_elementwise_cycles(n_ops: int) -> int:
@@ -139,20 +150,24 @@ class Profiler:
 
     def record_matmul(
         self, m: int, k: int, n: int, *, precision: str,
-        array: bool | None = None,
+        array: bool | str | None = None,
     ) -> None:
         """One linear-layer matmul under the backend's matmul precision.
 
-        ``array`` says whether the matmul maps onto the systolic array
-        (Eqn-9 stream cycles) or runs MAC-by-MAC on the vector unit; when
-        ``None`` it is inferred from the precision label (bfp/int map to
-        the array — the legacy heuristic, which knows nothing of the
-        minifloat formats).
+        ``array`` names the :mod:`repro.cost.modes` unit mode the matmul
+        executes under (a string such as ``"bfp8_mac"`` / ``"fp16_dot"``).
+        The boolean spellings survive for compatibility: ``True`` is the
+        historical bfp8 array costing, ``False`` the MAC-by-MAC vector
+        fallback, and ``None`` infers from the precision label (bfp/int
+        map to the array — the legacy heuristic, which knows nothing of
+        the minifloat formats).
         """
         macs = m * k * n
         if array is None:
             array = precision.startswith(("bfp", "int"))
-        if array:
+        if isinstance(array, str):
+            cycles = mode_matmul_unit_cycles(m, k, n, array)
+        elif array:
             cycles = bfp_matmul_unit_cycles(m, k, n)
         else:
             # No array mapping: every MAC goes through the vector unit.

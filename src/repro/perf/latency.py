@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from math import ceil
 
+from repro.cost.modes import get_mode
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import (
     DEFAULT_CLOCK,
@@ -38,10 +38,12 @@ def measured_bfp_stream_cycles(
     mem: MemoryModel = DEFAULT_MEMORY,
     cfg: ClockConfig = DEFAULT_CLOCK,
 ) -> int:
-    """End-to-end cycles of one bfp8 stream including memory I/O."""
-    compute = cfg.rows * n_x + 15
-    rd, wr = mem.bfp_stream_bytes(n_x, cfg.rows, cfg.cols)
-    return mem.stream_total_cycles("bfp8", compute, rd, wr)
+    """End-to-end cycles of one bfp8 stream including memory I/O.
+
+    Thin wrapper over the ``bfp8_mac`` entry of the unit-mode registry —
+    :mod:`repro.cost.modes` owns the Eqn-9 cycle formula.
+    """
+    return get_mode("bfp8_mac").stream_cycles(n_x, mem=mem, clock=cfg)
 
 
 def measured_bfp_throughput_ops(
@@ -60,10 +62,12 @@ def measured_fp32_stream_cycles(
     mem: MemoryModel = DEFAULT_MEMORY,
     cfg: ClockConfig = DEFAULT_CLOCK,
 ) -> int:
-    """End-to-end cycles of one fp32 stream including memory I/O."""
-    compute = length + 8
-    rd, wr = mem.fp32_stream_bytes(length, cfg.fp32_lanes)
-    return mem.stream_total_cycles("fp32", compute, rd, wr)
+    """End-to-end cycles of one fp32 stream including memory I/O.
+
+    Thin wrapper over the ``fp32_vector`` entry of the unit-mode
+    registry.
+    """
+    return get_mode("fp32_vector").stream_cycles(length, mem=mem, clock=cfg)
 
 
 def measured_fp32_throughput_flops(
@@ -113,17 +117,20 @@ def vit_batch_unit_cycles(
     mem: MemoryModel = DEFAULT_MEMORY,
     clock: ClockConfig = DEFAULT_CLOCK,
     policy=None,
+    modes=None,
 ) -> int:
     """Unit-occupancy cycles of one ViT classify job over ``batch`` images.
 
     ``policy`` is an optional frozen :class:`~repro.models.policy.
     PrecisionPolicy` (hashable, so it composes with the memo); ``None``
-    keeps the historical all-bfp8 schedule.
+    keeps the historical all-bfp8 schedule.  ``modes`` is an optional
+    frozen :class:`~repro.cost.modes.ModeOptions` (also hashable)
+    selecting per-format unit modes.
     """
     from repro.runtime.scheduler import compile_vit
 
     model = compile_vit(cfg_vit, batch=batch, clock=clock, mem=mem,
-                        policy=policy)
+                        policy=policy, modes=modes)
     return model.unit_cycles_per_item()
 
 
@@ -141,20 +148,22 @@ def decoder_batch_unit_cycles(
     mem: MemoryModel = DEFAULT_MEMORY,
     clock: ClockConfig = DEFAULT_CLOCK,
     policy=None,
+    modes=None,
 ) -> int:
     """Unit-occupancy cycles of one batched decoder prefill/decode job.
 
     ``context`` is the prompt length (prefill) or current KV length
     (decode); the serving layer buckets it so this cache stays small.
     ``policy`` (frozen, hashable) selects per-layer formats; ``None`` is
-    the historical all-bfp8 schedule.
+    the historical all-bfp8 schedule.  ``modes`` (frozen, hashable)
+    selects per-format unit modes through the registry.
     """
     from repro.runtime.scheduler import compile_decoder
 
     model = compile_decoder(
         vocab=vocab, dim=dim, depth=depth, n_heads=n_heads, context=context,
         mlp_ratio=mlp_ratio, phase=phase, batch=batch, clock=clock, mem=mem,
-        policy=policy,
+        policy=policy, modes=modes,
     )
     return model.unit_cycles_per_item()
 

@@ -45,6 +45,8 @@ __all__ = [
     "design_bfp8_only",
     "design_multimode",
     "design_individual",
+    "fp16_dot_extension",
+    "design_multimode_fp16",
     "fig6_designs",
 ]
 
@@ -233,10 +235,45 @@ def design_individual(rows: int = 8, cols: int = 8, lanes: int = 4) -> Resources
     return design_bfp8_only(rows, cols) + fp32_ip_vector_unit(lanes)
 
 
-def fig6_designs(rows: int = 8, cols: int = 8) -> dict[str, Resources]:
-    return {
+# -- fp16 dot-product extension (TransDot/DHFP-PE-style dual MAC) ------------
+_PE_LUT_FP16 = 7.25  # mantissa split + dual-product select muxes per PE
+_PE_FF_FP16 = 4.0  # fp16 operand staging (packed 10+1-bit mantissa pair)
+_COL_LUT_FP16 = 16.0  # per-column product recombination pre-add
+_COL_FF_FP16 = 9.0  # per-column exponent-pair / carry pipeline registers
+
+
+def fp16_dot_extension(rows: int = 8, cols: int = 8) -> Resources:
+    """Incremental cost of the fp16 dot-product mode over the multi-mode PU.
+
+    Models a dual-precision MAC personality: each DSP48E2 packs two fp16
+    mantissa products per cycle (27x18 multiplier split, TransDot/DHFP-PE
+    style), so the mode costs **zero additional DSPs or BRAM** — only the
+    per-PE mantissa split/select muxes and per-column recombination adders
+    (LUTs) plus operand staging and exponent-pair pipeline registers (FFs).
+    This is the delta :meth:`repro.cost.modes.UnitMode.resource_delta`
+    reports for ``fp16_dot``.
+    """
+    n = rows * cols
+    return Resources(
+        lut=n * _PE_LUT_FP16 + cols * _COL_LUT_FP16,
+        ff=n * _PE_FF_FP16 + cols * _COL_FF_FP16,
+    )
+
+
+def design_multimode_fp16(rows: int = 8, cols: int = 8) -> Resources:
+    """The proposed unit with the fp16 dot-product personality added."""
+    return design_multimode(rows, cols) + fp16_dot_extension(rows, cols)
+
+
+def fig6_designs(
+    rows: int = 8, cols: int = 8, *, include_fp16: bool = False
+) -> dict[str, Resources]:
+    designs = {
         "int8": design_int8(rows, cols),
         "bfp8": design_bfp8_only(rows, cols),
         "ours": design_multimode(rows, cols),
         "indiv": design_individual(rows, cols),
     }
+    if include_fp16:
+        designs["ours+fp16"] = design_multimode_fp16(rows, cols)
+    return designs

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import TYPE_CHECKING
 
+from repro.cost.modes import ModeOptions, UnitMode, get_mode, resolve_unit_mode
 from repro.errors import ConfigurationError
 from repro.models.configs import ViTConfig
 from repro.obs.metrics import get_registry
@@ -27,7 +28,6 @@ from repro.perf.latency import (
 )
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
-from repro.runtime.compiler import MatmulPlan, plan_matmul
 from repro.runtime.instructions import OpCount
 from repro.runtime.vector_ops import (
     build_gelu,
@@ -50,12 +50,13 @@ class Stage:
     """One dependency-ordered step of the compiled model."""
 
     name: str
-    kind: str  # matmul | softmax | gelu | layernorm | residual_add
-    mode: str  # bfp8 | fp32
+    kind: str  # matmul | softmax | gelu | layernorm | residual_add | reconfig
+    mode: str  # format label: bfp8 | fp32 | int8 | fp16 | ...
     chunks: int  # independent unit-schedulable pieces
     chunk_cycles: int  # end-to-end cycles of one chunk (compute + memory)
     ops: float  # useful ops (bfp8 ops / fp32 FLOPs, paper conventions)
     host_ops: float = 0.0  # CPU-escape operations (division, max, ...)
+    unit_mode: str = ""  # executing UnitMode registry name ("" = untagged)
 
     def latency_cycles(self, n_units: int) -> int:
         """Stage latency with its chunks spread over ``n_units``."""
@@ -99,6 +100,20 @@ class CompiledModel:
         out: dict[str, int] = {}
         for s in self.stages:
             out[s.mode] = out.get(s.mode, 0) + s.latency_cycles(n)
+        return out
+
+    def latency_by_unit_mode(self, n_units: int | None = None) -> dict[str, int]:
+        """Per-unit-mode cycle attribution — the hardware view.
+
+        Groups stage latency by the :mod:`repro.cost.modes` unit that
+        executes it (``bfp8_mac``, ``fp32_vector``, ``fp16_dot``, ...);
+        stages with no unit mode (loads, stores, reconfig) are skipped.
+        """
+        n = n_units or self.clock.n_units
+        out: dict[str, int] = {}
+        for s in self.stages:
+            if s.unit_mode:
+                out[s.unit_mode] = out.get(s.unit_mode, 0) + s.latency_cycles(n)
         return out
 
     def fp32_latency_share(self, n_units: int | None = None) -> float:
@@ -194,21 +209,22 @@ def _publish_compile(model: CompiledModel) -> CompiledModel:
 
 
 def _resolve_mode(
-    policy: "PrecisionPolicy | None", layer: str, role: str
-) -> tuple[str, bool]:
-    """``(format name, maps onto the array)`` for one scheduled matmul.
+    policy: "PrecisionPolicy | None",
+    layer: str,
+    role: str,
+    modes: ModeOptions | None = None,
+) -> tuple[str, UnitMode]:
+    """``(format name, executing unit mode)`` for one scheduled matmul.
 
     With no policy the compiler keeps its historical behaviour — every
     matmul is a bfp8 array stage.  The layer paths mirror the functional
     backends' scope paths (``block0.attn``, ``block0.mlp``, ``head``), so
     one policy document governs both the emulation and the compiler.
+    The unit mode comes from the :mod:`repro.cost.modes` registry —
+    the format's registered ``array_mode``, unless ``modes`` overrides it.
     """
-    if policy is None:
-        return "bfp8", True
-    from repro.formats.registry import get_format
-
-    name = policy.resolve_name(layer, role)
-    return name, get_format(name).uses_array
+    name = "bfp8" if policy is None else policy.resolve_name(layer, role)
+    return name, resolve_unit_mode(name, modes)
 
 
 def _matmul_stage(
@@ -219,38 +235,47 @@ def _matmul_stage(
     *,
     copies: int,
     mem: MemoryModel,
+    clock: ClockConfig = DEFAULT_CLOCK,
     fmt: str = "bfp8",
-    array: bool = True,
+    mode: UnitMode | None = None,
+    align_narrow_frac: float | None = None,
 ) -> Stage:
     """A (possibly head-replicated) matmul as one stage.
 
-    Array-mapped formats (bfp/int/single-slice minifloat) cost through the
-    Eqn-9 stream schedule; formats without an array mapping fall back to
-    MAC-by-MAC execution on the 4-lane fp32 vector personality — the
-    cliff the paper's bfp slicing exists to avoid.
+    The per-chunk cycles come from the unit-mode registry: array modes
+    (bfp/int/single-slice minifloat on ``bfp8_mac``, fp16 on the
+    dual-precision ``fp16_dot`` datapath) cost through the Eqn-9 stream
+    schedule; the ``fp32_vector`` fallback executes MAC by MAC on the
+    4-lane fp32 personality — the cliff the paper's bfp slicing exists
+    to avoid.
     """
-    plan: MatmulPlan = plan_matmul(m, k, n)
-    if not array:
-        fpu_ops = 2 * m * k * n * copies
-        chunks = max(1, ceil(fpu_ops / _FP32_STREAM_ELEMS))
-        return Stage(
-            name=name,
-            kind="matmul",
-            mode=fmt,
-            chunks=chunks,
-            chunk_cycles=measured_fp32_stream_cycles(128, mem),
-            ops=float(fpu_ops),
-        )
-    per_stream_compute = 8 * plan.stream_len + 15
-    rd, wr = mem.bfp_stream_bytes(plan.stream_len)
-    chunk_cycles = mem.stream_total_cycles("bfp8", per_stream_compute, rd, wr)
+    if mode is None:
+        mode = get_mode("bfp8_mac")
+    cost = mode.matmul_cost(
+        m, k, n, copies=copies, mem=mem, clock=clock,
+        align_narrow_frac=align_narrow_frac if mode.kind == "array" else None,
+    )
     return Stage(
         name=name,
         kind="matmul",
         mode=fmt,
-        chunks=plan.streams * copies,
-        chunk_cycles=chunk_cycles,
-        ops=float(plan.ops * copies),
+        chunks=cost.chunks,
+        chunk_cycles=cost.chunk_cycles,
+        ops=cost.ops,
+        unit_mode=mode.name,
+    )
+
+
+def _reconfig_stage(name: str, fmt: str, mode: UnitMode) -> Stage:
+    """Datapath reconfiguration charged on a transition into ``mode``."""
+    return Stage(
+        name=name,
+        kind="reconfig",
+        mode=fmt,
+        chunks=1,
+        chunk_cycles=mode.reconfig_cycles,
+        ops=0.0,
+        unit_mode=mode.name,
     )
 
 
@@ -306,6 +331,7 @@ def compile_vit(
     exp_degree: int = 6,
     include_head: bool = True,
     policy: "PrecisionPolicy | None" = None,
+    modes: ModeOptions | None = None,
 ) -> CompiledModel:
     """Lower a ViT configuration to a hardware schedule.
 
@@ -315,15 +341,27 @@ def compile_vit(
     (each image attends only to its own tokens).
 
     ``policy`` maps each matmul's (layer path, role) to a registry format;
-    ``None`` keeps the historical all-bfp8 schedule.
+    ``None`` keeps the historical all-bfp8 schedule.  ``modes``
+    optionally overrides format -> unit-mode routing (and the alignment
+    prediction knob); transitions into a mode with a reconfiguration
+    cost insert an explicit ``reconfig`` stage.
     """
     if batch <= 0:
         raise ConfigurationError("batch must be positive")
+    last_array = "bfp8_mac"  # the array's resting personality
 
     def mm(name, m_, k_, n_, *, copies, layer, role):
-        fmt, array = _resolve_mode(policy, layer, role)
-        return _matmul_stage(name, m_, k_, n_, copies=copies, mem=mem,
-                             fmt=fmt, array=array)
+        nonlocal last_array
+        fmt, mode = _resolve_mode(policy, layer, role, modes)
+        if mode.kind == "array":
+            if mode.reconfig_cycles and mode.name != last_array:
+                st.append(_reconfig_stage(name + ".reconfig", fmt, mode))
+            last_array = mode.name
+        return _matmul_stage(
+            name, m_, k_, n_, copies=copies, mem=mem, clock=clock,
+            fmt=fmt, mode=mode,
+            align_narrow_frac=modes.align_narrow_frac if modes else None,
+        )
 
     n, d, h, m = cfg.n_tokens, cfg.dim, cfg.n_heads, cfg.mlp_hidden
     hd = cfg.head_dim
@@ -381,6 +419,7 @@ def compile_decoder(
     mem: MemoryModel = DEFAULT_MEMORY,
     exp_degree: int = 6,
     policy: "PrecisionPolicy | None" = None,
+    modes: ModeOptions | None = None,
 ) -> CompiledModel:
     """Lower a LLaMA-family decoder to a hardware schedule.
 
@@ -416,10 +455,20 @@ def compile_decoder(
     model = CompiledModel(name=f"decoder-{phase}", clock=clock)
     st = model.stages
 
+    last_array = "bfp8_mac"  # the array's resting personality
+
     def mm(name, m_, k_, n_, *, copies, layer, role):
-        fmt, array = _resolve_mode(policy, layer, role)
-        return _matmul_stage(name, m_, k_, n_, copies=copies, mem=mem,
-                             fmt=fmt, array=array)
+        nonlocal last_array
+        fmt, mode = _resolve_mode(policy, layer, role, modes)
+        if mode.kind == "array":
+            if mode.reconfig_cycles and mode.name != last_array:
+                st.append(_reconfig_stage(name + ".reconfig", fmt, mode))
+            last_array = mode.name
+        return _matmul_stage(
+            name, m_, k_, n_, copies=copies, mem=mem, clock=clock,
+            fmt=fmt, mode=mode,
+            align_narrow_frac=modes.align_narrow_frac if modes else None,
+        )
 
     for layer in range(depth):
         p = f"layer{layer}."

@@ -73,6 +73,18 @@ def add_serve_sim_parser(subparsers) -> argparse.ArgumentParser:
                    help="per-layer precision policy: a preset name or a "
                         "policy JSON file; shapes the cost model's compiled "
                         "schedules (default: the all-bfp8 schedule)")
+    p.add_argument("--array-mode", default=None, metavar="SPEC",
+                   help="unit-mode overrides for the cost model: comma-"
+                        "separated format=mode pairs ('fp16=fp16_dot', "
+                        "shorthand 'fp16'); routes those formats onto the "
+                        "named repro.cost.modes array personality instead "
+                        "of their default mapping")
+    p.add_argument("--align-predict", type=float, default=None,
+                   metavar="FRAC",
+                   help="shift-aware alignment-width prediction: fraction "
+                        "of PSU accumulate steps charged at the narrow "
+                        "single-stage shift rate (0..1; measure it with "
+                        "'repro align-predict' or the numerics monitor)")
     obs = p.add_argument_group(
         "SLO / request-path observability",
         "deadline objectives with burn-rate accounting (repro.obs.slo) and "
@@ -200,6 +212,16 @@ def _precision(args):
     from repro.models.policy import load_policy
 
     return load_policy(args.policy)
+
+
+def _modes(args):
+    """The run's unit-mode options (None = historical cost model)."""
+    from repro.cost import ModeOptions
+
+    return ModeOptions.parse(
+        getattr(args, "array_mode", None),
+        align_narrow_frac=getattr(args, "align_predict", None),
+    )
 
 
 def _slo_tracker(args):
@@ -342,6 +364,7 @@ def _config(args, max_batch: int) -> ServeConfig:
         max_queue=args.max_queue,
         max_sessions_per_unit=args.max_sessions,
         precision=_precision(args),
+        modes=_modes(args),
         compiled=getattr(args, "compiled", True),
     )
 
@@ -463,13 +486,16 @@ def _run_cluster_sim(args) -> int:
             provision_us=args.provision_us,
             scale_up_burn_rate=args.slo_burn_scale_up,
         )
+    serve = _config(args, args.max_batch)
+    spike = _spike(args, serve)
     config = ClusterConfig(
-        serve=_config(args, args.max_batch),
+        serve=serve,
         spec=spec,
         autoscaler=autoscaler,
         initial_replicas=args.replicas,
         max_cluster_queue=args.max_cluster_queue,
         router_seed=args.router_seed,
+        spike=spike,
     )
 
     tracer = NULL_TRACER
@@ -484,10 +510,7 @@ def _run_cluster_sim(args) -> int:
         })
     registry = MetricsRegistry() if args.metrics_out is not None else None
     slo = _slo_tracker(args)
-    if args.inject_spike_at_us is not None:
-        print("note: --inject-spike-* applies to single-node mode only; "
-              "ignored under --cluster")
-    recorder = _recorder(args, config.serve, tracer, slo, None, cluster=True)
+    recorder = _recorder(args, config.serve, tracer, slo, spike, cluster=True)
     report = simulate_cluster(trace, config, tracer=tracer, registry=registry,
                               slo=slo, path=_path_config(args),
                               recorder=recorder)
@@ -529,6 +552,7 @@ def _print_precision_split(config: ServeConfig) -> None:
             vocab=p.vocab, dim=p.dim, depth=p.depth, n_heads=p.n_heads,
             context=p.context, mlp_ratio=p.mlp_ratio, phase=phase,
             clock=config.clock, mem=config.mem, policy=config.precision,
+            modes=config.modes,
         )
         total = sum(model.latency_by_mode(1).values())
         split = {
@@ -536,6 +560,9 @@ def _print_precision_split(config: ServeConfig) -> None:
             for mode, cyc in sorted(model.latency_by_mode(1).items())
         }
         split["cycles.total"] = total
+        if config.modes is not None:
+            for mode, cyc in sorted(model.latency_by_unit_mode(1).items()):
+                split[f"unit_mode.{mode}"] = cyc
         print()
         print(render_metrics(
             f"precision policy {config.precision.name!r}: "

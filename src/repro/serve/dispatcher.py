@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from math import ceil
 from typing import Callable
 
+from repro.cost import ModeOptions, PolicyCostModel
 from repro.errors import ConfigurationError
 from repro.hw.system import UnitPool
 from repro.models.configs import DEIT_TINY, ViTConfig
@@ -49,7 +49,6 @@ from repro.obs.tracer import (
     SpanContext,
     Tracer,
 )
-from repro.perf.latency import decoder_batch_unit_cycles, vit_batch_unit_cycles
 from repro.perf.memory import DEFAULT_MEMORY, MemoryModel
 from repro.perf.throughput import DEFAULT_CLOCK, ClockConfig
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
@@ -111,6 +110,10 @@ class ServeConfig:
     clock: ClockConfig = DEFAULT_CLOCK
     mem: MemoryModel = DEFAULT_MEMORY
     precision: PrecisionPolicy | None = None
+    #: Optional per-format unit-mode routing (and the alignment-
+    #: prediction knob) the cost model compiles under — e.g. fp16
+    #: matmuls onto the ``fp16_dot`` array instead of the vector cliff.
+    modes: ModeOptions | None = None
     #: Model decode batches as compiled-plan replays: the dispatcher
     #: ledgers one trace per distinct decode group shape and counts every
     #: later dispatch of that shape as a replay (``ServeReport.plans``).
@@ -118,38 +121,28 @@ class ServeConfig:
 
 
 class CostModel:
-    """Cycle cost of one dispatched batch (memoized via perf.latency)."""
+    """Cycle cost of one dispatched batch — serve's thin layer over the
+    shared :class:`~repro.cost.model.PolicyCostModel`.
 
-    # Context buckets keep the compile cache small without distorting the
-    # cost materially: one bucket spans less than a block row of streams.
-    DECODE_BUCKET = 16
-    PREFILL_BUCKET = 8
+    This class owns only the :class:`~repro.serve.batcher.Batch` ->
+    (phase, size, context) projection; phase dispatch, context bucketing
+    and the memoized compile live in ``repro.cost`` (one cycle-cost
+    source of truth for serve, cluster and incident layers alike).
+    """
+
+    # Back-compat aliases: bucketing policy now lives in the core model.
+    DECODE_BUCKET = PolicyCostModel.DECODE_BUCKET
+    PREFILL_BUCKET = PolicyCostModel.PREFILL_BUCKET
 
     def __init__(self, cfg: ServeConfig) -> None:
         self.cfg = cfg
-
-    def _decoder(self, phase: str, batch: int, context: int) -> int:
-        p = self.cfg.profile
-        return decoder_batch_unit_cycles(
-            phase, batch, context,
-            vocab=p.vocab, dim=p.dim, depth=p.depth, n_heads=p.n_heads,
-            mlp_ratio=p.mlp_ratio, mem=self.cfg.mem, clock=self.cfg.clock,
-            policy=self.cfg.precision,
+        self.core = PolicyCostModel(
+            cfg.profile, clock=cfg.clock, mem=cfg.mem,
+            precision=cfg.precision, modes=cfg.modes,
         )
 
     def batch_cycles(self, batch: Batch) -> int:
-        if batch.phase == "vit":
-            return vit_batch_unit_cycles(
-                self.cfg.profile.vit, batch.size,
-                mem=self.cfg.mem, clock=self.cfg.clock,
-                policy=self.cfg.precision,
-            )
-        bucket = self.DECODE_BUCKET if batch.phase == "decode" else self.PREFILL_BUCKET
-        ctx = min(
-            max(ceil(batch.context / bucket), 1) * bucket,
-            max(self.cfg.profile.context, bucket),
-        )
-        return self._decoder(batch.phase, batch.size, ctx)
+        return self.core.job_cycles(batch.phase, batch.size, batch.context)
 
     def batch_breakdown(self, batch: Batch) -> dict[str, int]:
         """Named stage split of one batch's occupancy (sums to
@@ -644,6 +637,8 @@ def serve_config_to_dict(config: ServeConfig) -> dict:
         "mem": asdict(config.mem),
         "precision": (config.precision.to_dict()
                       if config.precision is not None else None),
+        "modes": (config.modes.as_dict()
+                  if config.modes is not None else None),
         "compiled": config.compiled,
     }
 
@@ -662,5 +657,7 @@ def serve_config_from_dict(doc: dict) -> ServeConfig:
         mem=MemoryModel(**doc["mem"]),
         precision=(PrecisionPolicy.from_dict(precision)
                    if precision else None),
+        modes=(ModeOptions.from_dict(doc["modes"])
+               if doc.get("modes") else None),
         compiled=doc.get("compiled", True),
     )

@@ -1,0 +1,105 @@
+"""The unit-mode registry refactor must be cycle-exact for legacy paths.
+
+``tests/cost/data/golden_cycles.json`` pins stream latencies, compiled
+schedules, serve batch costs, and sharded cluster splits for every legacy
+policy (fp32 / bfp8 / int8 / mixed-fp8 paths), captured at the commit
+*before* the cost-model stack was rebuilt on :mod:`repro.cost`.  Every
+value recomputed here must match bit for bit: the registry is a
+refactoring of where cycle truth lives, not a change to what it says.
+New design points (``fp16_dot``, ``align_narrow_frac``) are deliberately
+absent — they did not exist pre-refactor and are covered by
+``tests/cost/test_unit_modes.py``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cluster.sharding import ShardedCostModel, ShardPlan
+from repro.models.configs import DEIT_TINY
+from repro.models.policy import get_policy
+from repro.perf.latency import (
+    measured_bfp_stream_cycles,
+    measured_fp32_stream_cycles,
+)
+from repro.runtime.scheduler import compile_decoder, compile_vit
+from repro.serve.batcher import Batch
+from repro.serve.dispatcher import CostModel, ServeConfig
+from repro.serve.request import PhaseItem, Request
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_cycles.json").read_text()
+)
+POLICIES = ["none", "fp32", "bfp8-mixed", "bfp8-all", "int8-all", "mixed-fp8"]
+BATCHES = [
+    ("vit", 1, 0), ("prefill", 1, 64), ("prefill", 4, 100),
+    ("decode", 1, 16), ("decode", 8, 128),
+]
+
+
+def _policy(name):
+    return None if name == "none" else get_policy(name)
+
+
+def make_batch(phase, size, context):
+    items = []
+    for i in range(size):
+        kind = "vit" if phase == "vit" else "llm"
+        req = Request(
+            rid=i, kind=kind, arrival=0, prompt_tokens=8, gen_tokens=4
+        )
+        items.append(PhaseItem(req, phase, ready=0, context=context))
+    return Batch(phase=phase, items=items, formed_at=0)
+
+
+def test_stream_cycles_bit_identical():
+    for n_x in (1, 2, 8, 25, 64):
+        assert (
+            measured_bfp_stream_cycles(n_x)
+            == GOLDEN["streams"][f"bfp8_nx{n_x}"]
+        )
+    assert measured_fp32_stream_cycles(128) == GOLDEN["streams"]["fp32_l128"]
+
+
+def test_compiled_schedules_bit_identical():
+    for pname in POLICIES:
+        pol = _policy(pname)
+        want = GOLDEN["scheduler"][pname]
+        vit = compile_vit(DEIT_TINY, batch=1, policy=pol)
+        assert vit.latency_by_mode(15) == want["vit_b1"]["latency_by_mode"]
+        assert vit.unit_cycles_per_item() == want["vit_b1"]["unit_cycles"]
+        for phase in ("prefill", "decode"):
+            for batch in (1, 8):
+                dec = compile_decoder(
+                    vocab=1000, dim=128, depth=4, n_heads=4, context=128,
+                    phase=phase, batch=batch, policy=pol,
+                )
+                ref = want[f"{phase}_b{batch}_ctx128"]
+                assert dec.latency_by_mode(15) == ref["latency_by_mode"]
+                assert dec.unit_cycles_per_item() == ref["unit_cycles"]
+
+
+def test_serve_batch_cycles_bit_identical():
+    for pname in POLICIES:
+        cm = CostModel(ServeConfig(precision=_policy(pname)))
+        for ph, sz, ctx in BATCHES:
+            assert (
+                cm.batch_cycles(make_batch(ph, sz, ctx))
+                == GOLDEN["serve"][pname][f"{ph}_b{sz}_ctx{ctx}"]
+            )
+
+
+def test_cluster_shard_splits_bit_identical():
+    for tp, pp, cross, ppx in (
+        (2, 1, False, 0), (1, 2, False, 1), (2, 2, True, 1)
+    ):
+        cfg = ServeConfig(precision=_policy("bfp8-mixed"))
+        sm = ShardedCostModel(
+            cfg, ShardPlan(tp=tp, pp=pp),
+            tp_cross_board=cross, pp_cross_boundaries=ppx,
+        )
+        want = GOLDEN["cluster"][f"tp{tp}pp{pp}"]
+        for ph, sz, ctx in (
+            ("prefill", 4, 100), ("decode", 8, 128), ("vit", 1, 0)
+        ):
+            c, i = sm.split_cycles(make_batch(ph, sz, ctx))
+            assert [c, i] == want[f"{ph}_b{sz}_ctx{ctx}"]

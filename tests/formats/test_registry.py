@@ -65,16 +65,29 @@ class TestDuplicateGuard:
 
 
 class TestArrayMapping:
-    def test_uses_array_flags(self):
+    def test_array_mode_names(self):
         # bfp/int map onto the systolic array; fp32 and the two-slice
         # fp16 run on the vector personality; single-slice minifloats
         # (8-bit-or-less significand) map onto the array.
-        assert get_format("bfp8").uses_array
-        assert get_format("int8").uses_array
-        assert get_format("fp8-e4m3").uses_array
-        assert get_format("bf16").uses_array
-        assert not get_format("fp32").uses_array
-        assert not get_format("fp16").uses_array
+        assert get_format("bfp8").array_mode == "bfp8_mac"
+        assert get_format("int8").array_mode == "bfp8_mac"
+        assert get_format("fp8-e4m3").array_mode == "bfp8_mac"
+        assert get_format("bf16").array_mode == "bfp8_mac"
+        assert get_format("fp32").array_mode is None
+        assert get_format("fp16").array_mode is None
+
+    def test_uses_array_is_deprecated_boolean_view(self):
+        import repro.formats.registry as registry
+
+        registry._warned_uses_array = False
+        with pytest.deprecated_call(match="array_mode"):
+            assert get_format("bfp8").uses_array
+        # The warning fires once per process, not per access.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not get_format("fp32").uses_array
 
 
 class TestMinifloat:
